@@ -1,0 +1,39 @@
+//! Pragmatic self-interest actions (§VII of the ICDCS 2014 paper).
+//!
+//! "Security is a process, not a product. BGP security will not happen in
+//! a single step… Rather than sit and wait, responsible organizations can
+//! start to take pro-active actions immediately."
+//!
+//! * [`analyze_region`] / [`regional_containment`] — scoped topology
+//!   analysis and the paper's regional compromise metric.
+//! * [`rehome_up`] — the "reduce vulnerability" transform (§VII re-homed
+//!   its NZ target two levels up).
+//! * [`SecurityPlan`] — the full five-step recommendation pipeline for a
+//!   concrete target.
+//! * [`surgery::rebuild_with`] — controlled topology edits backing the
+//!   experiments.
+//!
+//! # Quick start
+//!
+//! ```
+//! use bgpsim_advisor::SecurityPlan;
+//! use bgpsim_topology::gen::{generate, InternetParams};
+//!
+//! let net = generate(&InternetParams::tiny(), 1);
+//! let target = net.topology.stub_ases()[0];
+//! let everyone: Vec<_> = net.topology.indices().collect();
+//! let plan = SecurityPlan::for_target(&net.topology, target, &everyone);
+//! println!("{plan}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod plan;
+mod regional;
+mod rehome;
+pub mod surgery;
+
+pub use plan::{Recommendation, SecurityPlan};
+pub use regional::{analyze_region, regional_containment, RegionalAnalysis, RegionalPollution};
+pub use rehome::{multihome_up, rehome_up, RehomeError, Rehoming};

@@ -1,0 +1,290 @@
+//! Re-homing: moving an AS to lower-depth providers (§VII's "reduce
+//! vulnerability" step).
+//!
+//! "The depth analysis may reveal some ASes to be more vulnerable than
+//! others. If possible, increase resistance to attack by re-homing and
+//! multi-homing these ASes to reduce depth." The paper's validation
+//! experiment "re-homed AS55857 up two levels".
+
+use bgpsim_topology::metrics::DepthMap;
+use bgpsim_topology::{AsId, AsIndex, LinkKind, Topology, TopologyError};
+
+use crate::surgery::rebuild_with;
+
+/// Error returned when a re-homing cannot be performed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RehomeError {
+    /// The AS has no providers to climb from.
+    NoProviders,
+    /// Climbing found no provider distinct from the current attachment.
+    NoHigherProvider,
+    /// Rebuilding the topology failed.
+    Topology(TopologyError),
+}
+
+impl core::fmt::Display for RehomeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RehomeError::NoProviders => write!(f, "target has no providers"),
+            RehomeError::NoHigherProvider => {
+                write!(f, "no distinct provider found the requested levels up")
+            }
+            RehomeError::Topology(e) => write!(f, "topology rebuild failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RehomeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RehomeError::Topology(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopologyError> for RehomeError {
+    fn from(e: TopologyError) -> Self {
+        RehomeError::Topology(e)
+    }
+}
+
+/// The new provider set chosen for a re-homing, plus the rebuilt topology.
+#[derive(Debug)]
+pub struct Rehoming {
+    /// The rebuilt topology (same ASNs and indices).
+    pub topology: Topology,
+    /// Providers the target was detached from.
+    pub old_providers: Vec<AsIndex>,
+    /// Providers the target is now attached to.
+    pub new_providers: Vec<AsIndex>,
+}
+
+/// Re-homes `target` `levels` steps up its provider chains: each current
+/// provider is replaced by the ancestor reached by repeatedly climbing to
+/// the lowest-depth provider. Duplicate ancestors collapse (re-homing can
+/// reduce multi-homing if chains converge — the trade-off is reported in
+/// [`Rehoming::new_providers`]).
+///
+/// # Errors
+///
+/// See [`RehomeError`].
+pub fn rehome_up(topo: &Topology, target: AsIndex, levels: u32) -> Result<Rehoming, RehomeError> {
+    let depths = DepthMap::to_tier1(topo);
+    let old_providers: Vec<AsIndex> = topo.providers(target).collect();
+    if old_providers.is_empty() {
+        return Err(RehomeError::NoProviders);
+    }
+    let climb = |mut from: AsIndex| -> AsIndex {
+        for _ in 0..levels {
+            let up = topo
+                .providers(from)
+                .min_by_key(|&p| (depths.depth(p).unwrap_or(u32::MAX), p.raw()));
+            match up {
+                Some(p) => from = p,
+                None => break, // already at the top
+            }
+        }
+        from
+    };
+    let mut new_providers: Vec<AsIndex> = old_providers.iter().map(|&p| climb(p)).collect();
+    new_providers.sort_unstable();
+    new_providers.dedup();
+    // Keep only genuinely new attachments; never attach an AS to itself.
+    new_providers.retain(|&p| p != target);
+    if new_providers == old_providers {
+        return Err(RehomeError::NoHigherProvider);
+    }
+    let target_id = topo.id_of(target);
+    let remove: Vec<(AsId, AsId)> = old_providers
+        .iter()
+        .map(|&p| (topo.id_of(p), target_id))
+        .collect();
+    let add: Vec<(AsId, AsId, LinkKind)> = new_providers
+        .iter()
+        .filter(|&&p| !old_providers.contains(&p))
+        .map(|&p| (topo.id_of(p), target_id, LinkKind::ProviderToCustomer))
+        .collect();
+    // Links to providers that remain providers are removed and not re-added
+    // only if they are not in the new set; recompute the removal list
+    // accordingly.
+    let remove: Vec<(AsId, AsId)> = remove
+        .into_iter()
+        .filter(|&(p, _)| {
+            let p_ix = topo.index_of(p).expect("provider exists");
+            !new_providers.contains(&p_ix)
+        })
+        .collect();
+    let topology = rebuild_with(topo, &remove, &add)?;
+    Ok(Rehoming {
+        topology,
+        old_providers,
+        new_providers,
+    })
+}
+
+/// Multi-homes `target` upward: *adds* the providers `levels` steps up its
+/// chains while keeping the existing ones. Depth drops exactly as with
+/// [`rehome_up`], but the target's old neighborhood keeps its
+/// customer-class routes to it — §VII recommends "re-homing *and
+/// multi-homing*… to reduce depth, and to increase non-overlapping reach",
+/// and under Gao-Rexford preference the additive form is the one that
+/// never weakens anyone's existing protection.
+///
+/// # Errors
+///
+/// See [`RehomeError`]; returns [`RehomeError::NoHigherProvider`] when
+/// every climbed ancestor is already a provider (nothing to add).
+pub fn multihome_up(
+    topo: &Topology,
+    target: AsIndex,
+    levels: u32,
+) -> Result<Rehoming, RehomeError> {
+    let depths = DepthMap::to_tier1(topo);
+    let old_providers: Vec<AsIndex> = topo.providers(target).collect();
+    if old_providers.is_empty() {
+        return Err(RehomeError::NoProviders);
+    }
+    let climb = |mut from: AsIndex| -> AsIndex {
+        for _ in 0..levels {
+            let up = topo
+                .providers(from)
+                .min_by_key(|&p| (depths.depth(p).unwrap_or(u32::MAX), p.raw()));
+            match up {
+                Some(p) => from = p,
+                None => break,
+            }
+        }
+        from
+    };
+    let mut added: Vec<AsIndex> = old_providers
+        .iter()
+        .map(|&p| climb(p))
+        .filter(|&p| p != target && !old_providers.contains(&p))
+        .collect();
+    added.sort_unstable();
+    added.dedup();
+    if added.is_empty() {
+        return Err(RehomeError::NoHigherProvider);
+    }
+    let target_id = topo.id_of(target);
+    let add: Vec<(AsId, AsId, LinkKind)> = added
+        .iter()
+        .map(|&p| (topo.id_of(p), target_id, LinkKind::ProviderToCustomer))
+        .collect();
+    let topology = rebuild_with(topo, &[], &add)?;
+    let mut new_providers = old_providers.clone();
+    new_providers.extend(added);
+    new_providers.sort_unstable();
+    Ok(Rehoming {
+        topology,
+        old_providers,
+        new_providers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsim_topology::{topology_from_triples, LinkKind::*};
+
+    fn ix(t: &Topology, n: u32) -> AsIndex {
+        t.index_of(AsId::new(n)).unwrap()
+    }
+
+    /// Chain: 1 (tier-1) → 2 → 3 → 4 → 5 (deep stub).
+    fn chain() -> Topology {
+        topology_from_triples(&[
+            (1, 2, ProviderToCustomer),
+            (2, 3, ProviderToCustomer),
+            (3, 4, ProviderToCustomer),
+            (4, 5, ProviderToCustomer),
+        ])
+    }
+
+    #[test]
+    fn rehoming_reduces_depth_by_levels() {
+        let t = chain();
+        let target = ix(&t, 5);
+        let before = DepthMap::to_tier1(&t).depth(target).unwrap();
+        assert_eq!(before, 4);
+        let r = rehome_up(&t, target, 2).unwrap();
+        let after_ix = r.topology.index_of(AsId::new(5)).unwrap();
+        let after = DepthMap::to_tier1(&r.topology).depth(after_ix).unwrap();
+        assert_eq!(after, 2);
+        assert_eq!(r.old_providers, vec![ix(&t, 4)]);
+        assert_eq!(r.new_providers, vec![ix(&t, 2)]);
+    }
+
+    #[test]
+    fn climbing_past_the_top_saturates() {
+        let t = chain();
+        let r = rehome_up(&t, ix(&t, 5), 99).unwrap();
+        let after_ix = r.topology.index_of(AsId::new(5)).unwrap();
+        assert_eq!(
+            DepthMap::to_tier1(&r.topology).depth(after_ix).unwrap(),
+            1,
+            "climbs all the way to a tier-1 customer slot"
+        );
+    }
+
+    #[test]
+    fn no_providers_errors() {
+        let t = chain();
+        assert!(matches!(
+            rehome_up(&t, ix(&t, 1), 1),
+            Err(RehomeError::NoProviders)
+        ));
+    }
+
+    #[test]
+    fn multihomed_chains_may_converge() {
+        // 5 is homed to two depth-2 transits that share a parent.
+        let t = topology_from_triples(&[
+            (1, 2, ProviderToCustomer),
+            (2, 3, ProviderToCustomer),
+            (2, 4, ProviderToCustomer),
+            (3, 5, ProviderToCustomer),
+            (4, 5, ProviderToCustomer),
+        ]);
+        let r = rehome_up(&t, ix(&t, 5), 1).unwrap();
+        assert_eq!(r.new_providers, vec![ix(&t, 2)]);
+        let after_ix = r.topology.index_of(AsId::new(5)).unwrap();
+        assert_eq!(r.topology.num_providers(after_ix), 1);
+    }
+
+    #[test]
+    fn multihome_adds_without_removing() {
+        let t = chain();
+        let r = multihome_up(&t, ix(&t, 5), 2).unwrap();
+        let after = r.topology.index_of(AsId::new(5)).unwrap();
+        assert_eq!(r.topology.num_providers(after), 2, "old + new provider");
+        assert_eq!(
+            DepthMap::to_tier1(&r.topology).depth(after),
+            Some(2),
+            "depth drops like rehome_up"
+        );
+        assert!(r.new_providers.contains(&ix(&t, 4)), "old provider kept");
+        assert!(r.new_providers.contains(&ix(&t, 2)), "new provider added");
+    }
+
+    #[test]
+    fn multihome_errors_when_nothing_to_add() {
+        // Target directly under the top: climbing yields the same provider.
+        let t = topology_from_triples(&[(1, 2, ProviderToCustomer)]);
+        assert!(matches!(
+            multihome_up(&t, ix(&t, 2), 3),
+            Err(RehomeError::NoHigherProvider)
+        ));
+    }
+
+    #[test]
+    fn zero_levels_is_a_noop_error() {
+        let t = chain();
+        assert!(matches!(
+            rehome_up(&t, ix(&t, 5), 0),
+            Err(RehomeError::NoHigherProvider)
+        ));
+    }
+}

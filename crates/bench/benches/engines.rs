@@ -1,0 +1,115 @@
+//! Engine throughput and the policy ablations DESIGN.md calls out.
+//!
+//! * `propagate/*` — single-attack convergence cost of the generation
+//!   engine at two scales, with and without workspace reuse.
+//! * `ablate/tier1_rule` — the paper's tier-1 shortest-path refinement vs
+//!   strict Gao-Rexford (same engine).
+//! * `ablate/stable_solver` — the closed-form solver vs the message
+//!   passing engine under strict Gao-Rexford.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bgpsim_core::routing::{
+    propagate, solve, FilterContext, NullObserver, PolicyConfig, SimNet, Workspace,
+};
+use bgpsim_core::topology::gen::{generate, GeneratedInternet, InternetParams};
+use bgpsim_core::topology::metrics::DepthMap;
+use bgpsim_core::topology::select;
+
+fn internet(n: usize) -> GeneratedInternet {
+    generate(&InternetParams::sized(n), 7)
+}
+
+fn bench_propagate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("propagate");
+    g.sample_size(20);
+    for n in [1_000usize, 5_000] {
+        let net = internet(n);
+        let topo = &net.topology;
+        let sim_net = SimNet::new(topo);
+        let depths = DepthMap::to_tier1(topo);
+        let target = select::deepest_stub(topo, &depths).expect("stubs exist");
+        let attacker = select::aggressive_transit(topo, &depths).expect("transit exists");
+        let policy = PolicyConfig::paper();
+
+        g.bench_with_input(BenchmarkId::new("fresh_workspace", n), &n, |b, _| {
+            b.iter(|| {
+                let p = propagate(
+                    &sim_net,
+                    &[target, attacker],
+                    &FilterContext::none(),
+                    &policy,
+                    &mut Workspace::new(),
+                    &mut NullObserver,
+                );
+                black_box(p.reached_count())
+            })
+        });
+        let mut ws = Workspace::new();
+        g.bench_with_input(BenchmarkId::new("reused_workspace", n), &n, |b, _| {
+            b.iter(|| {
+                let p = propagate(
+                    &sim_net,
+                    &[target, attacker],
+                    &FilterContext::none(),
+                    &policy,
+                    &mut ws,
+                    &mut NullObserver,
+                );
+                black_box(p.reached_count())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate");
+    g.sample_size(20);
+    let net = internet(5_000);
+    let topo = &net.topology;
+    let sim_net = SimNet::new(topo);
+    let depths = DepthMap::to_tier1(topo);
+    let target = select::deepest_stub(topo, &depths).expect("stubs exist");
+    let attacker = select::aggressive_transit(topo, &depths).expect("transit exists");
+    let mut ws = Workspace::new();
+
+    // The paper's tier-1 shortest-path rule on vs off: measures both the
+    // cost and (via the reported pollution) the behavioral difference.
+    for (name, policy) in [
+        ("tier1_rule_on", PolicyConfig::paper()),
+        ("tier1_rule_off", PolicyConfig::strict_gao_rexford()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let p = propagate(
+                    &sim_net,
+                    &[target, attacker],
+                    &FilterContext::none(),
+                    &policy,
+                    &mut ws,
+                    &mut NullObserver,
+                );
+                black_box(p.captured_count(attacker))
+            })
+        });
+    }
+
+    // Closed-form stable solver vs the message-passing engine (strict GR).
+    g.bench_function("stable_solver", |b| {
+        b.iter(|| {
+            let p = solve(
+                &sim_net,
+                &[target, attacker],
+                &FilterContext::none(),
+                &PolicyConfig::strict_gao_rexford(),
+            );
+            black_box(p.captured_count(attacker))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(engines, bench_propagate, bench_ablations);
+criterion_main!(engines);

@@ -1,0 +1,68 @@
+//! One Criterion benchmark per table/figure, at reduced scale.
+//!
+//! These are throughput regressions for the experiment pipelines, not the
+//! paper-scale reproductions (run the examples with `BGPSIM_SCALE=paper`
+//! for those). Each benchmark exercises the same code path as its
+//! experiment id over a shared ~1,000-AS lab.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+use bgpsim_core::topology::gen::InternetParams;
+use bgpsim_core::{experiments, ExperimentConfig, Lab};
+
+fn lab() -> &'static Lab {
+    static LAB: OnceLock<Lab> = OnceLock::new();
+    LAB.get_or_init(|| {
+        let mut config = ExperimentConfig::quick();
+        config.params = InternetParams::sized(1_000);
+        config.attacker_stride = 4;
+        config.detection_attacks = 100;
+        Lab::new(config)
+    })
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("tab_model_build", |b| {
+        b.iter(|| {
+            let mut config = ExperimentConfig::quick();
+            config.params = InternetParams::sized(1_000);
+            black_box(Lab::new(config).topology().num_links())
+        })
+    });
+    g.bench_function("fig1_trace", |b| {
+        b.iter(|| black_box(experiments::fig1(lab()).pollution))
+    });
+    g.bench_function("fig2_vulnerability", |b| {
+        b.iter(|| black_box(experiments::fig2(lab()).series.len()))
+    });
+    g.bench_function("fig3_vulnerability_tier2", |b| {
+        b.iter(|| black_box(experiments::fig3(lab()).series.len()))
+    });
+    g.bench_function("fig4_stub_filters", |b| {
+        b.iter(|| black_box(experiments::fig4(lab()).series.len()))
+    });
+    g.bench_function("fig5_incremental", |b| {
+        b.iter(|| black_box(experiments::fig5(lab()).outcomes.len()))
+    });
+    g.bench_function("fig6_incremental_deep", |b| {
+        b.iter(|| black_box(experiments::fig6(lab()).outcomes.len()))
+    });
+    g.bench_function("fig7_detection", |b| {
+        b.iter(|| black_box(experiments::fig7(lab()).reports.len()))
+    });
+    g.bench_function("sec7_selfinterest", |b| {
+        b.iter(|| black_box(experiments::sec7(lab()).scenarios.len()))
+    });
+    g.bench_function("tab_model_stats", |b| {
+        b.iter(|| black_box(experiments::tab_model(lab()).mean_generations))
+    });
+    g.finish();
+}
+
+criterion_group!(figures, bench_figures);
+criterion_main!(figures);

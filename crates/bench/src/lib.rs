@@ -1,0 +1,3 @@
+//! Benchmark-only crate: see `benches/` for the Criterion harnesses that
+//! regenerate every table and figure at reduced scale, plus the engine
+//! ablations called out in `DESIGN.md`.

@@ -1,0 +1,121 @@
+//! Experiment configuration and scaling presets.
+
+use bgpsim_routing::PolicyConfig;
+use bgpsim_topology::gen::InternetParams;
+
+/// Scale and sampling knobs shared by every experiment runner.
+///
+/// The paper ran on a 42,697-AS CAIDA snapshot with exhaustive attacker
+/// sweeps and 8,000 detection attacks. On a single core that is close to
+/// an hour of simulation, so the default preset runs the same experiments
+/// on a 10,000-AS synthetic Internet — pollution *percentages* and curve
+/// shapes are scale-stable, and [`ExperimentConfig::paper`] restores the
+/// full size when time permits.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Synthetic-Internet parameters (size, tiers, island, …).
+    pub params: InternetParams,
+    /// Master seed: generation and all sampling derive from it.
+    pub seed: u64,
+    /// Use every `attacker_stride`-th attacker in exhaustive sweeps
+    /// (1 = the paper's full sweep).
+    pub attacker_stride: usize,
+    /// Number of random transit-to-transit attacks in the detection
+    /// experiment (the paper uses 8,000).
+    pub detection_attacks: usize,
+    /// Rows in "top potent / top undetected" tables (the paper prints 5).
+    pub top_k: usize,
+    /// Routing policy (the paper's tier-1 shortest-path rule is on).
+    pub policy: PolicyConfig,
+}
+
+impl ExperimentConfig {
+    /// ≈ 2k ASes with strided sweeps: seconds per experiment. For tests
+    /// and smoke runs.
+    pub fn quick() -> ExperimentConfig {
+        ExperimentConfig {
+            params: InternetParams::small(),
+            seed: 2014,
+            attacker_stride: 2,
+            detection_attacks: 400,
+            top_k: 5,
+            policy: PolicyConfig::paper(),
+        }
+    }
+
+    /// ≈ 10k ASes, full sweeps, 2,000 detection attacks: the default for
+    /// regenerating every figure in minutes on one core.
+    pub fn standard() -> ExperimentConfig {
+        ExperimentConfig {
+            params: InternetParams::medium(),
+            seed: 2014,
+            attacker_stride: 1,
+            detection_attacks: 2_000,
+            top_k: 5,
+            policy: PolicyConfig::paper(),
+        }
+    }
+
+    /// The paper's scale: 42,697 ASes, exhaustive sweeps, 8,000 detection
+    /// attacks. Expect tens of minutes on one core.
+    pub fn paper() -> ExperimentConfig {
+        ExperimentConfig {
+            params: InternetParams::paper_scale(),
+            seed: 2014,
+            attacker_stride: 1,
+            detection_attacks: 8_000,
+            top_k: 5,
+            policy: PolicyConfig::paper(),
+        }
+    }
+
+    /// Ratio of this configuration's AS count to the paper's, used to
+    /// scale absolute thresholds (deployment counts, degree cutoffs).
+    pub fn scale(&self) -> f64 {
+        self.params.num_ases as f64 / 42_697.0
+    }
+
+    /// Reads a preset from the `BGPSIM_SCALE` environment variable
+    /// (`quick` / `standard` / `paper`), defaulting to `standard`. Examples
+    /// use this so `BGPSIM_SCALE=paper cargo run --example …` reproduces
+    /// the full-size study.
+    pub fn from_env() -> ExperimentConfig {
+        match std::env::var("BGPSIM_SCALE").as_deref() {
+            Ok("quick") => ExperimentConfig::quick(),
+            Ok("paper") => ExperimentConfig::paper(),
+            _ => ExperimentConfig::standard(),
+        }
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_scale_sensibly() {
+        let q = ExperimentConfig::quick();
+        let s = ExperimentConfig::standard();
+        let p = ExperimentConfig::paper();
+        assert!(q.params.num_ases < s.params.num_ases);
+        assert!(s.params.num_ases < p.params.num_ases);
+        assert!((p.scale() - 1.0).abs() < 1e-9);
+        assert!(q.scale() < 0.1);
+        assert_eq!(p.detection_attacks, 8_000);
+        assert!(p.policy.tier1_shortest_path);
+    }
+
+    #[test]
+    fn default_is_standard() {
+        assert_eq!(
+            ExperimentConfig::default().params.num_ases,
+            ExperimentConfig::standard().params.num_ases
+        );
+    }
+}

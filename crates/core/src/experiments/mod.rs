@@ -1,0 +1,32 @@
+//! One runner per table and figure of the paper.
+//!
+//! | Id | Paper artifact | Runner |
+//! |---|---|---|
+//! | `fig1` | polar propagation sequence | [`polar_attack::fig1`] |
+//! | `fig2` | vulnerability by depth, tier-1 hierarchy | [`vulnerability::fig2`] |
+//! | `fig3` | vulnerability under tier-2 providers | [`vulnerability::fig3`] |
+//! | `fig4` | with/without defensive stub filters | [`vulnerability::fig4`] |
+//! | `fig5` | incremental filtering, resistant target | [`deployment::fig5`] |
+//! | `fig6` | incremental filtering, vulnerable target | [`deployment::fig6`] |
+//! | `tab_potent` | top still-potent attackers | part of fig5/fig6 results |
+//! | `fig7` | detector configurations vs 8,000 attacks | [`detect::fig7`] |
+//! | `tab_undetected` | top undetected attacks | part of the fig7 result |
+//! | `sec7` | regional self-interest validation | [`selfinterest::sec7`] |
+//! | `tab_model` | simulation substrate characteristics | [`model::tab_model`] |
+//!
+//! Every runner takes a [`Lab`](crate::Lab) and returns a typed result
+//! with `summary()` (plain text) and `write_artifacts(dir)` (SVG + CSV).
+
+pub mod deployment;
+pub mod detect;
+pub mod model;
+pub mod polar_attack;
+pub mod selfinterest;
+pub mod vulnerability;
+
+pub use deployment::{fig5, fig6, DeploymentResult};
+pub use detect::{fig7, DetectionResult};
+pub use model::{tab_model, ModelResult};
+pub use polar_attack::{fig1, PolarResult};
+pub use selfinterest::{sec7, Scenario, SelfInterestResult};
+pub use vulnerability::{fig2, fig3, fig4, LabeledCurve, VulnerabilityResult};

@@ -1,0 +1,43 @@
+//! Incremental deployment of BGP origin-hijack *prevention* (§V of the
+//! ICDCS 2014 paper).
+//!
+//! "Given a mechanism for checking BGP origin security and rejecting bogus
+//! routes, how many ASes must implement this mechanism to achieve a high
+//! probability of stopping or at least minimizing an attack? Can the ASes
+//! be chosen at random or must they be methodically chosen?"
+//!
+//! * [`DeploymentStrategy`] — the paper's §V progression (random transit,
+//!   tier-1, degree cohorts) plus custom deployments.
+//! * [`evaluate_strategies`] — residual-pollution sweeps per strategy,
+//!   producing the figs. 5–6 curves.
+//! * [`top_potent_attackers`] — the "top 5 still-potent attacks" tables.
+//!
+//! # Quick start
+//!
+//! ```
+//! use bgpsim_defense::{evaluate_strategies, DeploymentStrategy};
+//! use bgpsim_hijack::Simulator;
+//! use bgpsim_routing::PolicyConfig;
+//! use bgpsim_topology::gen::{generate, InternetParams};
+//!
+//! let net = generate(&InternetParams::tiny(), 1);
+//! let sim = Simulator::new(&net.topology, PolicyConfig::paper());
+//! let target = net.topology.stub_ases()[0];
+//! let attackers = net.topology.transit_ases();
+//! let outcomes = evaluate_strategies(
+//!     &sim,
+//!     target,
+//!     &attackers,
+//!     &[DeploymentStrategy::None, DeploymentStrategy::Tier1],
+//! );
+//! assert!(outcomes[1].mean_successful_pollution() <= outcomes[0].mean_successful_pollution() * 1.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod evaluation;
+mod strategy;
+
+pub use evaluation::{evaluate_strategies, top_potent_attackers, PotentAttackerRow, StrategyOutcome};
+pub use strategy::DeploymentStrategy;

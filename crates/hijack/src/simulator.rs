@@ -1,0 +1,370 @@
+//! The hijack simulator: single attacks and parallel sweeps.
+
+use bgpsim_routing::{
+    propagate_announcements, Announcement, NullObserver, Observer, PolicyConfig, Propagation,
+    SimNet, Workspace,
+};
+use bgpsim_topology::{AsIndex, Topology};
+use rayon::prelude::*;
+
+use crate::attack::{Attack, AttackKind, AttackOutcome};
+use crate::defense::Defense;
+
+/// Simulates origin and sub-prefix hijacks on one topology.
+///
+/// Owns the precomputed [`SimNet`] so repeated attacks share its tables;
+/// the parallel sweep methods distribute attacks across rayon workers with
+/// one reusable [`Workspace`] per thread.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_hijack::{Attack, Defense, Simulator};
+/// use bgpsim_routing::PolicyConfig;
+/// use bgpsim_topology::{topology_from_triples, AsId, LinkKind::*};
+///
+/// let topo = topology_from_triples(&[
+///     (1, 9, ProviderToCustomer),
+///     (1, 8, ProviderToCustomer),
+/// ]);
+/// let sim = Simulator::new(&topo, PolicyConfig::paper());
+/// let t = topo.index_of(AsId::new(9)).unwrap();
+/// let a = topo.index_of(AsId::new(8)).unwrap();
+/// let outcome = sim.run(Attack::origin(a, t), &Defense::none());
+/// assert!(outcome.pollution_count() <= topo.num_ases());
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'t> {
+    net: SimNet<'t>,
+    policy: PolicyConfig,
+}
+
+impl<'t> Simulator<'t> {
+    /// Builds a simulator over `topo` with the given policy.
+    pub fn new(topo: &'t Topology, policy: PolicyConfig) -> Simulator<'t> {
+        Simulator {
+            net: SimNet::new(topo),
+            policy,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &'t Topology {
+        self.net.topology()
+    }
+
+    /// The precomputed simulation network.
+    pub fn net(&self) -> &SimNet<'t> {
+        &self.net
+    }
+
+    /// The active policy configuration.
+    pub fn policy(&self) -> &PolicyConfig {
+        &self.policy
+    }
+
+    /// Simulates one attack with a fresh workspace.
+    pub fn run(&self, attack: Attack, defense: &Defense) -> AttackOutcome {
+        self.run_observed(attack, defense, &mut Workspace::new(), &mut NullObserver)
+    }
+
+    /// Simulates one attack with a caller-provided workspace and observer
+    /// (pass a [`bgpsim_routing::TraceRecorder`] to capture every message
+    /// for visualization).
+    pub fn run_observed<O: Observer>(
+        &self,
+        attack: Attack,
+        defense: &Defense,
+        ws: &mut Workspace,
+        obs: &mut O,
+    ) -> AttackOutcome {
+        let ctx = defense.context_for(attack.target);
+        let announcements: Vec<Announcement> = match attack.kind {
+            // Exact-prefix: both origins compete for the same prefix.
+            AttackKind::OriginHijack => vec![
+                Announcement::honest(attack.target),
+                Announcement::honest(attack.attacker),
+            ],
+            // Sub-prefix: longest-prefix match sidesteps competition — only
+            // the bogus more-specific announcement propagates.
+            AttackKind::SubPrefixHijack => vec![Announcement::honest(attack.attacker)],
+            // Forged origin: the bogus path claims the target's ASN, so
+            // route-origin validation cannot distinguish it.
+            AttackKind::ForgedOriginHijack => vec![
+                Announcement::honest(attack.target),
+                Announcement::forged(attack.attacker, attack.target),
+            ],
+        };
+        let p = propagate_announcements(&self.net, &announcements, &ctx, &self.policy, ws, obs);
+        let polluted = polluted_set(&p, attack);
+        AttackOutcome {
+            attack,
+            polluted,
+            generations: p.stats().generations,
+            truncated: p.stats().truncated,
+        }
+    }
+
+    /// Pollution count of one attack, counting only ASes in `mask` if
+    /// given. Cheaper than [`Simulator::run`] for sweeps (no allocation of
+    /// the polluted list).
+    fn pollution_count(
+        &self,
+        attack: Attack,
+        defense: &Defense,
+        mask: Option<&[bool]>,
+        ws: &mut Workspace,
+    ) -> u32 {
+        let outcome = self.run_observed(attack, defense, ws, &mut NullObserver);
+        outcome
+            .polluted
+            .iter()
+            .filter(|ix| mask.is_none_or(|m| m[ix.usize()]))
+            .count() as u32
+    }
+
+    /// Attacks `target` from every AS in `attackers` (skipping the target
+    /// itself) and returns one pollution count per attacker, in input
+    /// order. Runs on all rayon workers.
+    ///
+    /// This is the paper's §IV measurement: "sequentially attacking a
+    /// target AS by each of the 42,696 other ASes and recording the number
+    /// of polluted ASes".
+    pub fn sweep_attackers(
+        &self,
+        target: AsIndex,
+        attackers: &[AsIndex],
+        defense: &Defense,
+    ) -> Vec<u32> {
+        self.sweep_attackers_within(target, attackers, defense, None)
+    }
+
+    /// Like [`Simulator::sweep_attackers`], but counting only polluted ASes
+    /// inside `region` when given (§VII's regional containment metric).
+    pub fn sweep_attackers_within(
+        &self,
+        target: AsIndex,
+        attackers: &[AsIndex],
+        defense: &Defense,
+        region: Option<&[AsIndex]>,
+    ) -> Vec<u32> {
+        let mask: Option<Vec<bool>> = region.map(|members| {
+            let mut m = vec![false; self.net.num_ases()];
+            for &ix in members {
+                m[ix.usize()] = true;
+            }
+            m
+        });
+        attackers
+            .par_iter()
+            .map_init(Workspace::new, |ws, &attacker| {
+                if attacker == target {
+                    return 0;
+                }
+                self.pollution_count(
+                    Attack::origin(attacker, target),
+                    defense,
+                    mask.as_deref(),
+                    ws,
+                )
+            })
+            .collect()
+    }
+
+    /// Runs a batch of arbitrary attacks in parallel, returning full
+    /// outcomes (polluted lists included) in input order.
+    pub fn run_batch(&self, attacks: &[Attack], defense: &Defense) -> Vec<AttackOutcome> {
+        attacks
+            .par_iter()
+            .map_init(Workspace::new, |ws, &attack| {
+                self.run_observed(attack, defense, ws, &mut NullObserver)
+            })
+            .collect()
+    }
+}
+
+/// Computes the polluted set for an outcome: for honest hijacks, every AS
+/// whose selected route origin is the attacker; for forged-origin hijacks,
+/// every AS whose selection chain physically terminates at the attacker
+/// (the route *claims* the target as origin — that is the evasion).
+fn polluted_set(p: &Propagation, attack: Attack) -> Vec<AsIndex> {
+    match attack.kind {
+        AttackKind::OriginHijack | AttackKind::SubPrefixHijack => {
+            p.captured_by(attack.attacker).collect()
+        }
+        AttackKind::ForgedOriginHijack => {
+            // Memoized chain walk: does the learned_from chain end at the
+            // attacker?
+            let n = p.choices().len();
+            let mut state = vec![0u8; n]; // 0 unknown, 1 clean, 2 polluted
+            let mut stack: Vec<AsIndex> = Vec::new();
+            let mut polluted = Vec::new();
+            for i in 0..n {
+                let mut cur = AsIndex::new(i as u32);
+                stack.clear();
+                let verdict = loop {
+                    match state[cur.usize()] {
+                        1 => break 1,
+                        2 => break 2,
+                        _ => {}
+                    }
+                    let Some(choice) = p.choice(cur) else { break 1 };
+                    match choice.learned_from {
+                        None => break if cur == attack.attacker { 2 } else { 1 },
+                        Some(from) => {
+                            stack.push(cur);
+                            cur = from;
+                        }
+                    }
+                };
+                state[cur.usize()] = verdict;
+                for &visited in &stack {
+                    state[visited.usize()] = verdict;
+                }
+                if verdict == 2 && state[i] == 2 && i != attack.attacker.usize() {
+                    polluted.push(AsIndex::new(i as u32));
+                }
+            }
+            polluted
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsim_topology::{topology_from_triples, AsId, LinkKind::*, Topology};
+
+    fn ix(topo: &Topology, n: u32) -> AsIndex {
+        topo.index_of(AsId::new(n)).unwrap()
+    }
+
+    /// Two providers peering, each with customers.
+    fn topo() -> Topology {
+        topology_from_triples(&[
+            (1, 2, PeerToPeer),
+            (1, 9, ProviderToCustomer),
+            (2, 8, ProviderToCustomer),
+            (1, 5, ProviderToCustomer),
+            (2, 6, ProviderToCustomer),
+        ])
+    }
+
+    #[test]
+    fn origin_hijack_outcome() {
+        let t = topo();
+        let sim = Simulator::new(&t, PolicyConfig::paper());
+        let outcome = sim.run(Attack::origin(ix(&t, 8), ix(&t, 9)), &Defense::none());
+        // Attacker's side of the mesh: 2 and 6.
+        assert_eq!(outcome.pollution_count(), 2);
+        assert!(outcome.is_polluted(ix(&t, 2)));
+        assert!(outcome.is_polluted(ix(&t, 6)));
+        assert!(!outcome.is_polluted(ix(&t, 9)));
+        assert!(!outcome.truncated);
+        assert!(outcome.generations >= 1);
+    }
+
+    #[test]
+    fn sub_prefix_hijack_pollutes_everyone_reachable() {
+        let t = topo();
+        let sim = Simulator::new(&t, PolicyConfig::paper());
+        let outcome = sim.run(Attack::sub_prefix(ix(&t, 8), ix(&t, 9)), &Defense::none());
+        // No competition: every other AS (including the target) follows the
+        // more-specific bogus prefix.
+        assert_eq!(outcome.pollution_count(), t.num_ases() - 1);
+        assert!(outcome.is_polluted(ix(&t, 9)));
+    }
+
+    #[test]
+    fn sub_prefix_hijack_still_blocked_by_validators() {
+        let t = topo();
+        let sim = Simulator::new(&t, PolicyConfig::paper());
+        let all: Vec<AsIndex> = t.indices().collect();
+        let defense = Defense::validators(&t, all);
+        let outcome = sim.run(Attack::sub_prefix(ix(&t, 8), ix(&t, 9)), &defense);
+        assert_eq!(outcome.pollution_count(), 0);
+    }
+
+    #[test]
+    fn forged_origin_evades_universal_rov() {
+        let t = topo();
+        let sim = Simulator::new(&t, PolicyConfig::paper());
+        let all: Vec<AsIndex> = t.indices().collect();
+        let defense = Defense::validators(&t, all);
+        let (a, tgt) = (ix(&t, 8), ix(&t, 9));
+        // Universal origin validation stops the plain origin hijack...
+        let plain = sim.run(Attack::origin(a, tgt), &defense);
+        assert_eq!(plain.pollution_count(), 0);
+        // ...but the forged-origin path sails through ROV.
+        let forged = sim.run(Attack::forged_origin(a, tgt), &defense);
+        assert!(
+            forged.pollution_count() > 0,
+            "forged-origin hijack must evade origin validation"
+        );
+        // The victim itself still rejects the forgery (its own ASN is on
+        // the bogus path), so it is never polluted.
+        assert!(!forged.is_polluted(tgt));
+    }
+
+    #[test]
+    fn forged_origin_is_weaker_than_unvalidated_origin_hijack() {
+        // The forged path is one hop longer, so with no defenses it
+        // captures no more than the plain hijack.
+        let t = topo();
+        let sim = Simulator::new(&t, PolicyConfig::paper());
+        let (a, tgt) = (ix(&t, 8), ix(&t, 9));
+        let plain = sim.run(Attack::origin(a, tgt), &Defense::none());
+        let forged = sim.run(Attack::forged_origin(a, tgt), &Defense::none());
+        assert!(forged.pollution_count() <= plain.pollution_count());
+    }
+
+    #[test]
+    fn sweep_matches_individual_runs() {
+        let t = topo();
+        let sim = Simulator::new(&t, PolicyConfig::paper());
+        let target = ix(&t, 9);
+        let attackers: Vec<AsIndex> = t.indices().collect();
+        let counts = sim.sweep_attackers(target, &attackers, &Defense::none());
+        assert_eq!(counts.len(), attackers.len());
+        for (&attacker, &count) in attackers.iter().zip(&counts) {
+            if attacker == target {
+                assert_eq!(count, 0, "target row must be zero");
+                continue;
+            }
+            let single = sim.run(Attack::origin(attacker, target), &Defense::none());
+            assert_eq!(
+                single.pollution_count() as u32,
+                count,
+                "sweep mismatch for attacker {attacker}"
+            );
+        }
+    }
+
+    #[test]
+    fn regional_mask_restricts_counts() {
+        let t = topo();
+        let sim = Simulator::new(&t, PolicyConfig::paper());
+        let target = ix(&t, 9);
+        let attackers = vec![ix(&t, 8)];
+        let region = vec![ix(&t, 6)];
+        let within =
+            sim.sweep_attackers_within(target, &attackers, &Defense::none(), Some(&region));
+        assert_eq!(within, vec![1]); // only AS6 counted
+        let total = sim.sweep_attackers(target, &attackers, &Defense::none());
+        assert!(total[0] >= within[0]);
+    }
+
+    #[test]
+    fn run_batch_preserves_order() {
+        let t = topo();
+        let sim = Simulator::new(&t, PolicyConfig::paper());
+        let attacks = vec![
+            Attack::origin(ix(&t, 8), ix(&t, 9)),
+            Attack::origin(ix(&t, 9), ix(&t, 8)),
+        ];
+        let outcomes = sim.run_batch(&attacks, &Defense::none());
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].attack, attacks[0]);
+        assert_eq!(outcomes[1].attack, attacks[1]);
+    }
+}

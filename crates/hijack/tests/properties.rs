@@ -1,0 +1,180 @@
+//! Property tests for hijack-simulation invariants on generated Internets.
+
+use proptest::prelude::*;
+
+use bgpsim_hijack::{Attack, Defense, Simulator, SweepResult};
+use bgpsim_routing::PolicyConfig;
+use bgpsim_topology::gen::{generate, InternetParams};
+use bgpsim_topology::AsIndex;
+
+fn tiny_internet(seed: u64) -> bgpsim_topology::gen::GeneratedInternet {
+    let mut p = InternetParams::sized(150);
+    p.island = None;
+    p.ladder_count = 1;
+    generate(&p, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A sub-prefix hijack (no route competition) pollutes a superset of
+    /// the corresponding origin hijack, absent filters.
+    #[test]
+    fn subprefix_dominates_origin_hijack(seed in 0u64..500, ai in 0usize..150, ti in 0usize..150) {
+        let net = tiny_internet(seed);
+        let n = net.topology.num_ases();
+        let (a, t) = (AsIndex::new((ai % n) as u32), AsIndex::new((ti % n) as u32));
+        if a == t {
+            return Ok(());
+        }
+        let sim = Simulator::new(&net.topology, PolicyConfig::paper());
+        let origin = sim.run(Attack::origin(a, t), &Defense::none());
+        let sub = sim.run(Attack::sub_prefix(a, t), &Defense::none());
+        for &p in &origin.polluted {
+            prop_assert!(
+                sub.is_polluted(p),
+                "AS {p} polluted by origin hijack but not sub-prefix hijack"
+            );
+        }
+    }
+
+    /// Attacks never pollute the target, never count the attacker, and
+    /// never exceed n − 2 pollution.
+    #[test]
+    fn pollution_bounds(seed in 0u64..500, ai in 0usize..150, ti in 0usize..150) {
+        let net = tiny_internet(seed);
+        let n = net.topology.num_ases();
+        let (a, t) = (AsIndex::new((ai % n) as u32), AsIndex::new((ti % n) as u32));
+        if a == t {
+            return Ok(());
+        }
+        let sim = Simulator::new(&net.topology, PolicyConfig::paper());
+        let o = sim.run(Attack::origin(a, t), &Defense::none());
+        prop_assert!(!o.is_polluted(t), "target polluted");
+        prop_assert!(!o.is_polluted(a), "attacker counted as polluted");
+        prop_assert!(o.pollution_count() <= n - 2);
+        prop_assert!(!o.truncated);
+    }
+
+    /// Universal origin validation stops every origin hijack completely,
+    /// while the legitimate prefix still propagates.
+    #[test]
+    fn universal_rov_is_airtight(seed in 0u64..500, ai in 0usize..150, ti in 0usize..150) {
+        let net = tiny_internet(seed);
+        let n = net.topology.num_ases();
+        let (a, t) = (AsIndex::new((ai % n) as u32), AsIndex::new((ti % n) as u32));
+        if a == t {
+            return Ok(());
+        }
+        let sim = Simulator::new(&net.topology, PolicyConfig::paper());
+        let defense = Defense::validators(&net.topology, net.topology.indices());
+        let o = sim.run(Attack::origin(a, t), &defense);
+        prop_assert_eq!(o.pollution_count(), 0);
+    }
+
+    /// Validators themselves are never polluted, whatever the deployment.
+    #[test]
+    fn validators_never_polluted(
+        seed in 0u64..500,
+        ai in 0usize..150,
+        ti in 0usize..150,
+        picks in proptest::collection::vec(0usize..150, 0..20),
+    ) {
+        let net = tiny_internet(seed);
+        let n = net.topology.num_ases();
+        let (a, t) = (AsIndex::new((ai % n) as u32), AsIndex::new((ti % n) as u32));
+        if a == t {
+            return Ok(());
+        }
+        let members: Vec<AsIndex> = picks.iter().map(|&p| AsIndex::new((p % n) as u32)).collect();
+        let defense = Defense::validators(&net.topology, members.iter().copied());
+        let sim = Simulator::new(&net.topology, PolicyConfig::paper());
+        let o = sim.run(Attack::origin(a, t), &defense);
+        for &v in &members {
+            if v != a {
+                prop_assert!(!o.is_polluted(v), "validator {v} polluted");
+            }
+        }
+    }
+
+    /// Stub defense means stub attackers pollute at most their own
+    /// organization (sibling routes are internal and never filtered).
+    #[test]
+    fn stub_attackers_neutralized_by_stub_defense(seed in 0u64..500, ti in 0usize..150) {
+        let net = tiny_internet(seed);
+        let topo = &net.topology;
+        let stubs = topo.stub_ases();
+        let t = AsIndex::new((ti % topo.num_ases()) as u32);
+        let sim = Simulator::new(topo, PolicyConfig::paper());
+        let defense = Defense::stub_defense_only();
+        for &s in stubs.iter().take(5) {
+            if s == t {
+                continue;
+            }
+            let o = sim.run(Attack::origin(s, t), &defense);
+            for &p in &o.polluted {
+                prop_assert!(
+                    topo.same_organization(p, s),
+                    "stub {} polluted {} outside its organization",
+                    s,
+                    p
+                );
+            }
+        }
+    }
+
+    /// Forged-origin hijacks evade origin validation but never pollute the
+    /// victim itself, and without defenses never beat the plain hijack.
+    #[test]
+    fn forged_origin_invariants(seed in 0u64..300, ai in 0usize..150, ti in 0usize..150) {
+        let net = tiny_internet(seed);
+        let n = net.topology.num_ases();
+        let (a, t) = (AsIndex::new((ai % n) as u32), AsIndex::new((ti % n) as u32));
+        if a == t {
+            return Ok(());
+        }
+        let sim = Simulator::new(&net.topology, PolicyConfig::paper());
+        let plain = sim.run(Attack::origin(a, t), &Defense::none());
+        let forged = sim.run(Attack::forged_origin(a, t), &Defense::none());
+        prop_assert!(!forged.is_polluted(t), "victim accepted its own forged path");
+        prop_assert!(
+            forged.pollution_count() <= plain.pollution_count(),
+            "forged ({}) beat plain ({})",
+            forged.pollution_count(),
+            plain.pollution_count()
+        );
+        // Universal ROV: plain is dead, forged survives whenever it could
+        // pollute at all.
+        let everyone = Defense::validators(&net.topology, net.topology.indices());
+        let plain_rov = sim.run(Attack::origin(a, t), &everyone);
+        prop_assert_eq!(plain_rov.pollution_count(), 0);
+        let forged_rov = sim.run(Attack::forged_origin(a, t), &everyone);
+        prop_assert_eq!(
+            forged_rov.pollution_count(),
+            forged.pollution_count(),
+            "ROV must not affect a forged-origin hijack at all"
+        );
+    }
+
+    /// Sweeps agree with individual runs and are deterministic.
+    #[test]
+    fn sweeps_are_consistent(seed in 0u64..200) {
+        let net = tiny_internet(seed);
+        let topo = &net.topology;
+        let sim = Simulator::new(topo, PolicyConfig::paper());
+        let target = topo.stub_ases()[0];
+        let attackers: Vec<AsIndex> = topo.transit_ases().into_iter().take(12).collect();
+        let c1 = sim.sweep_attackers(target, &attackers, &Defense::none());
+        let c2 = sim.sweep_attackers(target, &attackers, &Defense::none());
+        prop_assert_eq!(&c1, &c2);
+        let sweep = SweepResult::new(attackers.clone(), c1.clone());
+        for (i, (&attacker, &count)) in attackers.iter().zip(&c1).enumerate() {
+            if attacker == target {
+                continue;
+            }
+            let o = sim.run(Attack::origin(attacker, target), &Defense::none());
+            prop_assert_eq!(o.pollution_count() as u32, count, "row {}", i);
+        }
+        prop_assert_eq!(sweep.curve().num_attacks(), attackers.len());
+    }
+}

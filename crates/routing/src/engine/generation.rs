@@ -1,0 +1,600 @@
+//! The generation-stepped message-passing engine.
+//!
+//! This is the paper's simulator (§III): "BGP announcements are propagated
+//! to neighboring ASes in step-wise fashion… Generation after generation of
+//! message propagation continues until convergence is reached."
+//!
+//! # Model
+//!
+//! Every AS keeps a per-neighbor Adj-RIB-In with standard BGP replacement
+//! semantics: a new announcement from a neighbor replaces that neighbor's
+//! previous one; an announcement that fails the loop check or a filter
+//! *removes* the previous entry (it is unusable, per RFC 4271 decision
+//! processing); and when an AS's new best route is no longer exportable to
+//! a neighbor it previously announced to, it sends a withdrawal. After any
+//! Adj-RIB-In change the AS re-selects and, if its best changed,
+//! re-exports in the next generation. These replacement/withdrawal rules
+//! are what make the converged state the *stable* routing solution rather
+//! than an artifact of message ordering — see `engine::stable` for the
+//! closed-form cross-check.
+//!
+//! * Preference: customer > peer > provider `LOCAL_PREF`, then shorter AS
+//!   path, then lowest neighbor slot (a deterministic stand-in for the
+//!   paper's keep-first rule — equal-preference candidates always arrive in
+//!   the same generation, so only intra-generation order matters).
+//! * Tier-1 ASes compare path length first when
+//!   [`PolicyConfig::tier1_shortest_path`] is set.
+//! * Export follows the valley-free matrix in [`crate::policy::may_export`].
+//! * Sibling groups behave as one AS for preference and export: routes
+//!   cross sibling links keeping their external preference class.
+//! * Loop prevention is per-ASN, as in real BGP: an AS rejects any
+//!   announcement whose AS path already contains itself. (Organizations may
+//!   legitimately carry both sibling and provider links between their own
+//!   ASes, so group-level rejection would break real topologies.)
+
+use bgpsim_topology::{AsIndex, Relationship};
+
+use crate::filter::FilterContext;
+use crate::net::SimNet;
+use crate::observer::{Decision, MessageEvent, Observer};
+use crate::policy::{may_export, standard_key, tier1_key, PolicyConfig, PrefClass};
+use crate::route::{Choice, ConvergenceStats, Propagation};
+
+const NONE: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct AdjEntry {
+    origin: u32,
+    len: u16,
+    class: u8,
+    node: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Best {
+    /// `NONE` when the AS currently has no route.
+    origin: u32,
+    /// Receiver-side slot the route was learned on (`NONE` if self-originated).
+    slot: u32,
+    len: u16,
+    class: u8,
+    node: u32,
+    key: u64,
+}
+
+const NO_ROUTE: Best = Best {
+    origin: NONE,
+    slot: NONE,
+    len: 0,
+    class: 0,
+    node: NONE,
+    key: 0,
+};
+
+#[derive(Debug, Clone, Copy)]
+struct Msg {
+    to: u32,
+    /// Receiver-side slot identifying the sender.
+    slot: u32,
+    /// `NONE` encodes a withdrawal.
+    origin: u32,
+    len: u16,
+    class: u8,
+    node: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PathNode {
+    asn: u32,
+    parent: u32,
+}
+
+/// Reusable scratch state for [`propagate`].
+///
+/// A workspace amortizes all allocation across simulations: per-AS and
+/// per-edge tables are invalidated by epoch stamps instead of clearing, so
+/// back-to-back propagations on the same [`SimNet`] avoid memsetting the
+/// large arrays. Create one per thread and reuse it for every simulation in
+/// a sweep.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    epoch: u32,
+    adj: Vec<AdjEntry>,
+    adj_epoch: Vec<u32>,
+    /// Sender-side record of whether an announcement is outstanding on a
+    /// directed edge (for withdrawal generation).
+    sent_epoch: Vec<u32>,
+    best: Vec<Best>,
+    best_epoch: Vec<u32>,
+    /// Last exported (origin, len, class) per AS, to suppress no-op exports.
+    last_export: Vec<(u32, u16, u8)>,
+    last_export_epoch: Vec<u32>,
+    /// ASes whose best changed and must export next wave.
+    dirty: Vec<u32>,
+    /// `(epoch << 32) | wave` tag deduplicating the dirty queue per wave.
+    dirty_tag: Vec<u64>,
+    arena: Vec<PathNode>,
+    cur: Vec<Msg>,
+    next: Vec<Msg>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace; arrays are sized on first use.
+    pub fn new() -> Workspace {
+        Workspace::default()
+    }
+
+    fn begin(&mut self, net: &SimNet<'_>) {
+        let n = net.num_ases();
+        let slots = net.num_slots();
+        if self.best.len() < n {
+            self.best.resize(n, NO_ROUTE);
+            self.best_epoch.resize(n, 0);
+            self.last_export.resize(n, (NONE, 0, 0));
+            self.last_export_epoch.resize(n, 0);
+            self.dirty_tag.resize(n, 0);
+        }
+        if self.adj.len() < slots {
+            self.adj.resize(
+                slots,
+                AdjEntry {
+                    origin: NONE,
+                    len: 0,
+                    class: 0,
+                    node: NONE,
+                },
+            );
+            self.adj_epoch.resize(slots, 0);
+            self.sent_epoch.resize(slots, 0);
+        }
+        // Epoch 0 marks "never used"; on wrap, clear all stamps.
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.adj_epoch.fill(0);
+            self.sent_epoch.fill(0);
+            self.best_epoch.fill(0);
+            self.last_export_epoch.fill(0);
+            self.dirty_tag.fill(0);
+            self.epoch = 1;
+        }
+        self.arena.clear();
+        self.cur.clear();
+        self.next.clear();
+        self.dirty.clear();
+    }
+
+    fn path_contains(&self, mut node: u32, asn: u32) -> bool {
+        while node != NONE {
+            let pn = self.arena[node as usize];
+            if pn.asn == asn {
+                return true;
+            }
+            node = pn.parent;
+        }
+        false
+    }
+
+    fn mark_dirty(&mut self, ix: u32, wave: u32) {
+        let tag = ((self.epoch as u64) << 32) | wave as u64;
+        if self.dirty_tag[ix as usize] != tag {
+            self.dirty_tag[ix as usize] = tag;
+            self.dirty.push(ix);
+        }
+    }
+}
+
+#[inline]
+fn key_for(tier1_len_first: bool, class: PrefClass, len: u16, slot: u32) -> u64 {
+    if tier1_len_first {
+        tier1_key(class, len, slot)
+    } else {
+        standard_key(class, len, slot)
+    }
+}
+
+/// One initial announcement of the simulated prefix.
+///
+/// The honest case has `claimed_origin == announcer` (the AS originates its
+/// own prefix). A *forged-origin* announcement — the classic
+/// origin-validation evasion, where the attacker prepends the victim's ASN
+/// so the route appears to originate legitimately — has
+/// `claimed_origin != announcer`: the announced AS path starts as
+/// `[announcer, claimed_origin]`, path length 1. Loop detection still sees
+/// the claimed origin on the path, so the real origin itself always rejects
+/// the forgery, exactly as in real BGP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Announcement {
+    /// The AS injecting the announcement.
+    pub announcer: AsIndex,
+    /// The origin the announcement claims.
+    pub claimed_origin: AsIndex,
+}
+
+impl Announcement {
+    /// An honest origination by `origin`.
+    pub fn honest(origin: AsIndex) -> Announcement {
+        Announcement {
+            announcer: origin,
+            claimed_origin: origin,
+        }
+    }
+
+    /// A forged-origin announcement: `announcer` claims `victim`'s ASN as
+    /// the origin of the path.
+    pub fn forged(announcer: AsIndex, victim: AsIndex) -> Announcement {
+        Announcement {
+            announcer,
+            claimed_origin: victim,
+        }
+    }
+
+    /// Whether the announcement misrepresents its origin.
+    pub fn is_forged(&self) -> bool {
+        self.announcer != self.claimed_origin
+    }
+}
+
+/// Runs one propagation to convergence and returns every AS's selection.
+///
+/// `origins` all announce the same prefix in generation 0; for a hijack
+/// simulation pass `[target, attacker]` and a [`FilterContext`] authorizing
+/// the target. The result is deterministic: it does not depend on thread
+/// scheduling or map iteration order.
+///
+/// # Panics
+///
+/// Panics if `origins` is empty, contains duplicates, or contains an index
+/// out of range for `net`.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_topology::{topology_from_triples, AsId, LinkKind::*};
+/// use bgpsim_routing::{propagate, FilterContext, NullObserver, PolicyConfig, SimNet, Workspace};
+///
+/// let topo = topology_from_triples(&[(1, 2, ProviderToCustomer)]);
+/// let net = SimNet::new(&topo);
+/// let origin = topo.index_of(AsId::new(2)).unwrap();
+/// let result = propagate(
+///     &net,
+///     &[origin],
+///     &FilterContext::none(),
+///     &PolicyConfig::paper(),
+///     &mut Workspace::new(),
+///     &mut NullObserver,
+/// );
+/// assert_eq!(result.reached_count(), 2);
+/// ```
+pub fn propagate<O: Observer>(
+    net: &SimNet<'_>,
+    origins: &[AsIndex],
+    filters: &FilterContext<'_>,
+    policy: &PolicyConfig,
+    ws: &mut Workspace,
+    obs: &mut O,
+) -> Propagation {
+    let announcements: Vec<Announcement> =
+        origins.iter().map(|&o| Announcement::honest(o)).collect();
+    propagate_announcements(net, &announcements, filters, policy, ws, obs)
+}
+
+/// Like [`propagate`], but with full control over each initial
+/// [`Announcement`], enabling forged-origin hijacks.
+///
+/// For a forged announcement the injecting AS's own selection reports the
+/// *claimed* origin (that is the point of the forgery); use
+/// [`Propagation::path_to_origin`] terminating at the announcer to decide
+/// who was actually captured (see `bgpsim_hijack`).
+///
+/// # Panics
+///
+/// Panics if `announcements` is empty, contains duplicate announcers, or
+/// references ASes out of range for `net`.
+pub fn propagate_announcements<O: Observer>(
+    net: &SimNet<'_>,
+    announcements: &[Announcement],
+    filters: &FilterContext<'_>,
+    policy: &PolicyConfig,
+    ws: &mut Workspace,
+    obs: &mut O,
+) -> Propagation {
+    assert!(!announcements.is_empty(), "at least one origin required");
+    ws.begin(net);
+    let epoch = ws.epoch;
+    let mut stats = ConvergenceStats::default();
+
+    for a in announcements {
+        let o = a.announcer;
+        assert!(o.usize() < net.num_ases(), "origin {o} out of range");
+        assert!(
+            a.claimed_origin.usize() < net.num_ases(),
+            "claimed origin out of range"
+        );
+        assert_ne!(ws.best_epoch[o.usize()], epoch, "duplicate origin {o}");
+        let (node, len) = if a.is_forged() {
+            // The forged path already carries the victim's ASN behind the
+            // announcer, so downstream loop checks (and the victim itself)
+            // see it.
+            let node = ws.arena.len() as u32;
+            ws.arena.push(PathNode {
+                asn: a.claimed_origin.raw(),
+                parent: NONE,
+            });
+            (node, 1)
+        } else {
+            (NONE, 0)
+        };
+        ws.best[o.usize()] = Best {
+            origin: a.claimed_origin.raw(),
+            slot: NONE,
+            len,
+            class: PrefClass::Origin.as_u8(),
+            node,
+            key: u64::MAX,
+        };
+        ws.best_epoch[o.usize()] = epoch;
+        ws.mark_dirty(o.raw(), 0);
+    }
+
+    let mut generation = 0u32;
+    loop {
+        // ---- Export phase: every AS whose best changed re-announces. ----
+        for di in 0..ws.dirty.len() {
+            let x = ws.dirty[di];
+            let xi = AsIndex::new(x);
+            let b = ws.best[x as usize];
+            let snapshot = (b.origin, b.len, b.class);
+            if ws.last_export_epoch[x as usize] == epoch
+                && ws.last_export[x as usize] == snapshot
+            {
+                continue;
+            }
+            ws.last_export[x as usize] = snapshot;
+            ws.last_export_epoch[x as usize] = epoch;
+            let has_route = b.origin != NONE;
+            let class = PrefClass::from_u8(b.class);
+            // The path node for external exports appends this AS's sibling
+            // group; created lazily, once per export phase.
+            let mut out_node = NONE;
+            let base = net.slots_of(xi).start;
+            for (j, nb) in net.topology().neighbors(xi).iter().enumerate() {
+                let slot_here = base + j as u32;
+                if has_route && may_export(class, nb.rel) {
+                    if out_node == NONE {
+                        out_node = ws.arena.len() as u32;
+                        ws.arena.push(PathNode {
+                            asn: x,
+                            parent: b.node,
+                        });
+                    }
+                    let node = out_node;
+                    ws.sent_epoch[slot_here as usize] = epoch;
+                    ws.next.push(Msg {
+                        to: nb.index.raw(),
+                        slot: net.reverse_slot(slot_here),
+                        origin: b.origin,
+                        len: b.len + 1,
+                        class: b.class,
+                        node,
+                    });
+                } else if ws.sent_epoch[slot_here as usize] == epoch {
+                    // Previously announced, now ineligible: withdraw.
+                    ws.sent_epoch[slot_here as usize] = 0;
+                    ws.next.push(Msg {
+                        to: nb.index.raw(),
+                        slot: net.reverse_slot(slot_here),
+                        origin: NONE,
+                        len: 0,
+                        class: 0,
+                        node: NONE,
+                    });
+                }
+            }
+        }
+        ws.dirty.clear();
+
+        if ws.next.is_empty() {
+            break;
+        }
+        generation += 1;
+        if generation > policy.max_generations {
+            stats.truncated = true;
+            break;
+        }
+        stats.generations = generation;
+        obs.on_generation_start(generation);
+        std::mem::swap(&mut ws.cur, &mut ws.next);
+
+        // ---- Delivery phase. ----
+        for mi in 0..ws.cur.len() {
+            let msg = ws.cur[mi];
+            stats.messages += 1;
+            let r = AsIndex::new(msg.to);
+            let entry = net.slot_entry(r, msg.slot);
+            let (from, rel) = (entry.index, entry.rel);
+
+            let decision = deliver(net, filters, policy, ws, epoch, generation, msg, rel, from);
+            match decision {
+                Decision::NewBest => stats.accepted += 1,
+                Decision::RejectedLoop => stats.loop_rejected += 1,
+                Decision::RejectedOrigin => stats.filter_rejected += 1,
+                Decision::RejectedStub => stats.stub_rejected += 1,
+                Decision::Withdrawn => stats.withdrawals += 1,
+                Decision::Stored => {}
+            }
+            obs.on_message(MessageEvent {
+                generation,
+                from,
+                to: r,
+                origin: AsIndex::new(msg.origin),
+                len: msg.len,
+                decision,
+            });
+        }
+        ws.cur.clear();
+    }
+
+    let choices: Vec<Option<Choice>> = (0..net.num_ases())
+        .map(|i| {
+            if ws.best_epoch[i] != epoch {
+                return None;
+            }
+            let b = ws.best[i];
+            if b.origin == NONE {
+                return None;
+            }
+            Some(Choice {
+                origin: AsIndex::new(b.origin),
+                learned_from: if b.slot == NONE {
+                    None
+                } else {
+                    Some(net.slot_entry(AsIndex::new(i as u32), b.slot).index)
+                },
+                len: b.len,
+                class: PrefClass::from_u8(b.class),
+            })
+        })
+        .collect();
+    Propagation::new(choices, stats)
+}
+
+/// Applies filters, the loop check, Adj-RIB-In replacement/removal and
+/// route re-selection for one delivered message. Returns the decision.
+#[allow(clippy::too_many_arguments)]
+fn deliver(
+    net: &SimNet<'_>,
+    filters: &FilterContext<'_>,
+    policy: &PolicyConfig,
+    ws: &mut Workspace,
+    epoch: u32,
+    generation: u32,
+    msg: Msg,
+    rel: Relationship,
+    from: AsIndex,
+) -> Decision {
+    let r = AsIndex::new(msg.to);
+    let tier1 = policy.tier1_shortest_path && net.is_tier1(r);
+
+    // An unusable or withdrawn announcement removes the stored entry.
+    let unusable = if msg.origin == NONE {
+        Some(Decision::Withdrawn)
+    } else if filters.rejects_origin(r, AsIndex::new(msg.origin)) {
+        Some(Decision::RejectedOrigin)
+    } else if filters.stub_defense
+        && matches!(rel, Relationship::Customer | Relationship::Peer)
+        && net.is_stub(from)
+        && filters.authorized_origin.is_some_and(|auth| auth != from)
+    {
+        // A stub only ever originates, and its neighbors (providers and
+        // peers alike) know its prefixes; if it is not this prefix's
+        // authorized origin, its announcement is bogus by definition. This
+        // matches the paper's optimistic case, where "attacks now
+        // originate only from the transit ASes".
+        Some(Decision::RejectedStub)
+    } else if ws.path_contains(msg.node, r.raw()) {
+        Some(Decision::RejectedLoop)
+    } else {
+        None
+    };
+    if let Some(decision) = unusable {
+        let had_entry = ws.adj_epoch[msg.slot as usize] == epoch;
+        ws.adj_epoch[msg.slot as usize] = 0;
+        if had_entry && ws.best_epoch[r.usize()] == epoch && ws.best[r.usize()].slot == msg.slot
+        {
+            // The removed entry was the best route: re-select.
+            let new_best = rescan(net, ws, r, tier1, epoch).unwrap_or(NO_ROUTE);
+            ws.best[r.usize()] = new_best;
+            ws.mark_dirty(r.raw(), generation);
+        }
+        return decision;
+    }
+
+    let class = match PrefClass::from_sender_rel(rel) {
+        Some(c) => c,
+        None => PrefClass::from_u8(msg.class), // sibling: inherit
+    };
+    ws.adj[msg.slot as usize] = AdjEntry {
+        origin: msg.origin,
+        len: msg.len,
+        class: class.as_u8(),
+        node: msg.node,
+    };
+    ws.adj_epoch[msg.slot as usize] = epoch;
+
+    let had = ws.best_epoch[r.usize()] == epoch && ws.best[r.usize()].origin != NONE;
+    if had && ws.best[r.usize()].slot == NONE {
+        // The receiver originates this prefix; its own route wins.
+        return Decision::Stored;
+    }
+    let ckey = key_for(tier1, class, msg.len, msg.slot);
+    let cand = Best {
+        origin: msg.origin,
+        slot: msg.slot,
+        len: msg.len,
+        class: class.as_u8(),
+        node: msg.node,
+        key: ckey,
+    };
+    let decision = if !had {
+        ws.best[r.usize()] = cand;
+        ws.best_epoch[r.usize()] = epoch;
+        Decision::NewBest
+    } else {
+        let old = ws.best[r.usize()];
+        if old.slot == msg.slot {
+            // Implicit replacement of the current best's entry.
+            let new_best = if ckey >= old.key {
+                cand
+            } else {
+                rescan(net, ws, r, tier1, epoch).expect("entry was just stored")
+            };
+            let changed = (old.origin, old.len, old.class)
+                != (new_best.origin, new_best.len, new_best.class);
+            ws.best[r.usize()] = new_best;
+            if changed {
+                Decision::NewBest
+            } else {
+                Decision::Stored
+            }
+        } else if ckey > old.key {
+            ws.best[r.usize()] = cand;
+            Decision::NewBest
+        } else {
+            Decision::Stored
+        }
+    };
+    if decision == Decision::NewBest {
+        ws.mark_dirty(r.raw(), generation);
+    }
+    decision
+}
+
+/// Re-selects the best entry of `r` by scanning its Adj-RIB-In.
+fn rescan(
+    net: &SimNet<'_>,
+    ws: &Workspace,
+    r: AsIndex,
+    tier1: bool,
+    epoch: u32,
+) -> Option<Best> {
+    let mut best: Option<Best> = None;
+    for slot in net.slots_of(r) {
+        if ws.adj_epoch[slot as usize] != epoch {
+            continue;
+        }
+        let e = ws.adj[slot as usize];
+        let key = key_for(tier1, PrefClass::from_u8(e.class), e.len, slot);
+        if best.is_none_or(|b| key > b.key) {
+            best = Some(Best {
+                origin: e.origin,
+                slot,
+                len: e.len,
+                class: e.class,
+                node: e.node,
+                key,
+            });
+        }
+    }
+    best
+}

@@ -1,0 +1,16 @@
+//! Propagation engines.
+//!
+//! Two independent implementations of the same routing semantics:
+//!
+//! * [`generation`] — the paper's step-wise message-passing simulator, with
+//!   full observability (per-generation message events) and support for the
+//!   tier-1 shortest-path rule.
+//! * [`stable`] — a closed-form label-setting solver for strict
+//!   Gao-Rexford policy, used as a fast path and as an independent oracle
+//!   in property tests.
+
+pub mod generation;
+pub mod stable;
+
+pub use generation::{propagate, propagate_announcements, Announcement, Workspace};
+pub use stable::solve;

@@ -1,0 +1,212 @@
+//! Direct computation of the stable routing solution (strict Gao-Rexford).
+//!
+//! Under strict Gao-Rexford preference (no tier-1 shortest-path override)
+//! route preference strictly decreases along every export edge: customer
+//! and origin routes degrade to customer routes going up, to peer routes
+//! sideways and to provider routes going down, and path length grows by
+//! one on every hop. That monotonicity makes the stable solution computable
+//! by a single label-setting (Dijkstra-style) pass over `(class, length)`
+//! priorities — no message passing, no convergence loop.
+//!
+//! This solver serves three roles:
+//!
+//! 1. A fast path for bulk sweeps that use strict Gao-Rexford policy.
+//! 2. An independent oracle: property tests assert it agrees exactly with
+//!    the generation engine (`engine::generation`) on random topologies.
+//! 3. An ablation subject (`bench/ablate_engines`): the paper's tier-1
+//!    shortest-path refinement is precisely what this solver *cannot*
+//!    express, which quantifies that policy's effect.
+//!
+//! # Panics
+//!
+//! [`solve`] panics if called with a [`PolicyConfig`] whose
+//! `tier1_shortest_path` is set — tier-1 length-first preference breaks the
+//! monotonicity the algorithm relies on. Use the generation engine there.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use bgpsim_topology::{AsIndex, Relationship};
+
+use crate::filter::FilterContext;
+use crate::net::SimNet;
+use crate::policy::{may_export, standard_key, PolicyConfig, PrefClass};
+use crate::route::{Choice, ConvergenceStats, Propagation};
+
+const NONE: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Label {
+    key: u64,
+    origin: u32,
+    slot: u32,
+    len: u16,
+    class: u8,
+}
+
+/// Computes the stable routing solution for simultaneous announcements of
+/// one prefix by `origins`, under strict Gao-Rexford preference.
+///
+/// Selections, tie-breaks and filter semantics match
+/// [`crate::engine::generation::propagate`] exactly (that equivalence is
+/// enforced by property tests); only the `ConvergenceStats` differ —
+/// this algorithm has no generations or messages, so the stats report the
+/// number of settled ASes as `accepted` and leave message counters at zero.
+///
+/// # Panics
+///
+/// Panics if `origins` is empty or duplicated, or if
+/// `policy.tier1_shortest_path` is set.
+pub fn solve(
+    net: &SimNet<'_>,
+    origins: &[AsIndex],
+    filters: &FilterContext<'_>,
+    policy: &PolicyConfig,
+) -> Propagation {
+    assert!(
+        !policy.tier1_shortest_path,
+        "the stable solver supports strict Gao-Rexford policy only"
+    );
+    assert!(!origins.is_empty(), "at least one origin required");
+    let n = net.num_ases();
+    let mut label: Vec<Option<Label>> = vec![None; n];
+    let mut settled = vec![false; n];
+    // Max-heap on (class, shorter-len, lower-index) priority. The index
+    // component only makes pop order deterministic; correctness needs just
+    // class-then-length order.
+    let mut heap: BinaryHeap<(u8, Reverse<u16>, Reverse<u32>)> = BinaryHeap::new();
+
+    for &o in origins {
+        assert!(o.usize() < n, "origin {o} out of range");
+        assert!(label[o.usize()].is_none(), "duplicate origin {o}");
+        label[o.usize()] = Some(Label {
+            key: u64::MAX,
+            origin: o.raw(),
+            slot: NONE,
+            len: 0,
+            class: PrefClass::Origin.as_u8(),
+        });
+        heap.push((PrefClass::Origin.as_u8(), Reverse(0), Reverse(o.raw())));
+    }
+
+    let mut settled_count = 0u64;
+    while let Some((class, Reverse(len), Reverse(x))) = heap.pop() {
+        let xi = AsIndex::new(x);
+        if settled[x as usize] {
+            continue;
+        }
+        let lab = label[x as usize].expect("heap entries have labels");
+        if (lab.class, lab.len) != (class, len) {
+            continue; // stale heap entry
+        }
+        settled[x as usize] = true;
+        settled_count += 1;
+
+        // Relax: export x's best to every eligible neighbor.
+        let export_class = PrefClass::from_u8(lab.class);
+        let base = net.slots_of(xi).start;
+        for (j, nb) in net.topology().neighbors(xi).iter().enumerate() {
+            let slot_here = base + j as u32;
+            if slot_here == lab.slot {
+                continue; // no echo to the route's sender
+            }
+            if !may_export(export_class, nb.rel) {
+                continue;
+            }
+            let r = nb.index;
+            if settled[r.usize()] {
+                continue;
+            }
+            let origin = AsIndex::new(lab.origin);
+            if filters.rejects_origin(r, origin) {
+                continue;
+            }
+            let rel_at_receiver = nb.rel.reversed();
+            if filters.stub_defense
+                && matches!(rel_at_receiver, Relationship::Customer | Relationship::Peer)
+                && net.is_stub(xi)
+                && filters.authorized_origin.is_some_and(|auth| auth != xi)
+            {
+                continue;
+            }
+            let rcv_class = match PrefClass::from_sender_rel(rel_at_receiver) {
+                Some(c) => c,
+                None => export_class, // sibling inherits
+            };
+            let rcv_slot = net.reverse_slot(slot_here);
+            let rcv_len = lab.len + 1;
+            let key = standard_key(rcv_class, rcv_len, rcv_slot);
+            let better = label[r.usize()].is_none_or(|cur| key > cur.key);
+            if better {
+                label[r.usize()] = Some(Label {
+                    key,
+                    origin: lab.origin,
+                    slot: rcv_slot,
+                    len: rcv_len,
+                    class: rcv_class.as_u8(),
+                });
+                heap.push((rcv_class.as_u8(), Reverse(rcv_len), Reverse(r.raw())));
+            }
+        }
+    }
+
+    let choices: Vec<Option<Choice>> = label
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            l.map(|l| Choice {
+                origin: AsIndex::new(l.origin),
+                learned_from: if l.slot == NONE {
+                    None
+                } else {
+                    Some(net.slot_entry(AsIndex::new(i as u32), l.slot).index)
+                },
+                len: l.len,
+                class: PrefClass::from_u8(l.class),
+            })
+        })
+        .collect();
+    Propagation::new(
+        choices,
+        ConvergenceStats {
+            accepted: settled_count,
+            ..ConvergenceStats::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsim_topology::{topology_from_triples, AsId, LinkKind::*};
+
+    #[test]
+    #[should_panic(expected = "strict Gao-Rexford")]
+    fn rejects_tier1_policy() {
+        let topo = topology_from_triples(&[(1, 2, ProviderToCustomer)]);
+        let net = SimNet::new(&topo);
+        let o = topo.index_of(AsId::new(2)).unwrap();
+        let _ = solve(&net, &[o], &FilterContext::none(), &PolicyConfig::paper());
+    }
+
+    #[test]
+    fn single_origin_reaches_everyone_in_a_tree() {
+        let topo = topology_from_triples(&[
+            (1, 2, ProviderToCustomer),
+            (1, 3, ProviderToCustomer),
+            (3, 4, ProviderToCustomer),
+        ]);
+        let net = SimNet::new(&topo);
+        let o = topo.index_of(AsId::new(4)).unwrap();
+        let p = solve(
+            &net,
+            &[o],
+            &FilterContext::none(),
+            &PolicyConfig::strict_gao_rexford(),
+        );
+        assert_eq!(p.reached_count(), 4);
+        let c1 = p.choice(topo.index_of(AsId::new(2)).unwrap()).unwrap();
+        assert_eq!(c1.origin, o);
+        assert_eq!(c1.len, 3); // 4 → 3 → 1 → 2
+    }
+}

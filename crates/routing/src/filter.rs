@@ -1,0 +1,211 @@
+//! Route-origin validation and defensive filtering.
+//!
+//! Two defenses from the paper:
+//!
+//! * **Origin validation** (§V) — an AS that has deployed a blocking
+//!   mechanism (prefix filters built from RPKI/ROVER data, PGBGP, …)
+//!   rejects any announcement for a prefix whose origin is not the
+//!   authorized origin, and therefore never propagates it.
+//! * **Defensive stub filters** (§IV, fig. 4) — "transit suppliers should
+//!   know the prefixes announced by their direct customers and defensively
+//!   filter any bogus announcements from them": an AS drops announcements
+//!   of the simulated prefix received directly from a stub neighbor
+//!   (customer or peer) that is not the prefix's authorized origin. With
+//!   this on, only transit ASes can attack — the paper's optimistic case.
+
+use bgpsim_topology::{AsIndex, Topology};
+
+/// A compact bit set over dense AS indices.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AsSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AsSet {
+    /// An empty set sized for `topo`.
+    pub fn empty(topo: &Topology) -> AsSet {
+        AsSet {
+            words: vec![0; topo.num_ases().div_ceil(64)],
+            len: topo.num_ases(),
+        }
+    }
+
+    /// Builds a set from members.
+    pub fn from_members<I>(topo: &Topology, members: I) -> AsSet
+    where
+        I: IntoIterator<Item = AsIndex>,
+    {
+        let mut s = AsSet::empty(topo);
+        for m in members {
+            s.insert(m);
+        }
+        s
+    }
+
+    /// Adds `ix`. Returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ix` is out of range for the topology this set was sized
+    /// for.
+    pub fn insert(&mut self, ix: AsIndex) -> bool {
+        assert!(ix.usize() < self.len, "index {ix} out of range");
+        let w = &mut self.words[ix.usize() / 64];
+        let bit = 1u64 << (ix.usize() % 64);
+        let newly = *w & bit == 0;
+        *w |= bit;
+        newly
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, ix: AsIndex) -> bool {
+        self.words[ix.usize() / 64] & (1u64 << (ix.usize() % 64)) != 0
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Capacity (the topology's AS count).
+    pub fn universe_len(&self) -> usize {
+        self.len
+    }
+
+    /// Iterates members in index order.
+    pub fn iter(&self) -> impl Iterator<Item = AsIndex> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(AsIndex::new(wi as u32 * 64 + b))
+            })
+        })
+    }
+}
+
+impl Extend<AsIndex> for AsSet {
+    fn extend<T: IntoIterator<Item = AsIndex>>(&mut self, iter: T) {
+        for ix in iter {
+            self.insert(ix);
+        }
+    }
+}
+
+/// The defensive configuration active during one propagation.
+///
+/// `authorized_origin` is the legitimate originator of the prefix under
+/// simulation; `validators` are the ASes performing route-origin
+/// validation; `stub_defense` enables provider-side stub filtering
+/// globally (the paper's "optimistic case").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FilterContext<'a> {
+    /// The prefix's legitimate origin (routes from it always validate).
+    pub authorized_origin: Option<AsIndex>,
+    /// ASes rejecting announcements whose origin is unauthorized.
+    pub validators: Option<&'a AsSet>,
+    /// Every provider filters bogus announcements arriving directly from
+    /// stub customers.
+    pub stub_defense: bool,
+}
+
+impl<'a> FilterContext<'a> {
+    /// No filtering at all (the paper's baseline).
+    pub fn none() -> FilterContext<'a> {
+        FilterContext::default()
+    }
+
+    /// Origin validation at `validators`, authorizing `origin`.
+    pub fn origin_validation(origin: AsIndex, validators: &'a AsSet) -> FilterContext<'a> {
+        FilterContext {
+            authorized_origin: Some(origin),
+            validators: Some(validators),
+            stub_defense: false,
+        }
+    }
+
+    /// Whether `receiver` rejects a route with the given `origin` under
+    /// route-origin validation.
+    #[inline]
+    pub fn rejects_origin(&self, receiver: AsIndex, origin: AsIndex) -> bool {
+        match (self.authorized_origin, self.validators) {
+            (Some(auth), Some(v)) => origin != auth && v.contains(receiver),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsim_topology::{topology_from_triples, LinkKind::*};
+
+    fn topo() -> Topology {
+        topology_from_triples(&[(1, 2, ProviderToCustomer), (2, 3, ProviderToCustomer)])
+    }
+
+    #[test]
+    fn set_insert_contains_iter() {
+        let t = topo();
+        let mut s = AsSet::empty(&t);
+        assert_eq!(s.count(), 0);
+        assert!(s.insert(AsIndex::new(1)));
+        assert!(!s.insert(AsIndex::new(1)));
+        s.extend([AsIndex::new(2)]);
+        assert!(s.contains(AsIndex::new(1)));
+        assert!(!s.contains(AsIndex::new(0)));
+        assert_eq!(s.count(), 2);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![AsIndex::new(1), AsIndex::new(2)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_insert_panics() {
+        let t = topo();
+        let mut s = AsSet::empty(&t);
+        s.insert(AsIndex::new(99));
+    }
+
+    #[test]
+    fn filter_context_rejects_only_unauthorized_at_validators() {
+        let t = topo();
+        let v = AsSet::from_members(&t, [AsIndex::new(0)]);
+        let ctx = FilterContext::origin_validation(AsIndex::new(2), &v);
+        // Validator rejects a bogus origin.
+        assert!(ctx.rejects_origin(AsIndex::new(0), AsIndex::new(1)));
+        // Validator accepts the authorized origin.
+        assert!(!ctx.rejects_origin(AsIndex::new(0), AsIndex::new(2)));
+        // Non-validator accepts anything.
+        assert!(!ctx.rejects_origin(AsIndex::new(1), AsIndex::new(1)));
+        // Baseline rejects nothing.
+        assert!(!FilterContext::none().rejects_origin(AsIndex::new(0), AsIndex::new(1)));
+    }
+
+    #[test]
+    fn set_across_word_boundaries() {
+        use bgpsim_topology::{AsId, LinkKind, TopologyBuilder};
+        let mut b = TopologyBuilder::new();
+        for i in 0..130u32 {
+            b.add_link(AsId::new(1000), AsId::new(i + 1), LinkKind::ProviderToCustomer)
+                .unwrap();
+        }
+        let t = b.build().unwrap();
+        let mut s = AsSet::empty(&t);
+        for i in [0u32, 63, 64, 127, 128, 130] {
+            s.insert(AsIndex::new(i));
+        }
+        assert_eq!(s.count(), 6);
+        assert!(s.contains(AsIndex::new(128)));
+        assert!(!s.contains(AsIndex::new(129)));
+    }
+}

@@ -1,0 +1,213 @@
+//! Precomputed simulation view of a topology.
+//!
+//! Propagation engines address neighbors through the topology's CSR arrays
+//! and need two extra lookups on the hot path: the *reverse slot* of every
+//! directed edge (where the receiver stores its Adj-RIB-In entry for the
+//! sender) and a tier-1 membership mask. [`SimNet`] computes both once so
+//! thousands of simulations can share them.
+
+use bgpsim_topology::{AsIndex, Relationship, Topology};
+
+/// A topology plus the derived tables the engines need. Build once, share
+/// across simulations (it is `Sync`; parallel sweeps borrow it).
+#[derive(Debug)]
+pub struct SimNet<'t> {
+    topo: &'t Topology,
+    /// For the directed edge stored at global CSR slot `e` (owner → nbr),
+    /// the global CSR slot of the mirror edge (nbr → owner).
+    reverse_slot: Vec<u32>,
+    /// Global CSR slot of the first neighbor of each AS (length `n + 1`).
+    offsets: Vec<u32>,
+    /// Tier-1 membership mask.
+    tier1: Vec<bool>,
+    /// Sibling-group id per AS.
+    group: Vec<u32>,
+    /// Stub mask (no customers), used by defensive stub filtering.
+    stub: Vec<bool>,
+}
+
+impl<'t> SimNet<'t> {
+    /// Builds the derived tables. `O(n + m log d)`.
+    pub fn new(topo: &'t Topology) -> SimNet<'t> {
+        let n = topo.num_ases();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        for ix in topo.indices() {
+            let last = *offsets.last().expect("seeded with 0");
+            offsets.push(last + topo.degree(ix) as u32);
+        }
+        let total = *offsets.last().expect("non-empty") as usize;
+        let mut reverse_slot = vec![u32::MAX; total];
+        for ix in topo.indices() {
+            let base = offsets[ix.usize()];
+            for (j, nb) in topo.neighbors(ix).iter().enumerate() {
+                let slot = base + j as u32;
+                if reverse_slot[slot as usize] != u32::MAX {
+                    continue; // already filled from the mirror side
+                }
+                // Locate `ix` inside the neighbor's list. The neighbor sees
+                // us with the reversed relationship; its list is sorted by
+                // (class, index), so a linear scan of the class segment is
+                // cheap and deterministic.
+                let mirror_rel = nb.rel.reversed();
+                let their_base = offsets[nb.index.usize()];
+                let theirs = topo.neighbors(nb.index);
+                let pos = theirs
+                    .iter()
+                    .position(|o| o.index == ix && o.rel == mirror_rel)
+                    .expect("adjacency is symmetric");
+                let mirror_slot = their_base + pos as u32;
+                reverse_slot[slot as usize] = mirror_slot;
+                reverse_slot[mirror_slot as usize] = slot;
+            }
+        }
+        let mut tier1 = vec![false; n];
+        for t in topo.tier1s() {
+            tier1[t.usize()] = true;
+        }
+        let group = topo
+            .indices()
+            .map(|ix| topo.sibling_group(ix))
+            .collect();
+        let stub = topo.indices().map(|ix| topo.is_stub(ix)).collect();
+        SimNet {
+            topo,
+            reverse_slot,
+            offsets,
+            tier1,
+            group,
+            stub,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &'t Topology {
+        self.topo
+    }
+
+    /// Number of ASes.
+    pub fn num_ases(&self) -> usize {
+        self.topo.num_ases()
+    }
+
+    /// Total number of directed edge slots (`2 × num_links`).
+    pub fn num_slots(&self) -> usize {
+        self.reverse_slot.len()
+    }
+
+    /// Global CSR slot range of `ix`'s neighbor list.
+    #[inline]
+    pub fn slots_of(&self, ix: AsIndex) -> std::ops::Range<u32> {
+        self.offsets[ix.usize()]..self.offsets[ix.usize() + 1]
+    }
+
+    /// The neighbor stored at `ix`'s local position `j`.
+    #[inline]
+    pub fn neighbor(&self, ix: AsIndex, j: usize) -> bgpsim_topology::Neighbor {
+        self.topo.neighbors(ix)[j]
+    }
+
+    /// Mirror slot of the directed edge at global slot `e`.
+    #[inline]
+    pub fn reverse_slot(&self, e: u32) -> u32 {
+        self.reverse_slot[e as usize]
+    }
+
+    /// The AS owning global slot `e` (binary search over offsets; not for
+    /// hot paths).
+    pub fn owner_of_slot(&self, e: u32) -> AsIndex {
+        let i = self.offsets.partition_point(|&o| o <= e) - 1;
+        AsIndex::new(i as u32)
+    }
+
+    /// Relationship and neighbor for a global slot owned by `owner`.
+    #[inline]
+    pub fn slot_entry(&self, owner: AsIndex, e: u32) -> bgpsim_topology::Neighbor {
+        let local = (e - self.offsets[owner.usize()]) as usize;
+        self.topo.neighbors(owner)[local]
+    }
+
+    /// Whether `ix` is tier-1.
+    #[inline]
+    pub fn is_tier1(&self, ix: AsIndex) -> bool {
+        self.tier1[ix.usize()]
+    }
+
+    /// Sibling group of `ix`.
+    #[inline]
+    pub fn group(&self, ix: AsIndex) -> u32 {
+        self.group[ix.usize()]
+    }
+
+    /// Whether `ix` is a stub.
+    #[inline]
+    pub fn is_stub(&self, ix: AsIndex) -> bool {
+        self.stub[ix.usize()]
+    }
+
+    /// Relationship of the *sender* as seen by the receiver, for the
+    /// receiver-side slot `e`.
+    #[inline]
+    pub fn rel_at(&self, receiver: AsIndex, e: u32) -> Relationship {
+        self.slot_entry(receiver, e).rel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsim_topology::{topology_from_triples, AsId, LinkKind::*};
+
+    #[test]
+    fn reverse_slots_are_involutive_and_correct() {
+        let topo = topology_from_triples(&[
+            (1, 2, ProviderToCustomer),
+            (1, 3, PeerToPeer),
+            (2, 3, ProviderToCustomer),
+            (3, 4, SiblingToSibling),
+        ]);
+        let net = SimNet::new(&topo);
+        assert_eq!(net.num_slots(), 2 * topo.num_links());
+        for ix in topo.indices() {
+            for e in net.slots_of(ix) {
+                let r = net.reverse_slot(e);
+                assert_eq!(net.reverse_slot(r), e, "mirror is involutive");
+                let nb = net.slot_entry(ix, e);
+                assert_eq!(net.owner_of_slot(r), nb.index);
+                let back = net.slot_entry(nb.index, r);
+                assert_eq!(back.index, ix);
+                assert_eq!(back.rel, nb.rel.reversed());
+            }
+        }
+    }
+
+    #[test]
+    fn masks_and_groups() {
+        let topo = topology_from_triples(&[
+            (1, 2, ProviderToCustomer),
+            (2, 3, SiblingToSibling),
+        ]);
+        let net = SimNet::new(&topo);
+        let ix = |n| topo.index_of(AsId::new(n)).unwrap();
+        assert!(net.is_tier1(ix(1)));
+        assert!(!net.is_tier1(ix(2)));
+        assert_eq!(net.group(ix(2)), net.group(ix(3)));
+        assert!(!net.is_stub(ix(1)));
+        assert!(net.is_stub(ix(3)));
+    }
+
+    #[test]
+    fn owner_of_slot_is_consistent() {
+        let topo = topology_from_triples(&[
+            (1, 2, ProviderToCustomer),
+            (1, 3, ProviderToCustomer),
+            (2, 3, PeerToPeer),
+        ]);
+        let net = SimNet::new(&topo);
+        for ix in topo.indices() {
+            for e in net.slots_of(ix) {
+                assert_eq!(net.owner_of_slot(e), ix);
+            }
+        }
+    }
+}

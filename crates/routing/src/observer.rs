@@ -1,0 +1,178 @@
+//! Observation hooks for propagation engines.
+//!
+//! The paper's polar visualizations (fig. 1) draw every announcement of
+//! every generation, colored by whether it was accepted (red: the bogus
+//! route polluted the AS) or rejected (green: the AS already had a
+//! preferred path). Engines report each delivered message to an
+//! [`Observer`]; [`NullObserver`] compiles to nothing for bulk sweeps and
+//! [`TraceRecorder`] retains the full event stream for visualization.
+
+use bgpsim_topology::AsIndex;
+
+/// What happened to one delivered announcement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Decision {
+    /// Accepted and became the receiver's best route.
+    NewBest,
+    /// Stored in the Adj-RIB-In but a preferred route already exists.
+    Stored,
+    /// Rejected: the receiver (or its sibling group) is already on the
+    /// AS path.
+    RejectedLoop,
+    /// Rejected by a route-origin-validation filter.
+    RejectedOrigin,
+    /// Rejected by a provider's defensive stub filter.
+    RejectedStub,
+    /// A withdrawal: the sender no longer announces the prefix to this
+    /// neighbor, and the stored entry (if any) was removed.
+    Withdrawn,
+}
+
+impl Decision {
+    /// Whether the announcement was installed (as best or alternate).
+    #[must_use]
+    pub fn is_installed(self) -> bool {
+        matches!(self, Decision::NewBest | Decision::Stored)
+    }
+}
+
+/// One delivered announcement, as seen by an [`Observer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MessageEvent {
+    /// Generation in which the message was delivered (1-based).
+    pub generation: u32,
+    /// Sending AS.
+    pub from: AsIndex,
+    /// Receiving AS.
+    pub to: AsIndex,
+    /// Origin of the announced route.
+    pub origin: AsIndex,
+    /// AS-path length of the announced route at the receiver.
+    pub len: u16,
+    /// The receiver's decision.
+    pub decision: Decision,
+}
+
+/// Receives engine events during a propagation.
+///
+/// All methods have empty defaults; implement only what you need. Engines
+/// are generic over the observer so [`NullObserver`] adds zero overhead.
+pub trait Observer {
+    /// A new generation of messages is about to be delivered.
+    fn on_generation_start(&mut self, generation: u32) {
+        let _ = generation;
+    }
+
+    /// One announcement was delivered and decided on.
+    fn on_message(&mut self, event: MessageEvent) {
+        let _ = event;
+    }
+}
+
+/// Observer that ignores everything (for bulk sweeps).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+/// Observer that records every event, grouped by generation.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_routing::TraceRecorder;
+///
+/// let trace = TraceRecorder::new();
+/// assert_eq!(trace.num_generations(), 0);
+/// assert!(trace.events().is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    events: Vec<MessageEvent>,
+    generations: u32,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> TraceRecorder {
+        TraceRecorder::default()
+    }
+
+    /// All recorded events, in delivery order.
+    pub fn events(&self) -> &[MessageEvent] {
+        &self.events
+    }
+
+    /// Number of generations observed.
+    pub fn num_generations(&self) -> u32 {
+        self.generations
+    }
+
+    /// Events of one generation (1-based), in delivery order.
+    pub fn generation(&self, generation: u32) -> impl Iterator<Item = &MessageEvent> + '_ {
+        self.events
+            .iter()
+            .filter(move |e| e.generation == generation)
+    }
+
+    /// Clears the recorder for reuse.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.generations = 0;
+    }
+}
+
+impl Observer for TraceRecorder {
+    fn on_generation_start(&mut self, generation: u32) {
+        self.generations = self.generations.max(generation);
+    }
+
+    fn on_message(&mut self, event: MessageEvent) {
+        self.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(generation: u32, decision: Decision) -> MessageEvent {
+        MessageEvent {
+            generation,
+            from: AsIndex::new(0),
+            to: AsIndex::new(1),
+            origin: AsIndex::new(0),
+            len: 1,
+            decision,
+        }
+    }
+
+    #[test]
+    fn recorder_groups_by_generation() {
+        let mut t = TraceRecorder::new();
+        t.on_generation_start(1);
+        t.on_message(ev(1, Decision::NewBest));
+        t.on_message(ev(1, Decision::Stored));
+        t.on_generation_start(2);
+        t.on_message(ev(2, Decision::RejectedLoop));
+        assert_eq!(t.num_generations(), 2);
+        assert_eq!(t.generation(1).count(), 2);
+        assert_eq!(t.generation(2).count(), 1);
+        assert_eq!(t.events().len(), 3);
+        t.clear();
+        assert_eq!(t.events().len(), 0);
+        assert_eq!(t.num_generations(), 0);
+    }
+
+    #[test]
+    fn decision_installed() {
+        assert!(Decision::NewBest.is_installed());
+        assert!(Decision::Stored.is_installed());
+        assert!(!Decision::RejectedLoop.is_installed());
+        assert!(!Decision::RejectedOrigin.is_installed());
+        assert!(!Decision::RejectedStub.is_installed());
+        assert!(!Decision::Withdrawn.is_installed());
+    }
+}

@@ -1,0 +1,271 @@
+//! Incremental construction of [`Topology`] values.
+
+use std::collections::HashMap;
+
+use crate::{AsId, LinkKind, Topology, TopologyError};
+
+/// Builder that accumulates ASes and inter-AS links, then freezes them into
+/// an immutable [`Topology`] with dense indices and CSR adjacency.
+///
+/// ASes are created implicitly when first mentioned by a link, or explicitly
+/// via [`TopologyBuilder::add_as`] (useful for isolated ASes). Dense indices
+/// are assigned in *first-mention order*, which makes construction fully
+/// deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_topology::{AsId, LinkKind, TopologyBuilder};
+///
+/// let mut b = TopologyBuilder::new();
+/// // AS1 is the provider of AS2; AS2 and AS3 peer.
+/// b.add_link(AsId::new(1), AsId::new(2), LinkKind::ProviderToCustomer)?;
+/// b.add_link(AsId::new(2), AsId::new(3), LinkKind::PeerToPeer)?;
+/// let topo = b.build()?;
+/// assert_eq!(topo.num_ases(), 3);
+/// assert_eq!(topo.num_links(), 2);
+/// # Ok::<(), bgpsim_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct TopologyBuilder {
+    ids: Vec<AsId>,
+    index_of: HashMap<AsId, u32>,
+    // (a, b, kind) with a,b dense indices; unordered duplicate detection via key set.
+    links: Vec<(u32, u32, LinkKind)>,
+    link_keys: HashMap<(u32, u32), LinkKind>,
+    tier1: Vec<u32>,
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty builder with capacity hints for `ases` autonomous
+    /// systems and `links` links.
+    pub fn with_capacity(ases: usize, links: usize) -> Self {
+        TopologyBuilder {
+            ids: Vec::with_capacity(ases),
+            index_of: HashMap::with_capacity(ases),
+            links: Vec::with_capacity(links),
+            link_keys: HashMap::with_capacity(links),
+            tier1: Vec::new(),
+        }
+    }
+
+    /// Number of ASes mentioned so far.
+    pub fn num_ases(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of links added so far.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Ensures `asn` exists and returns its dense index.
+    pub fn add_as(&mut self, asn: AsId) -> u32 {
+        if let Some(&ix) = self.index_of.get(&asn) {
+            return ix;
+        }
+        let ix = self.ids.len() as u32;
+        self.ids.push(asn);
+        self.index_of.insert(asn, ix);
+        ix
+    }
+
+    /// Returns whether the unordered pair `(a, b)` is already linked.
+    pub fn has_link(&self, a: AsId, b: AsId) -> bool {
+        match (self.index_of.get(&a), self.index_of.get(&b)) {
+            (Some(&ia), Some(&ib)) => {
+                let key = if ia <= ib { (ia, ib) } else { (ib, ia) };
+                self.link_keys.contains_key(&key)
+            }
+            _ => false,
+        }
+    }
+
+    /// Adds a link between `a` and `b`.
+    ///
+    /// For [`LinkKind::ProviderToCustomer`], `a` is the provider.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::SelfLoop`] if `a == b` and
+    /// [`TopologyError::DuplicateLink`] if the unordered pair was already
+    /// added (regardless of kind).
+    pub fn add_link(&mut self, a: AsId, b: AsId, kind: LinkKind) -> Result<(), TopologyError> {
+        if a == b {
+            return Err(TopologyError::SelfLoop { asn: a });
+        }
+        let ia = self.add_as(a);
+        let ib = self.add_as(b);
+        let key = if ia <= ib { (ia, ib) } else { (ib, ia) };
+        if self.link_keys.contains_key(&key) {
+            return Err(TopologyError::DuplicateLink { a, b });
+        }
+        self.link_keys.insert(key, kind);
+        self.links.push((ia, ib, kind));
+        Ok(())
+    }
+
+    /// Declares `asn` to be a tier-1 AS.
+    ///
+    /// The set is optional ground-truth metadata: generators know their
+    /// tier-1 clique exactly, and parsers may learn it from a side channel.
+    /// When absent, [`Topology::tier1s`] falls back to a structural
+    /// heuristic. Declaring the same AS twice is harmless.
+    pub fn declare_tier1(&mut self, asn: AsId) {
+        let ix = self.add_as(asn);
+        if !self.tier1.contains(&ix) {
+            self.tier1.push(ix);
+        }
+    }
+
+    /// Freezes the builder into an immutable [`Topology`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::Empty`] if no AS was ever added.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        if self.ids.is_empty() {
+            return Err(TopologyError::Empty);
+        }
+        Ok(Topology::from_parts(
+            self.ids,
+            self.index_of,
+            self.links,
+            self.tier1,
+        ))
+    }
+}
+
+impl Extend<(AsId, AsId, LinkKind)> for TopologyBuilder {
+    /// Adds links in bulk, silently skipping self-loops and duplicates.
+    ///
+    /// Bulk extension is lenient because real-world relationship dumps
+    /// contain occasional duplicates; use [`TopologyBuilder::add_link`] when
+    /// strictness matters.
+    fn extend<T: IntoIterator<Item = (AsId, AsId, LinkKind)>>(&mut self, iter: T) {
+        for (a, b, kind) in iter {
+            let _ = self.add_link(a, b, kind);
+        }
+    }
+}
+
+/// Convenience constructor used pervasively in tests and examples: builds a
+/// topology from `(a, b, kind)` triples with numeric ASNs.
+///
+/// # Panics
+///
+/// Panics on self-loops, duplicate pairs, or an empty list — the inputs are
+/// expected to be literals under the author's control.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_topology::{topology_from_triples, LinkKind::*};
+///
+/// let topo = topology_from_triples(&[(1, 2, ProviderToCustomer), (2, 3, PeerToPeer)]);
+/// assert_eq!(topo.num_ases(), 3);
+/// ```
+pub fn topology_from_triples(triples: &[(u32, u32, LinkKind)]) -> Topology {
+    let mut b = TopologyBuilder::new();
+    for &(x, y, kind) in triples {
+        b.add_link(AsId::new(x), AsId::new(y), kind)
+            .expect("valid triple");
+    }
+    b.build().expect("non-empty topology")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinkKind::*;
+
+    #[test]
+    fn indices_assigned_in_first_mention_order() {
+        let mut b = TopologyBuilder::new();
+        b.add_link(AsId::new(10), AsId::new(20), ProviderToCustomer)
+            .unwrap();
+        b.add_link(AsId::new(30), AsId::new(10), PeerToPeer).unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(t.id_of(crate::AsIndex::new(0)), AsId::new(10));
+        assert_eq!(t.id_of(crate::AsIndex::new(1)), AsId::new(20));
+        assert_eq!(t.id_of(crate::AsIndex::new(2)), AsId::new(30));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = TopologyBuilder::new();
+        let err = b
+            .add_link(AsId::new(1), AsId::new(1), PeerToPeer)
+            .unwrap_err();
+        assert!(matches!(err, TopologyError::SelfLoop { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_even_reversed_or_rekinded() {
+        let mut b = TopologyBuilder::new();
+        b.add_link(AsId::new(1), AsId::new(2), ProviderToCustomer)
+            .unwrap();
+        assert!(matches!(
+            b.add_link(AsId::new(1), AsId::new(2), ProviderToCustomer),
+            Err(TopologyError::DuplicateLink { .. })
+        ));
+        assert!(matches!(
+            b.add_link(AsId::new(2), AsId::new(1), PeerToPeer),
+            Err(TopologyError::DuplicateLink { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_build_fails() {
+        assert!(matches!(
+            TopologyBuilder::new().build(),
+            Err(TopologyError::Empty)
+        ));
+    }
+
+    #[test]
+    fn isolated_as_is_allowed() {
+        let mut b = TopologyBuilder::new();
+        b.add_as(AsId::new(99));
+        let t = b.build().unwrap();
+        assert_eq!(t.num_ases(), 1);
+        assert_eq!(t.num_links(), 0);
+    }
+
+    #[test]
+    fn extend_is_lenient() {
+        let mut b = TopologyBuilder::new();
+        b.extend([
+            (AsId::new(1), AsId::new(2), ProviderToCustomer),
+            (AsId::new(1), AsId::new(2), ProviderToCustomer), // dup, skipped
+            (AsId::new(3), AsId::new(3), PeerToPeer),         // loop, skipped
+        ]);
+        let t = b.build().unwrap();
+        assert_eq!(t.num_links(), 1);
+    }
+
+    #[test]
+    fn has_link_sees_both_orders() {
+        let mut b = TopologyBuilder::new();
+        b.add_link(AsId::new(1), AsId::new(2), PeerToPeer).unwrap();
+        assert!(b.has_link(AsId::new(1), AsId::new(2)));
+        assert!(b.has_link(AsId::new(2), AsId::new(1)));
+        assert!(!b.has_link(AsId::new(1), AsId::new(3)));
+    }
+
+    #[test]
+    fn declare_tier1_dedupes() {
+        let mut b = TopologyBuilder::new();
+        b.declare_tier1(AsId::new(1));
+        b.declare_tier1(AsId::new(1));
+        b.add_link(AsId::new(1), AsId::new(2), ProviderToCustomer)
+            .unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(t.tier1s().len(), 1);
+    }
+}

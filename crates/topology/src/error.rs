@@ -1,0 +1,108 @@
+//! Error types for topology construction and parsing.
+
+use core::fmt;
+
+use crate::AsId;
+
+/// Errors produced while building or parsing a topology.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A link connects an AS to itself.
+    SelfLoop {
+        /// The offending AS.
+        asn: AsId,
+    },
+    /// The same unordered AS pair was added twice (possibly with different
+    /// relationship kinds).
+    DuplicateLink {
+        /// One endpoint.
+        a: AsId,
+        /// The other endpoint.
+        b: AsId,
+    },
+    /// An operation referenced an AS that is not part of the topology.
+    UnknownAs {
+        /// The unknown AS.
+        asn: AsId,
+    },
+    /// A line of an AS-relationship file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// An underlying I/O error while reading relationship data.
+    Io(std::io::Error),
+    /// The topology would be empty.
+    Empty,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::SelfLoop { asn } => {
+                write!(f, "self-loop on {asn} is not a valid inter-AS link")
+            }
+            TopologyError::DuplicateLink { a, b } => {
+                write!(f, "duplicate link between {a} and {b}")
+            }
+            TopologyError::UnknownAs { asn } => write!(f, "unknown autonomous system {asn}"),
+            TopologyError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            TopologyError::Io(e) => write!(f, "i/o error reading topology: {e}"),
+            TopologyError::Empty => write!(f, "topology contains no autonomous systems"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TopologyError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TopologyError {
+    fn from(e: std::io::Error) -> Self {
+        TopologyError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<TopologyError> = vec![
+            TopologyError::SelfLoop { asn: AsId::new(7) },
+            TopologyError::DuplicateLink {
+                a: AsId::new(1),
+                b: AsId::new(2),
+            },
+            TopologyError::UnknownAs { asn: AsId::new(9) },
+            TopologyError::Parse {
+                line: 3,
+                message: "bad field".into(),
+            },
+            TopologyError::Empty,
+        ];
+        for c in cases {
+            let s = c.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+        }
+    }
+
+    #[test]
+    fn io_error_chains_source() {
+        use std::error::Error as _;
+        let e = TopologyError::from(std::io::Error::other("x"));
+        assert!(e.source().is_some());
+    }
+}

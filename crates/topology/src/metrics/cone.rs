@@ -1,0 +1,155 @@
+//! Customer cones — the paper's *reach* metric.
+//!
+//! The reach of an AS is "the number of ASes that can be independently
+//! reached from an AS without the aid of peer ASes": exactly the set of
+//! ASes reachable by repeatedly descending provider→customer links,
+//! including the AS itself.
+
+use std::collections::VecDeque;
+
+use crate::{AsIndex, Topology};
+
+/// Returns the customer cone of `root`: all ASes reachable from `root` by
+/// descending provider→customer links, including `root` itself, in
+/// breadth-first discovery order.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_topology::{topology_from_triples, AsId, LinkKind::*};
+/// use bgpsim_topology::metrics::customer_cone;
+///
+/// let topo = topology_from_triples(&[
+///     (1, 2, ProviderToCustomer),
+///     (2, 3, ProviderToCustomer),
+///     (1, 4, PeerToPeer),
+/// ]);
+/// let root = topo.index_of(AsId::new(1)).unwrap();
+/// assert_eq!(customer_cone(&topo, root).len(), 3); // 1, 2, 3 — not the peer 4
+/// ```
+pub fn customer_cone(topo: &Topology, root: AsIndex) -> Vec<AsIndex> {
+    let mut visited = vec![false; topo.num_ases()];
+    let mut cone = Vec::new();
+    let mut queue = VecDeque::new();
+    visited[root.usize()] = true;
+    queue.push_back(root);
+    while let Some(u) = queue.pop_front() {
+        cone.push(u);
+        for c in topo.customers(u) {
+            if !visited[c.usize()] {
+                visited[c.usize()] = true;
+                queue.push_back(c);
+            }
+        }
+    }
+    cone
+}
+
+/// Computes the customer-cone size (reach) of every AS.
+///
+/// Provider/customer links overwhelmingly form a DAG, but published data can
+/// contain p2c cycles; this implementation is cycle-safe because each cone
+/// is an independent reachability query. Stubs trivially have cone size 1.
+///
+/// Runs one truncated BFS per transit AS; total cost is the sum of cone
+/// sizes, which is moderate even at Internet scale because most ASes are
+/// stubs.
+pub fn customer_cone_sizes(topo: &Topology) -> Vec<u32> {
+    let n = topo.num_ases();
+    let mut sizes = vec![1u32; n];
+    // `stamp` marks visited nodes per-root without reallocating.
+    let mut stamp = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    for root in topo.indices() {
+        if topo.is_stub(root) {
+            continue; // cone of a stub is itself
+        }
+        let r = root.raw();
+        stamp[root.usize()] = r;
+        queue.push_back(root);
+        let mut count = 0u32;
+        while let Some(u) = queue.pop_front() {
+            count += 1;
+            for c in topo.customers(u) {
+                if stamp[c.usize()] != r {
+                    stamp[c.usize()] = r;
+                    queue.push_back(c);
+                }
+            }
+        }
+        sizes[root.usize()] = count;
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{topology_from_triples, AsId, LinkKind::*};
+
+    fn ix(topo: &Topology, n: u32) -> AsIndex {
+        topo.index_of(AsId::new(n)).unwrap()
+    }
+
+    #[test]
+    fn cone_excludes_peers_and_providers() {
+        let topo = topology_from_triples(&[
+            (1, 2, ProviderToCustomer),
+            (2, 3, ProviderToCustomer),
+            (2, 4, PeerToPeer),
+            (5, 1, ProviderToCustomer),
+        ]);
+        let cone = customer_cone(&topo, ix(&topo, 2));
+        let ids: Vec<u32> = cone.iter().map(|&c| topo.id_of(c).value()).collect();
+        assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn diamond_counts_shared_customer_once() {
+        // 1 → {2, 3} → 4: the diamond's sink must not be double counted.
+        let topo = topology_from_triples(&[
+            (1, 2, ProviderToCustomer),
+            (1, 3, ProviderToCustomer),
+            (2, 4, ProviderToCustomer),
+            (3, 4, ProviderToCustomer),
+        ]);
+        assert_eq!(customer_cone(&topo, ix(&topo, 1)).len(), 4);
+        let sizes = customer_cone_sizes(&topo);
+        assert_eq!(sizes[ix(&topo, 1).usize()], 4);
+        assert_eq!(sizes[ix(&topo, 2).usize()], 2);
+        assert_eq!(sizes[ix(&topo, 4).usize()], 1);
+    }
+
+    #[test]
+    fn sizes_match_individual_cones() {
+        let topo = topology_from_triples(&[
+            (1, 2, ProviderToCustomer),
+            (1, 3, ProviderToCustomer),
+            (3, 4, ProviderToCustomer),
+            (3, 5, ProviderToCustomer),
+            (2, 5, ProviderToCustomer),
+            (4, 6, PeerToPeer),
+        ]);
+        let sizes = customer_cone_sizes(&topo);
+        for root in topo.indices() {
+            assert_eq!(
+                sizes[root.usize()] as usize,
+                customer_cone(&topo, root).len(),
+                "mismatch at {}",
+                topo.id_of(root)
+            );
+        }
+    }
+
+    #[test]
+    fn p2c_cycle_terminates() {
+        // Corrupt data: 1→2→3→1 provider cycle. Must not loop forever.
+        let topo = topology_from_triples(&[
+            (1, 2, ProviderToCustomer),
+            (2, 3, ProviderToCustomer),
+            (3, 1, ProviderToCustomer),
+        ]);
+        let sizes = customer_cone_sizes(&topo);
+        assert!(sizes.iter().all(|&s| s == 3));
+    }
+}

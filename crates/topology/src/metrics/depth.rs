@@ -1,0 +1,199 @@
+//! The *depth* metric: provider-chain hops to the nearest seed AS.
+//!
+//! The paper defines depth as "the number of hops to the nearest tier-1 AS"
+//! and, after observing that stubs under large tier-2 providers behave like
+//! depth-1 stubs, re-defines it as hops to the nearest tier-1 *or tier-2*
+//! provider (§IV). Both variants are exposed: pass the appropriate seed set
+//! to [`DepthMap::compute`], or use the convenience constructors.
+
+use std::collections::VecDeque;
+
+use crate::{AsIndex, Topology};
+
+/// Depth of every AS relative to a seed set, following provider chains.
+///
+/// Depth 0 means the AS is itself a seed; depth *d* means the shortest chain
+/// `AS → provider → … → seed` has *d* links. ASes with no provider chain to
+/// any seed are *unreachable* ([`DepthMap::depth`] returns `None` for them).
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_topology::{topology_from_triples, AsId, LinkKind::*};
+/// use bgpsim_topology::metrics::DepthMap;
+///
+/// // 1 (tier-1) ← 2 ← 3, a two-level chain.
+/// let topo = topology_from_triples(&[
+///     (1, 2, ProviderToCustomer),
+///     (2, 3, ProviderToCustomer),
+/// ]);
+/// let depth = DepthMap::to_tier1(&topo);
+/// let ix = |n| topo.index_of(AsId::new(n)).unwrap();
+/// assert_eq!(depth.depth(ix(1)), Some(0));
+/// assert_eq!(depth.depth(ix(2)), Some(1));
+/// assert_eq!(depth.depth(ix(3)), Some(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DepthMap {
+    depths: Vec<u32>,
+}
+
+const UNREACHABLE: u32 = u32::MAX;
+
+impl DepthMap {
+    /// Computes depths from an explicit seed set.
+    ///
+    /// Runs a multi-source breadth-first search that expands from each seed
+    /// to its *customers* (so discovered paths are exactly the reversed
+    /// provider chains). `O(n + m)` time.
+    pub fn compute<I>(topo: &Topology, seeds: I) -> DepthMap
+    where
+        I: IntoIterator<Item = AsIndex>,
+    {
+        let mut depths = vec![UNREACHABLE; topo.num_ases()];
+        let mut queue = VecDeque::new();
+        for s in seeds {
+            if depths[s.usize()] == UNREACHABLE {
+                depths[s.usize()] = 0;
+                queue.push_back(s);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            let du = depths[u.usize()];
+            for c in topo.customers(u) {
+                if depths[c.usize()] == UNREACHABLE {
+                    depths[c.usize()] = du + 1;
+                    queue.push_back(c);
+                }
+            }
+        }
+        DepthMap { depths }
+    }
+
+    /// Depths to the nearest tier-1 AS (the paper's original definition).
+    pub fn to_tier1(topo: &Topology) -> DepthMap {
+        DepthMap::compute(topo, topo.tier1s())
+    }
+
+    /// Depth of `ix`, or `None` if no provider chain reaches a seed.
+    pub fn depth(&self, ix: AsIndex) -> Option<u32> {
+        match self.depths[ix.usize()] {
+            UNREACHABLE => None,
+            d => Some(d),
+        }
+    }
+
+    /// Raw depth slice; unreachable ASes hold `u32::MAX`.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.depths
+    }
+
+    /// The largest finite depth, or `None` if nothing is reachable.
+    pub fn max_depth(&self) -> Option<u32> {
+        self.depths
+            .iter()
+            .copied()
+            .filter(|&d| d != UNREACHABLE)
+            .max()
+    }
+
+    /// Histogram of finite depths: `histogram()[d]` is the number of ASes at
+    /// depth `d`.
+    pub fn histogram(&self) -> Vec<usize> {
+        let max = match self.max_depth() {
+            Some(m) => m as usize,
+            None => return Vec::new(),
+        };
+        let mut h = vec![0usize; max + 1];
+        for &d in &self.depths {
+            if d != UNREACHABLE {
+                h[d as usize] += 1;
+            }
+        }
+        h
+    }
+
+    /// Number of ASes with no provider chain to any seed.
+    pub fn num_unreachable(&self) -> usize {
+        self.depths.iter().filter(|&&d| d == UNREACHABLE).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{topology_from_triples, AsId, LinkKind::*};
+
+    #[test]
+    fn multi_homing_takes_minimum() {
+        // 1 and 2 are seeds; 4 buys from 3 (depth 1) and from 1 directly.
+        let topo = topology_from_triples(&[
+            (1, 3, ProviderToCustomer),
+            (3, 4, ProviderToCustomer),
+            (1, 4, ProviderToCustomer),
+            (1, 2, PeerToPeer),
+        ]);
+        let ix = |n| topo.index_of(AsId::new(n)).unwrap();
+        let d = DepthMap::compute(&topo, [ix(1), ix(2)]);
+        assert_eq!(d.depth(ix(4)), Some(1));
+        assert_eq!(d.depth(ix(3)), Some(1));
+    }
+
+    #[test]
+    fn peers_do_not_shorten_depth() {
+        // 3 peers with seed 1 but only buys transit from 4 (depth 2 chain).
+        let topo = topology_from_triples(&[
+            (1, 4, ProviderToCustomer),
+            (4, 3, ProviderToCustomer),
+            (1, 3, PeerToPeer),
+        ]);
+        let ix = |n| topo.index_of(AsId::new(n)).unwrap();
+        let d = DepthMap::compute(&topo, [ix(1)]);
+        assert_eq!(d.depth(ix(3)), Some(2));
+    }
+
+    #[test]
+    fn unreachable_islands_are_none() {
+        let topo = topology_from_triples(&[
+            (1, 2, ProviderToCustomer),
+            (8, 9, ProviderToCustomer), // disconnected island
+        ]);
+        let ix = |n| topo.index_of(AsId::new(n)).unwrap();
+        let d = DepthMap::compute(&topo, [ix(1)]);
+        assert_eq!(d.depth(ix(9)), None);
+        assert_eq!(d.num_unreachable(), 2);
+    }
+
+    #[test]
+    fn histogram_counts_each_depth() {
+        let topo = topology_from_triples(&[
+            (1, 2, ProviderToCustomer),
+            (2, 3, ProviderToCustomer),
+            (2, 4, ProviderToCustomer),
+        ]);
+        let ix = |n| topo.index_of(AsId::new(n)).unwrap();
+        let d = DepthMap::compute(&topo, [ix(1)]);
+        assert_eq!(d.histogram(), vec![1, 1, 2]);
+        assert_eq!(d.max_depth(), Some(2));
+    }
+
+    #[test]
+    fn to_tier1_uses_heuristic_when_undeclared() {
+        let topo = topology_from_triples(&[
+            (1, 2, ProviderToCustomer),
+            (2, 3, ProviderToCustomer),
+        ]);
+        let ix = |n| topo.index_of(AsId::new(n)).unwrap();
+        let d = DepthMap::to_tier1(&topo);
+        assert_eq!(d.depth(ix(3)), Some(2));
+    }
+
+    #[test]
+    fn empty_seed_set_leaves_everything_unreachable() {
+        let topo = topology_from_triples(&[(1, 2, ProviderToCustomer)]);
+        let d = DepthMap::compute(&topo, std::iter::empty());
+        assert_eq!(d.num_unreachable(), 2);
+        assert_eq!(d.max_depth(), None);
+        assert!(d.histogram().is_empty());
+    }
+}

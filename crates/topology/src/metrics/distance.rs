@@ -1,0 +1,70 @@
+//! Plain hop distances ignoring routing policy.
+//!
+//! Policy-oblivious distances are *not* what BGP paths follow (valley-free
+//! export forbids many short paths), but they are useful as diagnostics and
+//! for layout in the polar visualizations.
+
+use std::collections::VecDeque;
+
+use crate::{AsIndex, Topology};
+
+/// Breadth-first hop distance from `source` to every AS over all link
+/// classes. Unreachable ASes hold `None`.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_topology::{topology_from_triples, AsId, LinkKind::*};
+/// use bgpsim_topology::metrics::hop_distances;
+///
+/// let topo = topology_from_triples(&[(1, 2, PeerToPeer), (2, 3, ProviderToCustomer)]);
+/// let src = topo.index_of(AsId::new(1)).unwrap();
+/// let d = hop_distances(&topo, src);
+/// assert_eq!(d[topo.index_of(AsId::new(3)).unwrap().usize()], Some(2));
+/// ```
+pub fn hop_distances(topo: &Topology, source: AsIndex) -> Vec<Option<u32>> {
+    let mut dist = vec![None; topo.num_ases()];
+    let mut queue = VecDeque::new();
+    dist[source.usize()] = Some(0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.usize()].expect("queued nodes have distances");
+        for nb in topo.neighbors(u) {
+            let v = nb.index;
+            if dist[v.usize()].is_none() {
+                dist[v.usize()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{topology_from_triples, AsId, LinkKind::*};
+
+    #[test]
+    fn distances_ignore_link_direction_and_class() {
+        let topo = topology_from_triples(&[
+            (1, 2, ProviderToCustomer),
+            (3, 2, ProviderToCustomer), // 2's provider — still 1 hop from 2
+            (3, 4, SiblingToSibling),
+        ]);
+        let ix = |n| topo.index_of(AsId::new(n)).unwrap();
+        let d = hop_distances(&topo, ix(1));
+        assert_eq!(d[ix(1).usize()], Some(0));
+        assert_eq!(d[ix(2).usize()], Some(1));
+        assert_eq!(d[ix(3).usize()], Some(2));
+        assert_eq!(d[ix(4).usize()], Some(3));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let topo = topology_from_triples(&[(1, 2, PeerToPeer), (5, 6, PeerToPeer)]);
+        let ix = |n| topo.index_of(AsId::new(n)).unwrap();
+        let d = hop_distances(&topo, ix(1));
+        assert_eq!(d[ix(5).usize()], None);
+    }
+}

@@ -1,0 +1,18 @@
+//! Topological metrics that the paper correlates with attack vulnerability.
+//!
+//! * [`depth`] — hops from an AS up its provider chains to the nearest
+//!   tier-1 (or tier-1/tier-2) AS; the paper's primary vulnerability
+//!   predictor (§IV).
+//! * [`cone`] — customer-cone sizes, the paper's *reach* metric ("the number
+//!   of ASes that can be independently reached from an AS without the aid of
+//!   peer ASes").
+//! * [`distance`] — plain hop distance ignoring policy, for diagnostics and
+//!   the polar visualizations.
+
+pub mod cone;
+pub mod depth;
+pub mod distance;
+
+pub use cone::{customer_cone, customer_cone_sizes};
+pub use depth::DepthMap;
+pub use distance::hop_distances;

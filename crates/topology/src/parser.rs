@@ -1,0 +1,293 @@
+//! Parsing and serializing CAIDA-style AS-relationship files.
+//!
+//! The paper's simulator reads "a list of 139,156 provider/customer/peer
+//! relationships obtained from CAIDA". CAIDA publishes these as pipe-
+//! separated lines:
+//!
+//! ```text
+//! # comment lines start with '#'
+//! <provider-as>|<customer-as>|-1
+//! <peer-as>|<peer-as>|0
+//! <sibling-as>|<sibling-as>|1        (serial-1 only)
+//! <as0>|<as1>|-1|bgp                 (serial-2 appends a source field)
+//! ```
+//!
+//! Both serial-1 and serial-2 layouts are accepted; a trailing source field
+//! is ignored. Use [`from_caida_reader`] for files and [`from_caida_str`]
+//! for in-memory data.
+
+use std::io::BufRead;
+
+use crate::{AsId, LinkKind, Topology, TopologyBuilder, TopologyError};
+
+/// Relationship codes used by the CAIDA file formats.
+const P2C: i32 = -1;
+const P2P: i32 = 0;
+const S2S: i32 = 1;
+
+/// Parses a CAIDA AS-relationship file from a buffered reader.
+///
+/// Duplicate unordered pairs are tolerated (first occurrence wins), matching
+/// how the published files occasionally repeat links across sources;
+/// malformed lines are hard errors.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::Parse`] for malformed lines,
+/// [`TopologyError::Io`] for read failures, and [`TopologyError::Empty`] if
+/// the file contains no links or ASes.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_topology::parser::from_caida_reader;
+///
+/// let data = "# as-rel\n1|2|-1\n2|3|0\n";
+/// let topo = from_caida_reader(data.as_bytes())?;
+/// assert_eq!(topo.num_ases(), 3);
+/// # Ok::<(), bgpsim_topology::TopologyError>(())
+/// ```
+pub fn from_caida_reader<R: BufRead>(reader: R) -> Result<Topology, TopologyError> {
+    let mut builder = TopologyBuilder::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        parse_line(&mut builder, lineno + 1, &line)?;
+    }
+    builder.build()
+}
+
+/// Parses a CAIDA AS-relationship file held in a string.
+///
+/// # Errors
+///
+/// Same conditions as [`from_caida_reader`].
+pub fn from_caida_str(data: &str) -> Result<Topology, TopologyError> {
+    let mut builder = TopologyBuilder::new();
+    for (lineno, line) in data.lines().enumerate() {
+        parse_line(&mut builder, lineno + 1, line)?;
+    }
+    builder.build()
+}
+
+fn parse_line(
+    builder: &mut TopologyBuilder,
+    lineno: usize,
+    line: &str,
+) -> Result<(), TopologyError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(());
+    }
+    let mut fields = line.split('|');
+    let a = parse_asn(fields.next(), lineno, "first AS")?;
+    let b = parse_asn(fields.next(), lineno, "second AS")?;
+    let rel_str = fields.next().ok_or_else(|| TopologyError::Parse {
+        line: lineno,
+        message: "missing relationship field".into(),
+    })?;
+    // serial-2 appends a data-source field; anything after it is invalid.
+    let extra = fields.next();
+    if fields.next().is_some() {
+        return Err(TopologyError::Parse {
+            line: lineno,
+            message: "too many fields".into(),
+        });
+    }
+    if let Some(src) = extra {
+        if src.is_empty() {
+            return Err(TopologyError::Parse {
+                line: lineno,
+                message: "empty source field".into(),
+            });
+        }
+    }
+    let rel: i32 = rel_str.trim().parse().map_err(|_| TopologyError::Parse {
+        line: lineno,
+        message: format!("invalid relationship code {rel_str:?}"),
+    })?;
+    let kind = match rel {
+        P2C => LinkKind::ProviderToCustomer,
+        P2P => LinkKind::PeerToPeer,
+        S2S => LinkKind::SiblingToSibling,
+        other => {
+            return Err(TopologyError::Parse {
+                line: lineno,
+                message: format!("unknown relationship code {other}"),
+            })
+        }
+    };
+    if a == b {
+        return Err(TopologyError::Parse {
+            line: lineno,
+            message: format!("self-loop on {a}"),
+        });
+    }
+    // First occurrence of an unordered pair wins; CAIDA dumps repeat links.
+    if !builder.has_link(a, b) {
+        builder
+            .add_link(a, b, kind)
+            .expect("checked for duplicates and self-loops");
+    }
+    Ok(())
+}
+
+fn parse_asn(field: Option<&str>, lineno: usize, what: &str) -> Result<AsId, TopologyError> {
+    let field = field.ok_or_else(|| TopologyError::Parse {
+        line: lineno,
+        message: format!("missing {what} field"),
+    })?;
+    field
+        .trim()
+        .parse::<u32>()
+        .map(AsId::new)
+        .map_err(|_| TopologyError::Parse {
+            line: lineno,
+            message: format!("invalid {what} {field:?}"),
+        })
+}
+
+/// Serializes a topology back to CAIDA serial-1 text (`a|b|code` lines,
+/// provider first for p2c links), preceded by a summary comment.
+///
+/// Round-trips with [`from_caida_str`] up to link order.
+pub fn to_caida_string(topo: &Topology) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(topo.num_links() * 12 + 64);
+    let _ = writeln!(
+        out,
+        "# bgpsim as-rel export: {} ases, {} links",
+        topo.num_ases(),
+        topo.num_links()
+    );
+    for ix in topo.indices() {
+        for nb in topo.neighbors(ix) {
+            let (code, emit) = match nb.rel {
+                crate::Relationship::Customer => (P2C, true),
+                crate::Relationship::Peer => (P2P, nb.index.raw() > ix.raw()),
+                crate::Relationship::Sibling => (S2S, nb.index.raw() > ix.raw()),
+                crate::Relationship::Provider => (P2C, false),
+            };
+            if emit {
+                let _ = writeln!(
+                    out,
+                    "{}|{}|{}",
+                    topo.id_of(ix).value(),
+                    topo.id_of(nb.index).value(),
+                    code
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_three_relationship_kinds() {
+        let t = from_caida_str("1|2|-1\n2|3|0\n3|4|1\n").unwrap();
+        assert_eq!(t.num_p2c_links(), 1);
+        assert_eq!(t.num_p2p_links(), 1);
+        assert_eq!(t.num_s2s_links(), 1);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let t = from_caida_str("# header\n\n  \n1|2|-1\n").unwrap();
+        assert_eq!(t.num_ases(), 2);
+        assert_eq!(t.num_links(), 1);
+    }
+
+    #[test]
+    fn accepts_serial2_source_field() {
+        let t = from_caida_str("1|2|-1|bgp\n").unwrap();
+        assert_eq!(t.num_links(), 1);
+    }
+
+    #[test]
+    fn provider_is_first_field() {
+        let t = from_caida_str("10|20|-1\n").unwrap();
+        let p = t.index_of(AsId::new(10)).unwrap();
+        let c = t.index_of(AsId::new(20)).unwrap();
+        assert_eq!(t.customers(p).collect::<Vec<_>>(), vec![c]);
+        assert_eq!(t.providers(c).collect::<Vec<_>>(), vec![p]);
+    }
+
+    #[test]
+    fn duplicate_pairs_keep_first() {
+        let t = from_caida_str("1|2|-1\n2|1|0\n1|2|-1\n").unwrap();
+        assert_eq!(t.num_links(), 1);
+        assert_eq!(t.num_p2c_links(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "1|2",          // missing rel
+            "1|2|9",        // unknown code
+            "x|2|-1",       // bad asn
+            "1|y|0",        // bad asn
+            "1|2|-1|s|junk", // too many fields
+            "1|2|zz",       // non-numeric rel
+            "7|7|0",        // self loop
+            "1|2|-1|",      // empty source
+        ] {
+            let err = from_caida_str(bad).unwrap_err();
+            assert!(
+                matches!(err, TopologyError::Parse { line: 1, .. }),
+                "{bad:?} gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let err = from_caida_str("1|2|-1\nbogus\n").unwrap_err();
+        match err {
+            TopologyError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(matches!(
+            from_caida_str("# nothing here\n"),
+            Err(TopologyError::Empty)
+        ));
+    }
+
+    #[test]
+    fn roundtrip_through_serialization() {
+        let src = "1|2|-1\n2|3|0\n3|4|1\n1|4|-1\n";
+        let t = from_caida_str(src).unwrap();
+        let t2 = from_caida_str(&to_caida_string(&t)).unwrap();
+        assert_eq!(t.num_ases(), t2.num_ases());
+        assert_eq!(t.num_p2c_links(), t2.num_p2c_links());
+        assert_eq!(t.num_p2p_links(), t2.num_p2p_links());
+        assert_eq!(t.num_s2s_links(), t2.num_s2s_links());
+        for ix in t.indices() {
+            let id = t.id_of(ix);
+            let jx = t2.index_of(id).unwrap();
+            assert_eq!(
+                t.customers(ix)
+                    .map(|c| t.id_of(c))
+                    .collect::<std::collections::BTreeSet<_>>(),
+                t2.customers(jx)
+                    .map(|c| t2.id_of(c))
+                    .collect::<std::collections::BTreeSet<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn reader_variant_matches_str_variant() {
+        let src = "1|2|-1\n2|3|0\n";
+        let a = from_caida_str(src).unwrap();
+        let b = from_caida_reader(src.as_bytes()).unwrap();
+        assert_eq!(a.num_ases(), b.num_ases());
+        assert_eq!(a.num_links(), b.num_links());
+    }
+}

@@ -1,0 +1,179 @@
+//! Selectors that find representative ASes by topological criteria.
+//!
+//! The paper anchors its experiments on specific ASes chosen for their
+//! topological position: AS98 ("depth-1, multi-homed, relatively attack
+//! resistant"), AS55857 ("depth-5, very vulnerable"), AS4 ("aggressive,
+//! low-depth"), and so on. On a synthetic topology the same roles are
+//! filled by searching for ASes matching the stated criteria; these
+//! selectors make that search explicit and deterministic (ties break toward
+//! the smallest index).
+
+use crate::metrics::DepthMap;
+use crate::{AsIndex, Topology};
+
+/// Homing requirement for [`stub_at_depth`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Homing {
+    /// Exactly one provider.
+    SingleHomed,
+    /// Two or more providers.
+    MultiHomed,
+    /// Any number of providers.
+    Any,
+}
+
+/// Finds a stub AS at exactly `depth` with the requested homing, if any.
+///
+/// `depths` must come from the same topology (see [`DepthMap`]); pass a
+/// tier-1 map for the paper's fig. 2 selections or an effective-depth map
+/// for fig. 3.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_topology::gen::{generate, InternetParams};
+/// use bgpsim_topology::metrics::DepthMap;
+/// use bgpsim_topology::select::{stub_at_depth, Homing};
+///
+/// let net = generate(&InternetParams::tiny(), 1);
+/// let depths = DepthMap::to_tier1(&net.topology);
+/// let stub = stub_at_depth(&net.topology, &depths, 1, Homing::MultiHomed);
+/// assert!(stub.is_some());
+/// ```
+pub fn stub_at_depth(
+    topo: &Topology,
+    depths: &DepthMap,
+    depth: u32,
+    homing: Homing,
+) -> Option<AsIndex> {
+    topo.indices().find(|&ix| {
+        topo.is_stub(ix)
+            && depths.depth(ix) == Some(depth)
+            && match homing {
+                Homing::SingleHomed => topo.num_providers(ix) == 1,
+                Homing::MultiHomed => topo.num_providers(ix) >= 2,
+                Homing::Any => true,
+            }
+    })
+}
+
+/// Finds a *transit* AS at exactly `depth` (useful as an attacker or
+/// re-homing anchor), preferring higher degree.
+pub fn transit_at_depth(topo: &Topology, depths: &DepthMap, depth: u32) -> Option<AsIndex> {
+    topo.indices()
+        .filter(|&ix| topo.is_transit(ix) && depths.depth(ix) == Some(depth))
+        .max_by_key(|&ix| (topo.degree(ix), std::cmp::Reverse(ix.raw())))
+}
+
+/// All ASes with total degree at least `k`, in index order.
+///
+/// This is the paper's deployment cohort constructor ("the 62 ASes with
+/// degree ≥ 500").
+pub fn by_degree_at_least(topo: &Topology, k: usize) -> Vec<AsIndex> {
+    topo.indices().filter(|&ix| topo.degree(ix) >= k).collect()
+}
+
+/// The `k` highest-degree ASes (ties break toward smaller index).
+pub fn top_k_by_degree(topo: &Topology, k: usize) -> Vec<AsIndex> {
+    let mut all: Vec<AsIndex> = topo.indices().collect();
+    all.sort_by_key(|&ix| (std::cmp::Reverse(topo.degree(ix)), ix.raw()));
+    all.truncate(k);
+    all
+}
+
+/// An "aggressive attacker" candidate: the lowest-depth, highest-degree
+/// transit AS that is not itself tier-1 (mirrors the paper's AS4, a
+/// low-depth transit whose providers peer widely).
+pub fn aggressive_transit(topo: &Topology, depths: &DepthMap) -> Option<AsIndex> {
+    let tier1: std::collections::HashSet<AsIndex> = topo.tier1s().into_iter().collect();
+    topo.indices()
+        .filter(|ix| topo.is_transit(*ix) && !tier1.contains(ix))
+        .filter(|&ix| depths.depth(ix).is_some())
+        .min_by_key(|&ix| {
+            (
+                depths.depth(ix).expect("filtered to reachable"),
+                std::cmp::Reverse(topo.degree(ix)),
+                ix.raw(),
+            )
+        })
+}
+
+/// The most vulnerable-looking stub: maximum depth, breaking ties toward
+/// fewer providers then smaller index (mirrors the paper's AS55857).
+pub fn deepest_stub(topo: &Topology, depths: &DepthMap) -> Option<AsIndex> {
+    topo.indices()
+        .filter(|&ix| topo.is_stub(ix) && depths.depth(ix).is_some())
+        .max_by_key(|&ix| {
+            (
+                depths.depth(ix).expect("filtered to reachable"),
+                std::cmp::Reverse(topo.num_providers(ix)),
+                std::cmp::Reverse(ix.raw()),
+            )
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{topology_from_triples, AsId, LinkKind::*};
+
+    fn ladder() -> Topology {
+        // 1,2 tier-1 peers; 3=depth1 transit; 4=depth2 transit;
+        // 5=depth1 single stub; 6=depth1 multi stub; 7=depth3 stub.
+        topology_from_triples(&[
+            (1, 2, PeerToPeer),
+            (1, 3, ProviderToCustomer),
+            (3, 4, ProviderToCustomer),
+            (1, 5, ProviderToCustomer),
+            (1, 6, ProviderToCustomer),
+            (2, 6, ProviderToCustomer),
+            (4, 7, ProviderToCustomer),
+        ])
+    }
+
+    fn ix(t: &Topology, n: u32) -> AsIndex {
+        t.index_of(AsId::new(n)).unwrap()
+    }
+
+    #[test]
+    fn finds_stubs_by_depth_and_homing() {
+        let t = ladder();
+        let d = DepthMap::to_tier1(&t);
+        assert_eq!(
+            stub_at_depth(&t, &d, 1, Homing::SingleHomed),
+            Some(ix(&t, 5))
+        );
+        assert_eq!(
+            stub_at_depth(&t, &d, 1, Homing::MultiHomed),
+            Some(ix(&t, 6))
+        );
+        assert_eq!(stub_at_depth(&t, &d, 3, Homing::Any), Some(ix(&t, 7)));
+        assert_eq!(stub_at_depth(&t, &d, 4, Homing::Any), None);
+    }
+
+    #[test]
+    fn transit_at_depth_prefers_degree() {
+        let t = ladder();
+        let d = DepthMap::to_tier1(&t);
+        assert_eq!(transit_at_depth(&t, &d, 1), Some(ix(&t, 3)));
+        assert_eq!(transit_at_depth(&t, &d, 2), Some(ix(&t, 4)));
+    }
+
+    #[test]
+    fn degree_cohorts() {
+        let t = ladder();
+        let big = by_degree_at_least(&t, 4);
+        assert_eq!(big, vec![ix(&t, 1)]); // AS1 has degree 5
+        let top2 = top_k_by_degree(&t, 2);
+        assert_eq!(top2[0], ix(&t, 1));
+        assert_eq!(top2.len(), 2);
+    }
+
+    #[test]
+    fn aggressive_and_deepest() {
+        let t = ladder();
+        let d = DepthMap::to_tier1(&t);
+        assert_eq!(aggressive_transit(&t, &d), Some(ix(&t, 3)));
+        assert_eq!(deepest_stub(&t, &d), Some(ix(&t, 7)));
+    }
+}

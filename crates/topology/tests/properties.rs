@@ -1,0 +1,187 @@
+//! Property-based tests for the topology substrate.
+
+use proptest::prelude::*;
+
+use bgpsim_topology::metrics::{customer_cone, customer_cone_sizes, DepthMap};
+use bgpsim_topology::parser::{from_caida_str, to_caida_string};
+use bgpsim_topology::{AsId, LinkKind, Relationship, TopologyBuilder};
+
+/// Strategy: a random list of links over a small ASN universe. Duplicates
+/// and self-loops are filtered during construction (leniently, mirroring
+/// real dump handling).
+fn arb_links() -> impl Strategy<Value = Vec<(u32, u32, LinkKind)>> {
+    let kind = prop_oneof![
+        Just(LinkKind::ProviderToCustomer),
+        Just(LinkKind::PeerToPeer),
+        Just(LinkKind::SiblingToSibling),
+    ];
+    proptest::collection::vec((1u32..40, 1u32..40, kind), 1..120)
+}
+
+fn build(links: &[(u32, u32, LinkKind)]) -> Option<bgpsim_topology::Topology> {
+    let mut b = TopologyBuilder::new();
+    b.extend(
+        links
+            .iter()
+            .map(|&(a, c, k)| (AsId::new(a), AsId::new(c), k)),
+    );
+    b.build().ok()
+}
+
+proptest! {
+    /// Every link is visible from both endpoints with mirrored roles.
+    #[test]
+    fn adjacency_is_symmetric(links in arb_links()) {
+        let Some(t) = build(&links) else { return Ok(()); };
+        for ix in t.indices() {
+            for nb in t.neighbors(ix) {
+                let back = t
+                    .neighbors(nb.index)
+                    .iter()
+                    .find(|o| o.index == ix)
+                    .expect("reverse edge exists");
+                prop_assert_eq!(back.rel, nb.rel.reversed());
+            }
+        }
+    }
+
+    /// Class iterators partition the neighbor list exactly.
+    #[test]
+    fn class_views_partition(links in arb_links()) {
+        let Some(t) = build(&links) else { return Ok(()); };
+        for ix in t.indices() {
+            let total = t.degree(ix);
+            let parts = t.customers(ix).count() + t.peers(ix).count()
+                + t.providers(ix).count() + t.siblings(ix).count();
+            prop_assert_eq!(total, parts);
+            prop_assert_eq!(t.num_customers(ix), t.customers(ix).count());
+            prop_assert_eq!(t.num_providers(ix), t.providers(ix).count());
+            prop_assert_eq!(t.num_peers(ix), t.peers(ix).count());
+        }
+    }
+
+    /// CAIDA serialization round-trips the relationship multiset.
+    #[test]
+    fn caida_roundtrip(links in arb_links()) {
+        let Some(t) = build(&links) else { return Ok(()); };
+        let t2 = from_caida_str(&to_caida_string(&t)).expect("roundtrip parses");
+        prop_assert_eq!(t.num_ases(), t2.num_ases());
+        prop_assert_eq!(t.num_p2c_links(), t2.num_p2c_links());
+        prop_assert_eq!(t.num_p2p_links(), t2.num_p2p_links());
+        prop_assert_eq!(t.num_s2s_links(), t2.num_s2s_links());
+        for ix in t.indices() {
+            let jx = t2.index_of(t.id_of(ix)).expect("same AS set");
+            let mine: std::collections::BTreeSet<(u8, AsId)> = t
+                .neighbors(ix)
+                .iter()
+                .map(|nb| (rel_tag(nb.rel), t.id_of(nb.index)))
+                .collect();
+            let theirs: std::collections::BTreeSet<(u8, AsId)> = t2
+                .neighbors(jx)
+                .iter()
+                .map(|nb| (rel_tag(nb.rel), t2.id_of(nb.index)))
+                .collect();
+            prop_assert_eq!(&mine, &theirs);
+        }
+    }
+
+    /// to_builder().build() is the identity on structure.
+    #[test]
+    fn builder_roundtrip(links in arb_links()) {
+        let Some(t) = build(&links) else { return Ok(()); };
+        let t2 = t.to_builder().build().expect("round-trip builds");
+        prop_assert_eq!(t.num_ases(), t2.num_ases());
+        for ix in t.indices() {
+            prop_assert_eq!(t.neighbors(ix), t2.neighbors(ix));
+        }
+    }
+
+    /// Depth is 1 + min over providers' depth (Bellman condition).
+    #[test]
+    fn depth_satisfies_bellman(links in arb_links()) {
+        let Some(t) = build(&links) else { return Ok(()); };
+        let d = DepthMap::to_tier1(&t);
+        let seeds: std::collections::HashSet<_> = t.tier1s().into_iter().collect();
+        for ix in t.indices() {
+            match d.depth(ix) {
+                Some(0) => prop_assert!(seeds.contains(&ix)),
+                Some(k) => {
+                    let best = t
+                        .providers(ix)
+                        .filter_map(|p| d.depth(p))
+                        .min()
+                        .expect("finite depth implies a reachable provider");
+                    prop_assert_eq!(k, best + 1);
+                }
+                None => {
+                    for p in t.providers(ix) {
+                        prop_assert!(d.depth(p).is_none());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cone sizes equal materialized cones; every member's cone is a subset.
+    #[test]
+    fn cones_are_consistent(links in arb_links()) {
+        let Some(t) = build(&links) else { return Ok(()); };
+        let sizes = customer_cone_sizes(&t);
+        for ix in t.indices() {
+            let cone = customer_cone(&t, ix);
+            prop_assert_eq!(sizes[ix.usize()] as usize, cone.len());
+            prop_assert!(cone.contains(&ix));
+        }
+    }
+
+    /// Sibling groups form an equivalence relation consistent with links.
+    #[test]
+    fn sibling_groups_are_equivalence_classes(links in arb_links()) {
+        let Some(t) = build(&links) else { return Ok(()); };
+        for ix in t.indices() {
+            for s in t.siblings(ix) {
+                prop_assert!(t.same_organization(ix, s));
+            }
+        }
+    }
+}
+
+fn rel_tag(r: Relationship) -> u8 {
+    match r {
+        Relationship::Customer => 0,
+        Relationship::Peer => 1,
+        Relationship::Provider => 2,
+        Relationship::Sibling => 3,
+    }
+}
+
+/// Paper-scale calibration: the generated Internet must land in the bands
+/// DESIGN.md promises. Expensive (~1 s release, a few s debug) but crucial.
+#[test]
+fn paper_scale_calibration() {
+    use bgpsim_topology::gen::{generate, InternetParams};
+    use bgpsim_topology::TopologyStats;
+
+    let net = generate(&InternetParams::paper_scale(), 2014);
+    let s = TopologyStats::compute(&net.topology);
+    assert_eq!(s.num_ases, 42_697);
+    assert!(
+        (110_000..=160_000).contains(&s.num_links),
+        "links {} out of band",
+        s.num_links
+    );
+    assert_eq!(s.num_tier1, 17);
+    let transit_share = s.num_transit as f64 / s.num_ases as f64;
+    assert!((0.10..=0.20).contains(&transit_share));
+    // Degree cohorts: nested, non-empty, small relative to n.
+    let [c500, c300, c200, c100] = s.degree_cohorts.map(|(_, c)| c);
+    assert!((15..=150).contains(&c500), "deg>=500 cohort {c500}");
+    assert!(c300 > c500 && c300 <= 300);
+    assert!(c200 > c300 && c200 <= 450);
+    assert!(c100 > c200 && c100 <= 800);
+    // Depth distribution: reaches at least 6, mass concentrated <= 3.
+    assert!(s.depth_histogram.len() >= 7);
+    let shallow: usize = s.depth_histogram.iter().take(4).sum();
+    assert!(shallow as f64 / s.num_ases as f64 > 0.80);
+    assert_eq!(s.unreachable, 0);
+}

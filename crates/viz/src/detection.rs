@@ -1,0 +1,241 @@
+//! Detection charts (fig. 7): attacks by number of probes triggered.
+//!
+//! The paper overlays a bar histogram (attack count per triggered-probe
+//! bin) with a mean-attack-size line on a second y-axis. Dual-axis charts
+//! hide scale relationships, so this rendering uses **two stacked panels
+//! sharing one x axis**: counts on top, mean pollution below — same data,
+//! one scale per panel.
+
+use crate::style::{series_color, GRID, SURFACE, TEXT_MUTED, TEXT_PRIMARY, TEXT_SECONDARY};
+use crate::svg::{fmt_count, nice_ticks, Anchor, SvgDoc};
+
+/// Input for one detection chart.
+#[derive(Debug, Clone)]
+pub struct DetectionChart {
+    title: String,
+    subtitle: String,
+    /// `histogram[k]` = attacks seen by exactly `k` probes.
+    histogram: Vec<usize>,
+    /// Mean pollution of the attacks in each bin (0 for empty bins).
+    mean_pollution: Vec<f64>,
+}
+
+impl DetectionChart {
+    /// Builds the chart from a report's histogram and per-bin means.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices differ in length or are empty.
+    pub fn new(
+        title: impl Into<String>,
+        subtitle: impl Into<String>,
+        histogram: &[usize],
+        mean_pollution: &[f64],
+    ) -> DetectionChart {
+        assert_eq!(
+            histogram.len(),
+            mean_pollution.len(),
+            "one mean per histogram bin"
+        );
+        assert!(!histogram.is_empty(), "histogram must have bins");
+        DetectionChart {
+            title: title.into(),
+            subtitle: subtitle.into(),
+            histogram: histogram.to_vec(),
+            mean_pollution: mean_pollution.to_vec(),
+        }
+    }
+
+    /// Renders to SVG.
+    pub fn render(&self) -> String {
+        let (w, h) = (920.0, 640.0);
+        let (left, right) = (86.0, 28.0);
+        let top = 72.0;
+        let gap = 56.0;
+        let bottom = 56.0;
+        let panel_h = (h - top - gap - bottom) / 2.0;
+        let pw = w - left - right;
+        let bins = self.histogram.len();
+        let mut doc = SvgDoc::new(w, h);
+        doc.rect(0.0, 0.0, w, h, SURFACE);
+        doc.text_styled(16.0, 28.0, &self.title, 18.0, TEXT_PRIMARY, Anchor::Start, true, 0.0);
+        if !self.subtitle.is_empty() {
+            doc.text(16.0, 48.0, &self.subtitle, 12.0, TEXT_SECONDARY, Anchor::Start);
+        }
+
+        let slot = pw / bins as f64;
+        let bar_w = (slot - 2.0).clamp(2.0, 24.0);
+        let x_of = |k: usize| left + k as f64 * slot + (slot - bar_w) / 2.0;
+        let x_center = |k: usize| left + (k as f64 + 0.5) * slot;
+
+        // ---- Top panel: attack counts. -----------------------------------
+        let count_hi = *self.histogram.iter().max().unwrap_or(&1) as f64;
+        let yt = nice_ticks(count_hi.max(1.0), 5);
+        let y_hi = *yt.last().expect("ticks");
+        let sy = |v: f64| top + panel_h - (v / y_hi) * panel_h;
+        for &t in &yt {
+            doc.line(left, sy(t), left + pw, sy(t), GRID, 1.0);
+            doc.text(left - 8.0, sy(t) + 4.0, &fmt_count(t), 11.0, TEXT_SECONDARY, Anchor::End);
+        }
+        for (k, &c) in self.histogram.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let color = if k == 0 { series_color(5) } else { series_color(0) };
+            doc.titled(
+                &format!("{c} attacks seen by {k} probe(s)"),
+                |doc| doc.column(x_of(k), sy(c as f64), bar_w, sy(0.0), color),
+            );
+        }
+        // Direct label on the story bin: the misses.
+        if self.histogram[0] > 0 {
+            doc.text(
+                x_center(0),
+                sy(self.histogram[0] as f64) - 6.0,
+                &format!("{} missed", fmt_count(self.histogram[0] as f64)),
+                11.0,
+                TEXT_PRIMARY,
+                Anchor::Start,
+            );
+        }
+        doc.text_styled(
+            20.0,
+            top + panel_h / 2.0,
+            "attacks",
+            12.0,
+            TEXT_SECONDARY,
+            Anchor::Middle,
+            false,
+            -90.0,
+        );
+        // Legend for the two bar identities.
+        let ly = top - 12.0;
+        doc.rect_rounded(left, ly - 9.0, 10.0, 10.0, 2.0, series_color(5));
+        doc.text(left + 16.0, ly, "undetected (0 probes)", 11.0, TEXT_SECONDARY, Anchor::Start);
+        doc.rect_rounded(left + 190.0, ly - 9.0, 10.0, 10.0, 2.0, series_color(0));
+        doc.text(left + 206.0, ly, "detected", 11.0, TEXT_SECONDARY, Anchor::Start);
+
+        // ---- Bottom panel: mean pollution. --------------------------------
+        let p_top = top + panel_h + gap;
+        let poll_hi = self
+            .mean_pollution
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max);
+        let pt = nice_ticks(poll_hi.max(1.0), 5);
+        let p_hi = *pt.last().expect("ticks");
+        let py = |v: f64| p_top + panel_h - (v / p_hi) * panel_h;
+        for &t in &pt {
+            doc.line(left, py(t), left + pw, py(t), GRID, 1.0);
+            doc.text(left - 8.0, py(t) + 4.0, &fmt_count(t), 11.0, TEXT_SECONDARY, Anchor::End);
+        }
+        let line_pts: Vec<(f64, f64)> = self
+            .mean_pollution
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| self.histogram[k] > 0)
+            .map(|(k, &m)| (x_center(k), py(m)))
+            .collect();
+        doc.polyline(&line_pts, series_color(7), 2.0);
+        for &(x, y) in &line_pts {
+            doc.circle(x, y, 4.0, series_color(7), Some(SURFACE));
+        }
+        doc.text_styled(
+            20.0,
+            p_top + panel_h / 2.0,
+            "mean polluted ASes",
+            12.0,
+            TEXT_SECONDARY,
+            Anchor::Middle,
+            false,
+            -90.0,
+        );
+
+        // ---- Shared x axis. ------------------------------------------------
+        let step = (bins / 16).max(1);
+        for k in (0..bins).step_by(step) {
+            doc.text(
+                x_center(k),
+                h - bottom + 18.0,
+                &k.to_string(),
+                11.0,
+                TEXT_SECONDARY,
+                Anchor::Middle,
+            );
+        }
+        doc.text(
+            left + pw / 2.0,
+            h - 14.0,
+            "number of probes that observed the attack",
+            12.0,
+            TEXT_SECONDARY,
+            Anchor::Middle,
+        );
+        doc.text(
+            w - 16.0,
+            h - 14.0,
+            "two panels, one x axis; data in the companion CSV",
+            10.0,
+            TEXT_MUTED,
+            Anchor::End,
+        );
+        doc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_two_panels() {
+        let c = DetectionChart::new(
+            "Case 1: tier-1 probes",
+            "8000 attacks",
+            &[100, 40, 20, 5],
+            &[900.0, 300.0, 1200.0, 4000.0],
+        );
+        let svg = c.render();
+        assert!(svg.contains("missed"));
+        assert!(svg.contains("mean polluted ASes"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("undetected (0 probes)"));
+    }
+
+    #[test]
+    fn empty_bins_are_skipped() {
+        let c = DetectionChart::new("t", "", &[0, 5, 0, 2], &[0.0, 10.0, 0.0, 3.0]);
+        let svg = c.render();
+        // No zero-count tooltip emitted.
+        assert!(!svg.contains("0 attacks seen"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one mean per histogram bin")]
+    fn mismatched_inputs_panic() {
+        let _ = DetectionChart::new("t", "", &[1, 2], &[1.0]);
+    }
+
+    #[test]
+    fn many_bins_render_within_bounds() {
+        // The paper's case 3 has 63 probes -> 64 bins.
+        let hist: Vec<usize> = (0..64).map(|k| (64 - k) * 3).collect();
+        let means: Vec<f64> = (0..64).map(|k| 50.0 * k as f64).collect();
+        let c = DetectionChart::new("case 3", "8000 attacks", &hist, &means);
+        let svg = c.render();
+        assert!(svg.contains("<svg"));
+        // Bars stay <= 24px wide: no width attribute exceeds the cap much.
+        for w in svg.split("width=\"").skip(2) {
+            let val: f64 = w.split('\"').next().unwrap().parse().unwrap_or(0.0);
+            if val < 100.0 {
+                assert!(val <= 24.5, "bar width {val} exceeds the 24px cap");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram must have bins")]
+    fn empty_histogram_panics() {
+        let _ = DetectionChart::new("t", "", &[], &[]);
+    }
+}

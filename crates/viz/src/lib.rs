@@ -1,0 +1,44 @@
+//! Static SVG visualizations for the hijack experiments.
+//!
+//! Three chart families reproduce the paper's figures:
+//!
+//! * [`CcdfChart`] — vulnerability curves (figs. 2–6): attackers achieving
+//!   at least x polluted ASes.
+//! * [`DetectionChart`] — fig. 7's histogram plus mean-attack-size series,
+//!   rendered as two stacked panels sharing one x axis (never dual-axis).
+//! * [`PolarSnapshot`] — fig. 1's generation-by-generation polar
+//!   propagation view (longitude around the perimeter, depth along the
+//!   radius, red = bogus route accepted, green = rejected).
+//!
+//! Charts follow a fixed style contract ([`style`]): a validated 8-slot
+//! categorical palette assigned in order, 2px data lines, hairline
+//! recessive grids, legends whenever two or more series appear, and text
+//! in ink tokens rather than series colors. Every figure the experiment
+//! runners emit is accompanied by a CSV with the same data (the
+//! accessibility "table view").
+//!
+//! # Quick start
+//!
+//! ```
+//! use bgpsim_viz::CcdfChart;
+//!
+//! let mut chart = CcdfChart::new("Vulnerability of a depth-5 stub")
+//!     .subtitle("synthetic internet, all attackers");
+//! chart.add_series("baseline", vec![(1, 290), (1000, 120), (1700, 8)]);
+//! chart.add_series("62 core filters", vec![(1, 220), (400, 30)]);
+//! let svg = chart.render();
+//! assert!(svg.starts_with("<svg"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ccdf;
+mod detection;
+mod polar;
+pub mod style;
+pub mod svg;
+
+pub use ccdf::{CcdfChart, CurveSeries};
+pub use detection::DetectionChart;
+pub use polar::PolarSnapshot;

@@ -1,0 +1,339 @@
+//! Polar propagation graphs (fig. 1).
+//!
+//! "The polar graphs are constructed such that an AS's longitude is
+//! plotted along the graph perimeter, and the AS depth is plotted along
+//! the radius… The size of an AS circle indicates the amount of address
+//! space an AS owns. AS degree is shown by scattering within a concentric
+//! circle. Higher degree ASes are towards the center." Red lines mark
+//! announcements that polluted the receiver; green lines mark rejected
+//! ones.
+
+use std::collections::HashMap;
+
+use bgpsim_routing::{Decision, MessageEvent};
+use bgpsim_topology::metrics::DepthMap;
+use bgpsim_topology::{AddressSpace, AsIndex, Topology};
+
+use crate::style::{polar, SURFACE, TEXT_MUTED, TEXT_PRIMARY, TEXT_SECONDARY};
+use crate::svg::{fmt_count, Anchor, SvgDoc};
+
+/// Everything needed to draw one generation snapshot.
+#[derive(Debug)]
+pub struct PolarSnapshot<'a> {
+    /// The topology under attack.
+    pub topo: &'a Topology,
+    /// Longitude in `[0, 1)` per AS (from the generator, or synthesized).
+    pub longitude: &'a [f64],
+    /// Depth map controlling the radial bands.
+    pub depths: &'a DepthMap,
+    /// Full trace of the propagation (all generations).
+    pub events: &'a [MessageEvent],
+    /// The generation to draw (1-based). Message lines are drawn for this
+    /// generation only; pollution state accumulates up to and including it.
+    pub generation: u32,
+    /// The attacking AS.
+    pub attacker: AsIndex,
+    /// The target AS.
+    pub target: AsIndex,
+    /// Optional address-space weights controlling dot size.
+    pub address_space: Option<&'a AddressSpace>,
+    /// Cap on the number of uninvolved ASes drawn (deterministic stride
+    /// subsample keeps huge graphs renderable). Default cap: 4000.
+    pub idle_cap: usize,
+}
+
+impl<'a> PolarSnapshot<'a> {
+    /// Renders the snapshot to SVG.
+    pub fn render(&self) -> String {
+        let (w, h) = (760.0, 800.0);
+        let (cx, cy) = (w / 2.0, 64.0 + (w - 128.0) / 2.0);
+        let r_outer = (w - 128.0) / 2.0;
+        let max_depth = self.depths.max_depth().unwrap_or(1).max(1);
+        // Depth 0 (tier-1) sits on the outermost ring; the deepest ASes in
+        // the center, matching the paper ("highest depth in the center").
+        let band = r_outer / (max_depth as f64 + 1.0);
+        let radius_of = |ix: AsIndex, topo: &Topology| -> f64 {
+            let d = self.depths.depth(ix).unwrap_or(max_depth) as f64;
+            let base = r_outer - d * band; // outer edge of this AS's band
+            // Higher degree toward the band's inner edge.
+            let deg = topo.degree(ix) as f64;
+            let frac = (deg.ln_1p() / 8.0).min(0.9);
+            base - band * (0.15 + 0.7 * frac)
+        };
+        let pos = |ix: AsIndex, topo: &Topology| -> (f64, f64) {
+            let theta = self.longitude.get(ix.usize()).copied().unwrap_or(0.0)
+                * std::f64::consts::TAU
+                - std::f64::consts::FRAC_PI_2;
+            let r = radius_of(ix, topo);
+            (cx + r * theta.cos(), cy + r * theta.sin())
+        };
+
+        let mut doc = SvgDoc::new(w, h);
+        doc.rect(0.0, 0.0, w, h, SURFACE);
+        doc.text_styled(
+            16.0,
+            28.0,
+            &format!("Generation {}", self.generation),
+            18.0,
+            TEXT_PRIMARY,
+            Anchor::Start,
+            true,
+            0.0,
+        );
+        doc.text(
+            16.0,
+            48.0,
+            &format!(
+                "{} hijacks {}'s prefix",
+                self.topo.id_of(self.attacker),
+                self.topo.id_of(self.target)
+            ),
+            12.0,
+            TEXT_SECONDARY,
+            Anchor::Start,
+        );
+
+        // Depth rings (hairlines).
+        for d in 0..=max_depth {
+            let r = r_outer - d as f64 * band;
+            doc.ring(cx, cy, r, crate::style::GRID, 1.0);
+            doc.text(
+                cx + 4.0,
+                cy - r + 12.0,
+                &format!("d{d}"),
+                9.0,
+                TEXT_MUTED,
+                Anchor::Start,
+            );
+        }
+
+        // Pollution state accumulated up to this generation: the latest
+        // best-route change per AS decides its current origin.
+        let mut current_origin: HashMap<AsIndex, AsIndex> = HashMap::new();
+        for e in self
+            .events
+            .iter()
+            .filter(|e| e.generation <= self.generation && e.decision == Decision::NewBest)
+        {
+            current_origin.insert(e.to, e.origin);
+        }
+        let polluted =
+            |ix: AsIndex| -> bool { current_origin.get(&ix) == Some(&self.attacker) };
+
+        // Idle dots (subsampled deterministically).
+        let involved: std::collections::HashSet<AsIndex> = self
+            .events
+            .iter()
+            .filter(|e| e.generation <= self.generation)
+            .flat_map(|e| [e.from, e.to])
+            .chain([self.attacker, self.target])
+            .collect();
+        let n = self.topo.num_ases();
+        let idle_count = n.saturating_sub(involved.len());
+        let stride = (idle_count / self.idle_cap.max(1)).max(1);
+        let dot_r = |ix: AsIndex| -> f64 {
+            match self.address_space {
+                Some(space) => (1.0 + (space.weight(ix) as f64).ln_1p() * 0.45).min(6.0),
+                None => 1.6,
+            }
+        };
+        let mut skipped = 0usize;
+        for (i, ix) in self.topo.indices().enumerate() {
+            if involved.contains(&ix) {
+                continue;
+            }
+            if i % stride != 0 {
+                skipped += 1;
+                continue;
+            }
+            let (x, y) = pos(ix, self.topo);
+            doc.circle(x, y, dot_r(ix), polar::IDLE, None);
+        }
+
+        // Message lines for this generation (deterministically subsampled
+        // when a generation delivers more lines than can usefully render).
+        let gen_events: Vec<&MessageEvent> = self
+            .events
+            .iter()
+            .filter(|e| e.generation == self.generation && e.origin == self.attacker)
+            .collect();
+        let line_cap = 8_000usize;
+        let line_stride = (gen_events.len() / line_cap).max(1);
+        let mut accepted_lines = 0usize;
+        let mut rejected_lines = 0usize;
+        for (ei, e) in gen_events.into_iter().enumerate() {
+            let (x1, y1) = pos(e.from, self.topo);
+            let (x2, y2) = pos(e.to, self.topo);
+            let (color, opacity) = if e.decision == Decision::NewBest {
+                accepted_lines += 1;
+                (polar::ACCEPTED, 0.55)
+            } else {
+                rejected_lines += 1;
+                (polar::REJECTED, 0.40)
+            };
+            if ei.is_multiple_of(line_stride) {
+                doc.line_with_opacity(x1, y1, x2, y2, color, 1.0, opacity);
+            }
+        }
+
+        // Involved dots on top of the lines: every polluted AS is drawn
+        // (they carry the story); clean-but-involved ASes are subsampled
+        // against the same cap as idle dots.
+        let mut involved_sorted: Vec<AsIndex> = involved.iter().copied().collect();
+        involved_sorted.sort_unstable();
+        let clean_involved = involved_sorted.iter().filter(|&&ix| !polluted(ix)).count();
+        let clean_stride = (clean_involved / self.idle_cap.max(1)).max(1);
+        let mut clean_seen = 0usize;
+        for &ix in &involved_sorted {
+            if ix == self.attacker || ix == self.target {
+                continue;
+            }
+            let is_polluted = polluted(ix);
+            if !is_polluted {
+                clean_seen += 1;
+                if !clean_seen.is_multiple_of(clean_stride) {
+                    continue;
+                }
+            }
+            let (x, y) = pos(ix, self.topo);
+            let fill = if is_polluted { polar::ACCEPTED } else { polar::IDLE };
+            doc.circle(x, y, dot_r(ix).max(2.0), fill, None);
+        }
+        let (tx, ty) = pos(self.target, self.topo);
+        doc.circle(tx, ty, dot_r(self.target).max(5.0), polar::TARGET, Some(SURFACE));
+        let (ax, ay) = pos(self.attacker, self.topo);
+        doc.circle(ax, ay, dot_r(self.attacker).max(5.0), polar::ATTACKER, Some(SURFACE));
+
+        // Legend + stats footer.
+        let ly = h - 96.0;
+        let legend = [
+            (polar::ATTACKER, "attacker"),
+            (polar::TARGET, "target"),
+            (polar::ACCEPTED, "bogus route accepted"),
+            (polar::REJECTED, "bogus route rejected"),
+            (polar::IDLE, "unaffected AS"),
+        ];
+        for (i, (color, label)) in legend.iter().enumerate() {
+            let lx = 16.0 + (i % 3) as f64 * 240.0;
+            let lyy = ly + (i / 3) as f64 * 20.0;
+            doc.circle(lx + 5.0, lyy - 4.0, 5.0, color, Some(SURFACE));
+            doc.text(lx + 16.0, lyy, label, 12.0, TEXT_SECONDARY, Anchor::Start);
+        }
+        let polluted_count = current_origin
+            .iter()
+            .filter(|&(ix, o)| *o == self.attacker && *ix != self.attacker)
+            .count();
+        let mut footer = format!(
+            "{} polluted so far · {} accepted / {} rejected this generation",
+            fmt_count(polluted_count as f64),
+            fmt_count(accepted_lines as f64),
+            fmt_count(rejected_lines as f64),
+        );
+        if let Some(space) = self.address_space {
+            let polluted_ixs: Vec<AsIndex> = current_origin
+                .iter()
+                .filter(|&(ix, o)| *o == self.attacker && *ix != self.attacker)
+                .map(|(&ix, _)| ix)
+                .collect();
+            footer.push_str(&format!(
+                " · {:.0}% of address space",
+                100.0 * space.fraction_of(polluted_ixs)
+            ));
+        }
+        doc.text(16.0, h - 40.0, &footer, 12.0, TEXT_PRIMARY, Anchor::Start);
+        if skipped > 0 {
+            doc.text(
+                16.0,
+                h - 20.0,
+                &format!("({} uninvolved ASes subsampled out for rendering)", fmt_count(skipped as f64)),
+                10.0,
+                TEXT_MUTED,
+                Anchor::Start,
+            );
+        }
+        doc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsim_hijack::{Attack, Defense, Simulator};
+    use bgpsim_routing::{PolicyConfig, TraceRecorder, Workspace};
+    use bgpsim_topology::gen::{generate, InternetParams};
+
+    #[test]
+    fn renders_generation_snapshots() {
+        let net = generate(&InternetParams::tiny(), 3);
+        let topo = &net.topology;
+        let depths = DepthMap::to_tier1(topo);
+        let sim = Simulator::new(topo, PolicyConfig::paper());
+        let target = topo.stub_ases()[0];
+        let attacker = topo.transit_ases()[2];
+        let mut trace = TraceRecorder::new();
+        let outcome = sim.run_observed(
+            Attack::origin(attacker, target),
+            &Defense::none(),
+            &mut Workspace::new(),
+            &mut trace,
+        );
+        assert!(outcome.generations >= 2);
+        for generation in 1..=outcome.generations.min(3) {
+            let svg = PolarSnapshot {
+                topo,
+                longitude: &net.longitude,
+                depths: &depths,
+                events: trace.events(),
+                generation,
+                attacker,
+                target,
+                address_space: Some(&net.address_space),
+                idle_cap: 500,
+            }
+            .render();
+            assert!(svg.contains("<svg"));
+            assert!(svg.contains(&format!("Generation {generation}")));
+            assert!(svg.contains("attacker"));
+            assert!(svg.contains("polluted so far"));
+        }
+    }
+
+    #[test]
+    fn pollution_count_accumulates_across_generations() {
+        let net = generate(&InternetParams::tiny(), 5);
+        let topo = &net.topology;
+        let depths = DepthMap::to_tier1(topo);
+        let sim = Simulator::new(topo, PolicyConfig::paper());
+        let target = topo.stub_ases()[1];
+        let attacker = topo.transit_ases()[0];
+        let mut trace = TraceRecorder::new();
+        let outcome = sim.run_observed(
+            Attack::origin(attacker, target),
+            &Defense::none(),
+            &mut Workspace::new(),
+            &mut trace,
+        );
+        // The last generation's accumulated pollution must match the
+        // outcome (the footer text encodes it).
+        let svg = PolarSnapshot {
+            topo,
+            longitude: &net.longitude,
+            depths: &depths,
+            events: trace.events(),
+            generation: outcome.generations,
+            attacker,
+            target,
+            address_space: None,
+            idle_cap: 100,
+        }
+        .render();
+        let expect = format!(
+            "{} polluted so far",
+            crate::svg::fmt_count(outcome.pollution_count() as f64)
+        );
+        assert!(
+            svg.contains(&expect),
+            "footer should report {expect}"
+        );
+    }
+}

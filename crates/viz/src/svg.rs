@@ -1,0 +1,404 @@
+//! A minimal, dependency-free SVG document writer.
+//!
+//! Charts in this crate are static SVG files; this module provides just
+//! enough structure to emit them safely (escaped text/attributes) and
+//! legibly (indented output).
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct SvgDoc {
+    width: f64,
+    height: f64,
+    body: String,
+    indent: usize,
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Formats a coordinate compactly (2 decimals, trailing zeros trimmed).
+pub fn fmt_num(v: f64) -> String {
+    let s = format!("{v:.2}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() || s == "-" {
+        "0".to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+impl SvgDoc {
+    /// Starts a document of the given pixel size.
+    pub fn new(width: f64, height: f64) -> SvgDoc {
+        SvgDoc {
+            width,
+            height,
+            body: String::new(),
+            indent: 1,
+        }
+    }
+
+    fn pad(&mut self) {
+        for _ in 0..self.indent {
+            self.body.push_str("  ");
+        }
+    }
+
+    /// Emits a filled rectangle (no stroke).
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) {
+        self.rect_rounded(x, y, w, h, 0.0, fill);
+    }
+
+    /// Emits a filled rectangle with rounded corners.
+    pub fn rect_rounded(&mut self, x: f64, y: f64, w: f64, h: f64, rx: f64, fill: &str) {
+        self.pad();
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{}" y="{}" width="{}" height="{}" rx="{}" fill="{}"/>"#,
+            fmt_num(x),
+            fmt_num(y),
+            fmt_num(w.max(0.0)),
+            fmt_num(h.max(0.0)),
+            fmt_num(rx),
+            esc(fill)
+        );
+    }
+
+    /// Emits a column with a rounded top (4px data-end) and square base —
+    /// the bar spec from the mark guidelines.
+    pub fn column(&mut self, x: f64, y_top: f64, w: f64, y_base: f64, fill: &str) {
+        let h = (y_base - y_top).max(0.0);
+        let r = 4.0f64.min(w / 2.0).min(h);
+        if h <= r || r <= 0.0 {
+            self.rect(x, y_top, w, h, fill);
+            return;
+        }
+        self.pad();
+        let _ = writeln!(
+            self.body,
+            r#"<path d="M{} {} L{} {} L{} {} Q{} {} {} {} L{} {} Q{} {} {} {} Z" fill="{}"/>"#,
+            fmt_num(x),
+            fmt_num(y_base),
+            fmt_num(x),
+            fmt_num(y_top + r),
+            fmt_num(x),
+            fmt_num(y_top + r),
+            fmt_num(x),
+            fmt_num(y_top),
+            fmt_num(x + r),
+            fmt_num(y_top),
+            fmt_num(x + w - r),
+            fmt_num(y_top),
+            fmt_num(x + w),
+            fmt_num(y_top),
+            fmt_num(x + w),
+            fmt_num(y_top + r),
+            esc(fill)
+        );
+        // Close the body below the rounded cap.
+        self.pad();
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{}" y="{}" width="{}" height="{}" fill="{}"/>"#,
+            fmt_num(x),
+            fmt_num(y_top + r),
+            fmt_num(w),
+            fmt_num(y_base - y_top - r),
+            esc(fill)
+        );
+    }
+
+    /// Emits a line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        self.line_with_opacity(x1, y1, x2, y2, stroke, width, 1.0);
+    }
+
+    /// Emits a line segment with stroke opacity.
+    #[allow(clippy::too_many_arguments)]
+    pub fn line_with_opacity(
+        &mut self,
+        x1: f64,
+        y1: f64,
+        x2: f64,
+        y2: f64,
+        stroke: &str,
+        width: f64,
+        opacity: f64,
+    ) {
+        self.pad();
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="{}" stroke-width="{}" stroke-opacity="{}" stroke-linecap="round"/>"#,
+            fmt_num(x1),
+            fmt_num(y1),
+            fmt_num(x2),
+            fmt_num(y2),
+            esc(stroke),
+            fmt_num(width),
+            fmt_num(opacity)
+        );
+    }
+
+    /// Emits an unfilled polyline (2px round-join data line by default
+    /// semantics; pass the width explicitly).
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        if points.is_empty() {
+            return;
+        }
+        let pts: Vec<String> = points
+            .iter()
+            .map(|&(x, y)| format!("{},{}", fmt_num(x), fmt_num(y)))
+            .collect();
+        self.pad();
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="{}" stroke-linejoin="round" stroke-linecap="round"/>"#,
+            pts.join(" "),
+            esc(stroke),
+            fmt_num(width)
+        );
+    }
+
+    /// Emits a circle, optionally with a surface-colored ring (pass the
+    /// surface color as `ring`).
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str, ring: Option<&str>) {
+        self.pad();
+        match ring {
+            Some(surface) => {
+                let _ = writeln!(
+                    self.body,
+                    r#"<circle cx="{}" cy="{}" r="{}" fill="{}" stroke="{}" stroke-width="2"/>"#,
+                    fmt_num(cx),
+                    fmt_num(cy),
+                    fmt_num(r),
+                    esc(fill),
+                    esc(surface)
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    self.body,
+                    r#"<circle cx="{}" cy="{}" r="{}" fill="{}"/>"#,
+                    fmt_num(cx),
+                    fmt_num(cy),
+                    fmt_num(r),
+                    esc(fill)
+                );
+            }
+        }
+    }
+
+    /// Emits a stroke-only circle (hairline ring, no fill).
+    pub fn ring(&mut self, cx: f64, cy: f64, r: f64, stroke: &str, width: f64) {
+        self.pad();
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{}" cy="{}" r="{}" fill="none" stroke="{}" stroke-width="{}"/>"#,
+            fmt_num(cx),
+            fmt_num(cy),
+            fmt_num(r),
+            esc(stroke),
+            fmt_num(width)
+        );
+    }
+
+    /// Emits a text element in the document's font stack.
+    pub fn text(&mut self, x: f64, y: f64, content: &str, size: f64, fill: &str, anchor: Anchor) {
+        self.text_styled(x, y, content, size, fill, anchor, false, 0.0);
+    }
+
+    /// Text with optional bold weight and rotation (degrees, about x/y).
+    #[allow(clippy::too_many_arguments)]
+    pub fn text_styled(
+        &mut self,
+        x: f64,
+        y: f64,
+        content: &str,
+        size: f64,
+        fill: &str,
+        anchor: Anchor,
+        bold: bool,
+        rotate: f64,
+    ) {
+        self.pad();
+        let anchor = match anchor {
+            Anchor::Start => "start",
+            Anchor::Middle => "middle",
+            Anchor::End => "end",
+        };
+        let weight = if bold { " font-weight=\"600\"" } else { "" };
+        let transform = if rotate != 0.0 {
+            format!(
+                r#" transform="rotate({} {} {})""#,
+                fmt_num(rotate),
+                fmt_num(x),
+                fmt_num(y)
+            )
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{}" y="{}" font-size="{}" fill="{}" text-anchor="{anchor}"{weight}{transform}>{}</text>"#,
+            fmt_num(x),
+            fmt_num(y),
+            fmt_num(size),
+            esc(fill),
+            esc(content)
+        );
+    }
+
+    /// Adds a `<title>` tooltip to the *next* emitted element by wrapping
+    /// it in a group. Call as `doc.titled(tooltip, |doc| …)`.
+    pub fn titled(&mut self, tooltip: &str, f: impl FnOnce(&mut SvgDoc)) {
+        self.pad();
+        let _ = writeln!(self.body, "<g>");
+        self.indent += 1;
+        self.pad();
+        let _ = writeln!(self.body, "<title>{}</title>", esc(tooltip));
+        f(self);
+        self.indent -= 1;
+        self.pad();
+        let _ = writeln!(self.body, "</g>");
+    }
+
+    /// Finalizes the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+             viewBox=\"0 0 {w} {h}\" font-family=\"system-ui, -apple-system, 'Segoe UI', sans-serif\">\n{body}</svg>\n",
+            w = fmt_num(self.width),
+            h = fmt_num(self.height),
+            body = self.body
+        )
+    }
+}
+
+/// Horizontal text anchoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Anchor {
+    /// Left-aligned at x.
+    Start,
+    /// Centered on x.
+    Middle,
+    /// Right-aligned at x.
+    End,
+}
+
+/// Computes up to `max_ticks` "nice" axis ticks covering `[0, hi]`
+/// (1–2–5 progression).
+pub fn nice_ticks(hi: f64, max_ticks: usize) -> Vec<f64> {
+    if hi <= 0.0 {
+        return vec![0.0, 1.0];
+    }
+    let raw_step = hi / max_ticks.max(2) as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let step = [1.0, 2.0, 5.0, 10.0]
+        .iter()
+        .map(|m| m * mag)
+        .find(|&s| hi / s <= max_ticks as f64)
+        .unwrap_or(10.0 * mag);
+    let mut ticks = Vec::new();
+    let mut v = 0.0;
+    while v <= hi + step * 1e-9 {
+        ticks.push(v);
+        v += step;
+    }
+    if *ticks.last().expect("at least 0") < hi {
+        ticks.push(v);
+    }
+    ticks
+}
+
+/// Formats an axis value with thousands separators.
+pub fn fmt_count(v: f64) -> String {
+    let n = v.round() as i64;
+    let s = n.abs().to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    if n < 0 {
+        format!("-{out}")
+    } else {
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure_and_escaping() {
+        let mut d = SvgDoc::new(100.0, 50.0);
+        d.text(1.0, 2.0, "a<b & \"c\"", 10.0, "#000", Anchor::Start);
+        d.rect(0.0, 0.0, 10.0, 10.0, "#fff");
+        let s = d.finish();
+        assert!(s.starts_with("<svg"));
+        assert!(s.ends_with("</svg>\n"));
+        assert!(s.contains("a&lt;b &amp; &quot;c&quot;"));
+        assert!(!s.contains("a<b"));
+    }
+
+    #[test]
+    fn titled_wraps_in_group() {
+        let mut d = SvgDoc::new(10.0, 10.0);
+        d.titled("tip & tip", |d| d.circle(1.0, 1.0, 2.0, "#111", None));
+        let s = d.finish();
+        assert!(s.contains("<title>tip &amp; tip</title>"));
+        assert!(s.contains("<g>"));
+        assert!(s.contains("</g>"));
+    }
+
+    #[test]
+    fn nice_ticks_cover_range() {
+        let t = nice_ticks(97.0, 6);
+        assert_eq!(t[0], 0.0);
+        assert!(*t.last().unwrap() >= 97.0);
+        assert!(t.len() <= 8);
+        // 1-2-5 progression steps.
+        let step = t[1] - t[0];
+        let mag = 10f64.powf(step.log10().floor());
+        let m = step / mag;
+        assert!([1.0, 2.0, 5.0, 10.0].iter().any(|x| (x - m).abs() < 1e-9));
+    }
+
+    #[test]
+    fn nice_ticks_degenerate() {
+        assert_eq!(nice_ticks(0.0, 5), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(fmt_count(0.0), "0");
+        assert_eq!(fmt_count(999.0), "999");
+        assert_eq!(fmt_count(1000.0), "1,000");
+        assert_eq!(fmt_count(42_697.0), "42,697");
+        assert_eq!(fmt_count(-1234.0), "-1,234");
+    }
+
+    #[test]
+    fn num_formatting_trims() {
+        assert_eq!(fmt_num(1.0), "1");
+        assert_eq!(fmt_num(1.50), "1.5");
+        assert_eq!(fmt_num(0.004), "0");
+    }
+
+    #[test]
+    fn column_small_heights_degrade_to_rect() {
+        let mut d = SvgDoc::new(10.0, 10.0);
+        d.column(0.0, 8.0, 4.0, 10.0, "#123456");
+        let s = d.finish();
+        assert!(s.contains("rect"));
+    }
+}

@@ -1,0 +1,18 @@
+//! Fig. 1 reproduction: polar snapshots of an aggressive origin hijack
+//! propagating generation by generation.
+//!
+//! Writes `out/fig1_gen*.svg` and prints per-generation statistics.
+
+use bgpsim_core::experiments::fig1;
+use bgpsim_core::{ExperimentConfig, Lab};
+
+fn main() {
+    let lab = Lab::new(ExperimentConfig::from_env());
+    let result = fig1(&lab);
+    println!("{}", result.summary(&lab));
+    let dir = std::path::Path::new("out");
+    match result.write_artifacts(dir) {
+        Ok(files) => println!("wrote {} to {}", files.join(", "), dir.display()),
+        Err(e) => eprintln!("could not write artifacts: {e}"),
+    }
+}

@@ -1,0 +1,19 @@
+//! §VII reproduction: regional containment on the island region —
+//! baseline, re-homing two levels up, and a single gateway filter — plus
+//! the generated step-wise security plan.
+//!
+//! Writes `out/sec7_region.csv` and `out/sec7_plan.txt`.
+
+use bgpsim_core::experiments::sec7;
+use bgpsim_core::{ExperimentConfig, Lab};
+
+fn main() {
+    let lab = Lab::new(ExperimentConfig::from_env());
+    let result = sec7(&lab);
+    println!("{}", result.summary(&lab));
+    let dir = std::path::Path::new("out");
+    match result.write_artifacts(dir) {
+        Ok(files) => println!("wrote {} to {}", files.join(", "), dir.display()),
+        Err(e) => eprintln!("could not write artifacts: {e}"),
+    }
+}

@@ -1,0 +1,24 @@
+//! `bgpsim` — reproduction of *"Incremental Deployment Strategies for
+//! Effective Detection and Prevention of BGP Origin Hijacks"* (Gersch,
+//! Massey, Papadopoulos — ICDCS 2014).
+//!
+//! This facade re-exports the workspace: see [`bgpsim_core`] for the
+//! experiment harness and the substrate crates
+//! ([`topology`](bgpsim_core::topology), [`routing`](bgpsim_core::routing),
+//! [`hijack`](bgpsim_core::hijack), [`defense`](bgpsim_core::defense),
+//! [`detection`](bgpsim_core::detection), [`advisor`](bgpsim_core::advisor),
+//! [`viz`](bgpsim_core::viz)).
+//!
+//! ```
+//! use bgpsim::{experiments, ExperimentConfig, Lab};
+//!
+//! let mut config = ExperimentConfig::quick();
+//! config.params = bgpsim::topology::gen::InternetParams::tiny();
+//! let lab = Lab::new(config);
+//! println!("{}", experiments::tab_model(&lab).summary());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bgpsim_core::*;
