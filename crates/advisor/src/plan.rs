@@ -199,13 +199,8 @@ mod tests {
     fn shallow_target_skips_rehoming() {
         let net = generate(&InternetParams::small(), 3);
         let depths = DepthMap::to_tier1(&net.topology);
-        let shallow = select::stub_at_depth(
-            &net.topology,
-            &depths,
-            1,
-            select::Homing::MultiHomed,
-        )
-        .unwrap();
+        let shallow =
+            select::stub_at_depth(&net.topology, &depths, 1, select::Homing::MultiHomed).unwrap();
         let region: Vec<AsIndex> = net.topology.indices().collect();
         let plan = SecurityPlan::for_target(&net.topology, shallow, &region);
         assert!(!plan.recommends_rehoming());

@@ -217,8 +217,7 @@ mod tests {
         // target's baseline (the premise of figs. 5 vs 6).
         let r5 = fig5(&lab);
         assert!(
-            r.outcomes[0].mean_successful_pollution()
-                >= r5.outcomes[0].mean_successful_pollution()
+            r.outcomes[0].mean_successful_pollution() >= r5.outcomes[0].mean_successful_pollution()
         );
     }
 }

@@ -2,7 +2,9 @@
 
 use std::path::Path;
 
-use bgpsim_detection::{random_transit_attacks, run_detection_experiment, DetectionReport, ProbeSet};
+use bgpsim_detection::{
+    random_transit_attacks, run_detection_experiment, DetectionReport, ProbeSet,
+};
 use bgpsim_hijack::Defense;
 
 use crate::lab::Lab;
@@ -144,8 +146,7 @@ pub fn fig7(lab: &Lab) -> DetectionResult {
     let sim = lab.simulator();
     let topo = lab.topology();
     // Case 3's cohort threshold scales like the §V degree cohorts.
-    let degree_threshold =
-        ((500.0 * lab.config().scale().sqrt()).round() as usize).max(4);
+    let degree_threshold = ((500.0 * lab.config().scale().sqrt()).round() as usize).max(4);
     let sets = vec![
         ProbeSet::tier1(topo),
         ProbeSet::bgpmon_like(topo, 24, lab.config().seed ^ 0xb69),

@@ -31,13 +31,21 @@ impl ModelResult {
     /// Paper-vs-measured comparison table.
     pub fn table(&self) -> TextTable {
         let mut t = TextTable::new(["metric", "paper (CAIDA 2013)", "this run"]);
-        t.row(["ASes".to_string(), "42,697".into(), self.stats.num_ases.to_string()]);
+        t.row([
+            "ASes".to_string(),
+            "42,697".into(),
+            self.stats.num_ases.to_string(),
+        ]);
         t.row([
             "relationships".to_string(),
             "139,156".into(),
             self.stats.num_links.to_string(),
         ]);
-        t.row(["tier-1 ASes".to_string(), "17".into(), self.stats.num_tier1.to_string()]);
+        t.row([
+            "tier-1 ASes".to_string(),
+            "17".into(),
+            self.stats.num_tier1.to_string(),
+        ]);
         t.row([
             "transit ASes".to_string(),
             "6,318 (14.8%)".into(),

@@ -51,7 +51,11 @@ impl PolarResult {
             write_artifact(dir, &name, svg)?;
             written.push(name);
         }
-        write_artifact(dir, "fig1_generations.csv", &self.generations_table().to_csv())?;
+        write_artifact(
+            dir,
+            "fig1_generations.csv",
+            &self.generations_table().to_csv(),
+        )?;
         written.push("fig1_generations.csv".into());
         Ok(written)
     }
@@ -136,10 +140,7 @@ mod tests {
         assert!(r.snapshots.iter().all(|(_, svg)| svg.contains("<svg")));
         assert!(r.pollution > 0, "an aggressive attack must pollute someone");
         assert!((0.0..=1.0).contains(&r.address_fraction));
-        assert_eq!(
-            r.messages_per_generation.len(),
-            r.generations as usize
-        );
+        assert_eq!(r.messages_per_generation.len(), r.generations as usize);
         assert!(r.summary(&lab).contains("generations"));
     }
 }

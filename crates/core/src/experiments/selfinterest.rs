@@ -3,7 +3,9 @@
 
 use std::path::Path;
 
-use bgpsim_advisor::{analyze_region, multihome_up, regional_containment, rehome_up, RegionalPollution, SecurityPlan};
+use bgpsim_advisor::{
+    analyze_region, multihome_up, regional_containment, rehome_up, RegionalPollution, SecurityPlan,
+};
 use bgpsim_hijack::{Defense, Simulator};
 use bgpsim_topology::AsIndex;
 
@@ -107,7 +109,14 @@ pub fn sec7(lab: &Lab) -> SelfInterestResult {
 
     let mut scenarios = vec![Scenario {
         label: "baseline".into(),
-        pollution: regional_containment(&sim, target, &members, outside_sample, seed, &Defense::none()),
+        pollution: regional_containment(
+            &sim,
+            target,
+            &members,
+            outside_sample,
+            seed,
+            &Defense::none(),
+        ),
     }];
 
     // Re-homing experiment. The paper climbed its depth-5 target two
@@ -127,8 +136,11 @@ pub fn sec7(lab: &Lab) -> SelfInterestResult {
     // can differ sharply — replacement forfeits the old subtree's
     // customer-class protection — which is why the paper pairs "re-homing
     // and multi-homing".
-    type HomingTransform =
-        fn(&bgpsim_topology::Topology, AsIndex, u32) -> Result<bgpsim_advisor::Rehoming, bgpsim_advisor::RehomeError>;
+    type HomingTransform = fn(
+        &bgpsim_topology::Topology,
+        AsIndex,
+        u32,
+    ) -> Result<bgpsim_advisor::Rehoming, bgpsim_advisor::RehomeError>;
     let variants: [(&str, HomingTransform); 2] =
         [("re-homed", rehome_up), ("multi-homed", multihome_up)];
     for (what, transform) in variants {
@@ -198,7 +210,10 @@ mod tests {
         let r = sec7(&lab);
         assert!(r.scenarios.len() >= 2, "baseline plus at least one action");
         let baseline = r.scenarios[0].pollution;
-        assert!(baseline.mean_from_inside > 0.0, "baseline attacks must land");
+        assert!(
+            baseline.mean_from_inside > 0.0,
+            "baseline attacks must land"
+        );
         // At reduced scale individual actions can be noisy; require that
         // at least one action materially improves inside containment and
         // that none blows it up. (EXPERIMENTS.md evaluates the paper's

@@ -101,8 +101,7 @@ impl Lab {
         let depth2_stub = stub_with(2, 2, 3)
             .or_else(|| select::stub_at_depth(topo, depths, 2, Homing::Any))
             .expect("generator guarantees a depth-2 stub");
-        let vulnerable_stub =
-            select::deepest_stub(topo, depths).expect("topology has stubs");
+        let vulnerable_stub = select::deepest_stub(topo, depths).expect("topology has stubs");
         let vulnerable_depth = depths
             .depth(vulnerable_stub)
             .expect("deepest stub is connected");

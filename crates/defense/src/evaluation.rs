@@ -112,8 +112,7 @@ mod tests {
         let topo = &net.topology;
         let sim = Simulator::new(topo, PolicyConfig::paper());
         let target = topo.stub_ases()[0];
-        let attackers: Vec<AsIndex> =
-            topo.transit_ases().into_iter().take(40).collect();
+        let attackers: Vec<AsIndex> = topo.transit_ases().into_iter().take(40).collect();
         let strategies = [
             DeploymentStrategy::None,
             DeploymentStrategy::Tier1,
@@ -143,8 +142,7 @@ mod tests {
         // Pick a tier-1 as the target: Tier1 strategy would include it.
         let target = topo.tier1s()[0];
         let attackers = vec![topo.stub_ases()[0]];
-        let outcomes =
-            evaluate_strategies(&sim, target, &attackers, &[DeploymentStrategy::Tier1]);
+        let outcomes = evaluate_strategies(&sim, target, &attackers, &[DeploymentStrategy::Tier1]);
         assert_eq!(outcomes[0].deployed, topo.tier1s().len() - 1);
     }
 
@@ -154,8 +152,7 @@ mod tests {
         let topo = &net.topology;
         let sim = Simulator::new(topo, PolicyConfig::paper());
         let target = topo.stub_ases()[1];
-        let attackers: Vec<AsIndex> =
-            topo.transit_ases().into_iter().take(30).collect();
+        let attackers: Vec<AsIndex> = topo.transit_ases().into_iter().take(30).collect();
         let counts = sim.sweep_attackers(target, &attackers, &Defense::none());
         let sweep = SweepResult::new(attackers, counts);
         let depths = DepthMap::to_tier1(topo);

@@ -39,5 +39,7 @@
 mod evaluation;
 mod strategy;
 
-pub use evaluation::{evaluate_strategies, top_potent_attackers, PotentAttackerRow, StrategyOutcome};
+pub use evaluation::{
+    evaluate_strategies, top_potent_attackers, PotentAttackerRow, StrategyOutcome,
+};
 pub use strategy::DeploymentStrategy;

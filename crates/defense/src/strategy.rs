@@ -172,9 +172,7 @@ mod tests {
         );
         let big = DeploymentStrategy::DegreeAtLeast(10).select(&net.topology);
         assert!(!big.is_empty());
-        assert!(big
-            .iter()
-            .all(|&ix| net.topology.degree(ix) >= 10));
+        assert!(big.iter().all(|&ix| net.topology.degree(ix) >= 10));
         let top = DeploymentStrategy::TopKByDegree(5).select(&net.topology);
         assert_eq!(top.len(), 5);
     }
@@ -188,7 +186,9 @@ mod tests {
         );
         assert!(DeploymentStrategy::None.select(&net.topology).is_empty());
         assert_eq!(
-            DeploymentStrategy::None.defense(&net.topology).num_validators(),
+            DeploymentStrategy::None
+                .defense(&net.topology)
+                .num_validators(),
             0
         );
     }

@@ -149,10 +149,7 @@ mod tests {
         let net = generate(&InternetParams::tiny(), 5);
         let topo = &net.topology;
         let sim = Simulator::new(topo, PolicyConfig::paper());
-        let sets = vec![
-            ProbeSet::tier1(topo),
-            ProbeSet::degree_at_least(topo, 8),
-        ];
+        let sets = vec![ProbeSet::tier1(topo), ProbeSet::degree_at_least(topo, 8)];
         let attacks = random_transit_attacks(topo, 60, 1);
         let reports = run_detection_experiment(&sim, &sets, &attacks, &Defense::none());
         assert_eq!(reports.len(), 2);

@@ -189,9 +189,7 @@ mod tests {
         let direct: Vec<u32> = attacks
             .iter()
             .enumerate()
-            .filter(|(_, &a)| {
-                sim.run(a, &Defense::none()).is_polluted(candidates[ci])
-            })
+            .filter(|(_, &a)| sim.run(a, &Defense::none()).is_polluted(candidates[ci]))
             .map(|(i, _)| i as u32)
             .collect();
         assert_eq!(m.observed_by(ci), direct.as_slice());

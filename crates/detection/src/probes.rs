@@ -146,7 +146,11 @@ mod tests {
         assert_ne!(a, c);
         // Mixed profile: contains at least one large-degree AS and several
         // smaller ones.
-        let degrees: Vec<usize> = a.probes().iter().map(|&ix| net.topology.degree(ix)).collect();
+        let degrees: Vec<usize> = a
+            .probes()
+            .iter()
+            .map(|&ix| net.topology.degree(ix))
+            .collect();
         let max = *degrees.iter().max().unwrap();
         let min = *degrees.iter().min().unwrap();
         assert!(max > 4 * min.max(1), "profile not mixed: {degrees:?}");

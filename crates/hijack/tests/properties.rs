@@ -178,3 +178,46 @@ proptest! {
         prop_assert_eq!(sweep.curve().num_attacks(), attackers.len());
     }
 }
+
+/// The checked-in regressions from `properties.proptest-regressions`
+/// (seed = 0 / seed = 427, both ti = 0) shrank to the same mechanism:
+/// a stub attacker whose *transit* sibling launders the hijack out of the
+/// organization. The stub's own exports are filtered at its providers and
+/// peers, but the route crosses the internal sibling link unfiltered,
+/// inherits Origin preference, and the transit sibling re-exports it —
+/// with a non-stub sender — to the rest of the graph. Pinned here as an
+/// explicit topology so the case survives RNG changes.
+#[test]
+fn pinned_regression_stub_sibling_laundering() {
+    use bgpsim_topology::{AsId, LinkKind, TopologyBuilder};
+
+    let mut b = TopologyBuilder::new();
+    for asn in 1..=6 {
+        b.add_as(AsId::new(asn));
+    }
+    let p2c = LinkKind::ProviderToCustomer;
+    b.add_link(AsId::new(1), AsId::new(3), p2c).unwrap(); // P → S (stub attacker)
+    b.add_link(AsId::new(1), AsId::new(2), p2c).unwrap(); // P → T (transit sibling)
+    b.add_link(AsId::new(1), AsId::new(4), p2c).unwrap(); // P → V (target)
+    b.add_link(AsId::new(1), AsId::new(6), p2c).unwrap(); // P → X (bystander)
+    b.add_link(AsId::new(2), AsId::new(5), p2c).unwrap(); // T → C (T's customer)
+    b.add_link(AsId::new(2), AsId::new(3), LinkKind::SiblingToSibling)
+        .unwrap(); // T ~ S
+    let topo = b.build().unwrap();
+
+    let s = topo.index_of(AsId::new(3)).unwrap();
+    let t = topo.index_of(AsId::new(4)).unwrap();
+    assert!(topo.is_stub(s));
+    assert!(topo.is_transit(topo.index_of(AsId::new(2)).unwrap()));
+
+    let sim = Simulator::new(&topo, PolicyConfig::paper());
+    let o = sim.run(Attack::origin(s, t), &Defense::stub_defense_only());
+    for &p in &o.polluted {
+        assert!(
+            topo.same_organization(p, s),
+            "stub {} polluted {} outside its organization",
+            topo.id_of(s),
+            topo.id_of(p)
+        );
+    }
+}

@@ -1,0 +1,1142 @@
+//! Incremental re-convergence by race replay (§IV sweep accelerator).
+//!
+//! The paper's §IV measurement re-runs a two-origin propagation for every
+//! (attacker, target) pair — tens of thousands of full simulations per
+//! figure, each repeating the *same* honest convergence of the target's
+//! announcement while the attacker's routes perturb only a fraction of the
+//! network. This module factors the repetition out without changing a
+//! single delivered message:
+//!
+//! 1. [`Baseline::build`] runs the honest propagation **once**, freezing
+//!    both the converged per-AS state ([`RibSnapshot`]) and the complete
+//!    per-generation message schedule (the race log).
+//! 2. [`propagate_delta`] re-runs the race with the attacker's
+//!    announcement added, but simulates live only the *contamination
+//!    cone*: ASes whose message stream differs from the recorded honest
+//!    schedule. Everything outside the cone provably evolves exactly as in
+//!    the baseline, so its work — the bulk of the race — is skipped and
+//!    its final state is read from the snapshot.
+//!
+//! # Equivalence guarantee
+//!
+//! Delta results are bit-identical to a from-scratch propagation of the
+//! combined announcement set — **by construction**, not merely where the
+//! stable solution is unique. The argument: the engine's race is a
+//! deterministic synchronous process, and within one generation the
+//! post-delivery state of an AS depends only on the *set* of messages it
+//! received (each directed edge carries at most one message per
+//! generation, and selection keys are total orders). An AS is recruited
+//! into the cone the moment its generation-`g` message set deviates from
+//! the recorded schedule — a cone member's exports are compared
+//! content-and-path against the log, so equal re-exports do not recruit.
+//! On recruitment the AS's exact race state at generation `g` is
+//! reconstructed by replaying its recorded message history, after which it
+//! runs live through the *same* [`deliver`]/[`export_from`] mechanics as a
+//! full run. By induction, every AS ends in exactly the state the full
+//! race would give it. The `delta_equivalence` property suite pins the
+//! bit-level agreement (choices and polluted sets) across origin,
+//! sub-prefix and forged-origin injections under all filter contexts.
+//!
+//! This construction matters because the paper policy's tier-1
+//! shortest-path rule breaks Gao-Rexford uniqueness: rare topologies
+//! (sibling-laundered customer routes racing a shorter provider path)
+//! have several stable solutions, and "inject after convergence" would
+//! land in a different one than the simultaneous race. Replaying the
+//! schedule keeps the timing — and therefore the outcome — identical.
+//!
+//! [`ConvergenceStats`] are *not* part of the guarantee: a delta run
+//! counts only the messages it actually processed (deliveries into the
+//! cone), which is the point of the exercise.
+//!
+//! # Sharing
+//!
+//! A [`Baseline`] is immutable and `Sync`: one baseline per sweep target
+//! is shared read-only across rayon workers, each worker holding its own
+//! [`DeltaWorkspace`] (epoch-stamped like [`Workspace`], so back-to-back
+//! attackers on one worker reuse the overlay arrays without clearing).
+//!
+//! [`deliver`]: generation::deliver
+//! [`export_from`]: generation::export_from
+//! [`RibSnapshot`]: generation::RibSnapshot
+
+use bgpsim_topology::AsIndex;
+
+use crate::engine::generation::{
+    self, deliver, export_from, rescan, seed_announcement, AdjEntry, Announcement, Best, Msg,
+    PathNode, Queues, RaceLog, RibSnapshot, RibState, Workspace, NONE, NO_ROUTE,
+};
+use crate::filter::FilterContext;
+use crate::net::SimNet;
+use crate::observer::{Decision, MessageEvent, NullObserver, Observer};
+use crate::policy::{PolicyConfig, PrefClass};
+use crate::route::{Choice, ConvergenceStats, Propagation};
+
+/// One baseline message, augmented with the redundant fields the replay
+/// loop needs in its hot path: the sender, the sender-side slot, and
+/// whether the delivery removed (rather than stored) the receiver's entry.
+#[derive(Debug, Clone, Copy)]
+struct ReplayMsg {
+    gen: u32,
+    sender: u32,
+    /// Sender-side slot (receiver-side is `msg.slot`).
+    islot: u32,
+    msg: Msg,
+    removed: bool,
+}
+
+/// A frozen converged propagation — state snapshot plus full message
+/// schedule — reusable across many [`propagate_delta`] calls.
+///
+/// Build one per (target, filter context) pair and share it read-only
+/// across threads; every per-attacker delta run borrows it immutably.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    snap: RibSnapshot,
+    result: Propagation,
+    policy: PolicyConfig,
+    num_ases: usize,
+    num_slots: usize,
+    /// Flat delivery log in delivery order (ascending generation).
+    log: Vec<ReplayMsg>,
+    /// Last generation with recorded deliveries (0 for an empty log).
+    last_gen: u32,
+    /// Per-receiver CSR index into `log`: receiver `x`'s deliveries are
+    /// `in_dat[in_off[x]..in_off[x + 1]]`, ascending generation. The
+    /// replay loop walks these with per-AS cursors so each generation
+    /// costs O(cone), not O(log).
+    in_off: Vec<u32>,
+    in_dat: Vec<u32>,
+    /// Per-sender CSR index into `log`, ascending generation (within one
+    /// generation: ascending sender-side slot, the export-phase order).
+    out_off: Vec<u32>,
+    out_dat: Vec<u32>,
+    /// Per-AS export phases, ascending generation.
+    export_log: Vec<Vec<ExportPhase>>,
+}
+
+/// One recorded export phase: the generation it ran in and the exported
+/// best triple (origin, len, class).
+type ExportPhase = (u32, (u32, u16, u8));
+
+/// Builds a CSR index over `log` from an extraction function.
+fn csr_index(n: usize, log: &[ReplayMsg], key: impl Fn(&ReplayMsg) -> u32) -> (Vec<u32>, Vec<u32>) {
+    let mut off = vec![0u32; n + 1];
+    for e in log {
+        off[key(e) as usize + 1] += 1;
+    }
+    for i in 0..n {
+        off[i + 1] += off[i];
+    }
+    let mut cur = off.clone();
+    let mut dat = vec![0u32; log.len()];
+    for (i, e) in log.iter().enumerate() {
+        let c = &mut cur[key(e) as usize];
+        dat[*c as usize] = i as u32;
+        *c += 1;
+    }
+    (off, dat)
+}
+
+impl Baseline {
+    /// Runs `announcements` to convergence from scratch (through the
+    /// caller's reusable `ws`), freezing the converged state and the full
+    /// message schedule.
+    ///
+    /// The returned baseline is only valid for delta runs on the same
+    /// `net` with the same `filters` and `policy` — the frozen state and
+    /// log embed this run's filter decisions and preference keys.
+    /// `policy` is checked at delta time; `filters` cannot be (the context
+    /// borrows its validator set), so the caller must pass the identical
+    /// context to [`propagate_delta`].
+    ///
+    /// # Panics
+    ///
+    /// Propagates the panics of
+    /// [`propagate_announcements`](crate::propagate_announcements) (empty
+    /// announcements, duplicate announcers, indices out of range).
+    pub fn build(
+        net: &SimNet<'_>,
+        announcements: &[Announcement],
+        filters: &FilterContext<'_>,
+        policy: &PolicyConfig,
+        ws: &mut Workspace,
+    ) -> Baseline {
+        let mut race = RaceLog::default();
+        let result = generation::propagate_recorded(
+            net,
+            announcements,
+            filters,
+            policy,
+            ws,
+            &mut NullObserver,
+            Some(&mut race),
+        );
+        let n = net.num_ases();
+        let log: Vec<ReplayMsg> = race
+            .deliveries
+            .iter()
+            .map(|d| ReplayMsg {
+                gen: d.gen,
+                sender: net
+                    .slot_entry(AsIndex::new(d.msg.to), d.msg.slot)
+                    .index
+                    .raw(),
+                islot: net.reverse_slot(d.msg.slot),
+                msg: d.msg,
+                removed: d.removed,
+            })
+            .collect();
+        let last_gen = log.last().map_or(0, |e| e.gen);
+        let (in_off, in_dat) = csr_index(n, &log, |e| e.msg.to);
+        let (out_off, out_dat) = csr_index(n, &log, |e| e.sender);
+        let mut export_log = vec![Vec::new(); n];
+        for e in &race.exports {
+            export_log[e.asn as usize].push((e.gen, e.triple));
+        }
+        Baseline {
+            snap: ws.snapshot(net),
+            result,
+            policy: *policy,
+            num_ases: n,
+            num_slots: net.num_slots(),
+            log,
+            last_gen,
+            in_off,
+            in_dat,
+            out_off,
+            out_dat,
+            export_log,
+        }
+    }
+
+    /// The converged state of *zero* announcements: every table empty, no
+    /// recorded schedule. A delta run from it is exactly a from-scratch
+    /// propagation of the injected announcements (useful for sub-prefix
+    /// hijacks, where the bogus more-specific prefix has no honest
+    /// competition to race against).
+    pub fn empty(net: &SimNet<'_>, policy: &PolicyConfig) -> Baseline {
+        let n = net.num_ases();
+        Baseline {
+            snap: RibSnapshot::empty(net),
+            result: Propagation::new(vec![None; n], ConvergenceStats::default()),
+            policy: *policy,
+            num_ases: n,
+            num_slots: net.num_slots(),
+            log: Vec::new(),
+            last_gen: 0,
+            in_off: vec![0; n + 1],
+            in_dat: Vec::new(),
+            out_off: vec![0; n + 1],
+            out_dat: Vec::new(),
+            export_log: vec![Vec::new(); n],
+        }
+    }
+
+    /// The converged honest propagation this baseline froze.
+    pub fn propagation(&self) -> &Propagation {
+        &self.result
+    }
+}
+
+const TOMBSTONE: AdjEntry = AdjEntry {
+    origin: NONE,
+    len: 0,
+    class: 0,
+    node: NONE,
+};
+
+/// Reusable scratch buffers for the replay loop, owned separately from
+/// the overlay arrays so the loop can hold `&mut` to both at once.
+#[derive(Debug, Default)]
+struct ReplayScratch {
+    /// This generation's live exports as `(sender_side_slot, msg)`,
+    /// grouped per sender (ranges recorded in the workspace), ascending
+    /// slot within a group.
+    live: Vec<(u32, Msg)>,
+    /// Live messages matched against an identical log entry (not
+    /// re-delivered; the log copy is).
+    consumed: Vec<bool>,
+    recruits: Vec<u32>,
+}
+
+/// Per-thread scratch state for [`propagate_delta`]: a copy-on-write
+/// overlay over a [`Baseline`]'s frozen tables.
+///
+/// Reads fall through to the baseline until the delta run writes a cell;
+/// epoch stamps (as in [`Workspace`]) invalidate all overlay writes at the
+/// next run without clearing, so a sweep's thousands of attacker runs cost
+/// no per-run memset. Create one per rayon worker.
+#[derive(Debug, Default)]
+pub struct DeltaWorkspace {
+    epoch: u32,
+    adj: Vec<AdjEntry>,
+    adj_stamp: Vec<u32>,
+    sent: Vec<bool>,
+    sent_stamp: Vec<u32>,
+    best: Vec<Best>,
+    best_stamp: Vec<u32>,
+    last_export: Vec<(u32, u16, u8)>,
+    last_export_stamp: Vec<u32>,
+    dirty_tag: Vec<u64>,
+    /// Extension of the baseline's AS-path arena; node index
+    /// `baseline.arena.len() + i` resolves here, so delta paths chain into
+    /// frozen baseline paths without copying them.
+    arena: Vec<PathNode>,
+    /// ASes recruited into the cone (selection recorded) this run, in
+    /// recruitment order.
+    touched: Vec<u32>,
+    /// Per-AS cursor into the baseline's `in_dat` / `out_dat` CSR — only
+    /// meaningful for cone members (written on recruitment), so no stamps.
+    in_cur: Vec<u32>,
+    out_cur: Vec<u32>,
+    /// Per-AS range of this generation's live exports in the scratch
+    /// buffer, valid when `live_tag` matches `(epoch, generation)`.
+    live_lo: Vec<u32>,
+    live_hi: Vec<u32>,
+    live_tag: Vec<u64>,
+    /// Per-log-entry "invalidated this run" stamp (baseline-log sized).
+    tomb_stamp: Vec<u32>,
+    queues: Queues,
+    scratch: ReplayScratch,
+}
+
+impl DeltaWorkspace {
+    /// Creates an empty workspace; arrays are sized on first use.
+    pub fn new() -> DeltaWorkspace {
+        DeltaWorkspace::default()
+    }
+
+    fn begin(&mut self, baseline: &Baseline) {
+        let n = baseline.num_ases;
+        let slots = baseline.num_slots;
+        if self.best.len() < n {
+            self.best.resize(n, NO_ROUTE);
+            self.best_stamp.resize(n, 0);
+            self.last_export.resize(n, (NONE, 0, 0));
+            self.last_export_stamp.resize(n, 0);
+            self.dirty_tag.resize(n, 0);
+            self.in_cur.resize(n, 0);
+            self.out_cur.resize(n, 0);
+            self.live_lo.resize(n, 0);
+            self.live_hi.resize(n, 0);
+            self.live_tag.resize(n, 0);
+        }
+        if self.adj.len() < slots {
+            self.adj.resize(slots, TOMBSTONE);
+            self.adj_stamp.resize(slots, 0);
+            self.sent.resize(slots, false);
+            self.sent_stamp.resize(slots, 0);
+        }
+        if self.tomb_stamp.len() < baseline.log.len() {
+            self.tomb_stamp.resize(baseline.log.len(), 0);
+        }
+        // Epoch 0 marks "never used"; on wrap, clear all stamps.
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.adj_stamp.fill(0);
+            self.sent_stamp.fill(0);
+            self.best_stamp.fill(0);
+            self.last_export_stamp.fill(0);
+            self.dirty_tag.fill(0);
+            self.live_tag.fill(0);
+            self.tomb_stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.arena.clear();
+        self.touched.clear();
+        self.queues.dirty.clear();
+        self.queues.cur.clear();
+        self.queues.next.clear();
+    }
+}
+
+/// The overlay view the replay loop runs over: writes go to the
+/// [`DeltaWorkspace`], reads fall through to the frozen snapshot. Cone
+/// membership is `best_stamp` — every recruitment records a selection.
+struct DeltaState<'a> {
+    snap: &'a RibSnapshot,
+    ws: &'a mut DeltaWorkspace,
+    /// Length of the baseline arena: the boundary between frozen and
+    /// extension path nodes.
+    arena_base: u32,
+}
+
+impl DeltaState<'_> {
+    #[inline]
+    fn in_cone(&self, ix: u32) -> bool {
+        self.ws.best_stamp[ix as usize] == self.ws.epoch
+    }
+
+    /// Whether two message payloads are identical, including the full
+    /// AS-path chain (triples can coincide across different paths, and
+    /// paths drive downstream loop checks).
+    fn msgs_equal(&self, a: &Msg, b: &Msg) -> bool {
+        if (a.origin, a.len, a.class) != (b.origin, b.len, b.class) {
+            return false;
+        }
+        let (mut x, mut y) = (a.node, b.node);
+        while x != NONE && y != NONE {
+            if x == y {
+                return true; // identical shared suffix
+            }
+            let (px, py) = (self.node(x), self.node(y));
+            if px.asn != py.asn {
+                return false;
+            }
+            x = px.parent;
+            y = py.parent;
+        }
+        x == y
+    }
+}
+
+impl RibState for DeltaState<'_> {
+    #[inline]
+    fn adj(&self, slot: u32) -> Option<AdjEntry> {
+        if self.ws.adj_stamp[slot as usize] == self.ws.epoch {
+            let e = self.ws.adj[slot as usize];
+            (e.origin != NONE).then_some(e)
+        } else {
+            self.snap.adj[slot as usize]
+        }
+    }
+
+    #[inline]
+    fn set_adj(&mut self, slot: u32, e: AdjEntry) {
+        self.ws.adj[slot as usize] = e;
+        self.ws.adj_stamp[slot as usize] = self.ws.epoch;
+    }
+
+    #[inline]
+    fn clear_adj(&mut self, slot: u32) -> bool {
+        let had = self.adj(slot).is_some();
+        self.ws.adj[slot as usize] = TOMBSTONE;
+        self.ws.adj_stamp[slot as usize] = self.ws.epoch;
+        had
+    }
+
+    #[inline]
+    fn best(&self, ix: u32) -> Option<Best> {
+        if self.ws.best_stamp[ix as usize] == self.ws.epoch {
+            Some(self.ws.best[ix as usize])
+        } else {
+            self.snap.best[ix as usize]
+        }
+    }
+
+    #[inline]
+    fn set_best(&mut self, ix: u32, b: Best) {
+        if self.ws.best_stamp[ix as usize] != self.ws.epoch {
+            self.ws.best_stamp[ix as usize] = self.ws.epoch;
+            self.ws.touched.push(ix);
+        }
+        self.ws.best[ix as usize] = b;
+    }
+
+    #[inline]
+    fn sent(&self, slot: u32) -> bool {
+        if self.ws.sent_stamp[slot as usize] == self.ws.epoch {
+            self.ws.sent[slot as usize]
+        } else {
+            self.snap.sent[slot as usize]
+        }
+    }
+
+    #[inline]
+    fn set_sent(&mut self, slot: u32, on: bool) {
+        self.ws.sent[slot as usize] = on;
+        self.ws.sent_stamp[slot as usize] = self.ws.epoch;
+    }
+
+    #[inline]
+    fn last_export(&self, ix: u32) -> Option<(u32, u16, u8)> {
+        if self.ws.last_export_stamp[ix as usize] == self.ws.epoch {
+            Some(self.ws.last_export[ix as usize])
+        } else {
+            self.snap.last_export[ix as usize]
+        }
+    }
+
+    #[inline]
+    fn set_last_export(&mut self, ix: u32, snap: (u32, u16, u8)) {
+        self.ws.last_export[ix as usize] = snap;
+        self.ws.last_export_stamp[ix as usize] = self.ws.epoch;
+    }
+
+    #[inline]
+    fn node(&self, node: u32) -> PathNode {
+        if node < self.arena_base {
+            self.snap.arena[node as usize]
+        } else {
+            self.ws.arena[(node - self.arena_base) as usize]
+        }
+    }
+
+    #[inline]
+    fn push_node(&mut self, pn: PathNode) -> u32 {
+        let i = self.arena_base + self.ws.arena.len() as u32;
+        self.ws.arena.push(pn);
+        i
+    }
+
+    #[inline]
+    fn try_mark_dirty(&mut self, ix: u32, wave: u32) -> bool {
+        let tag = ((self.ws.epoch as u64) << 32) | wave as u64;
+        if self.ws.dirty_tag[ix as usize] != tag {
+            self.ws.dirty_tag[ix as usize] = tag;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Reconstructs AS `x`'s exact race state as of the moment generation
+/// `g`'s messages are about to be delivered, and enters it into the cone:
+/// Adj-RIB-In from its recorded delivery history (generations `< g`),
+/// selection by re-scan (origins keep their seeded route), last-export
+/// memo and outstanding-announcement flags from its recorded export
+/// history (generations `<= g` — the export phase that produced
+/// generation `g`'s messages has already run).
+fn recruit(
+    net: &SimNet<'_>,
+    baseline: &Baseline,
+    policy: &PolicyConfig,
+    state: &mut DeltaState<'_>,
+    x: u32,
+    g: u32,
+) {
+    let xi = AsIndex::new(x);
+    for slot in net.slots_of(xi) {
+        state.ws.adj[slot as usize] = TOMBSTONE;
+        state.ws.adj_stamp[slot as usize] = state.ws.epoch;
+        state.ws.sent[slot as usize] = false;
+        state.ws.sent_stamp[slot as usize] = state.ws.epoch;
+    }
+    let mut ic = baseline.in_off[x as usize];
+    let in_hi = baseline.in_off[x as usize + 1];
+    while ic < in_hi {
+        let e = &baseline.log[baseline.in_dat[ic as usize] as usize];
+        if e.gen >= g {
+            break;
+        }
+        ic += 1;
+        if e.removed {
+            state.ws.adj[e.msg.slot as usize] = TOMBSTONE;
+        } else {
+            // Stored class is the *receiver-side* classification (the
+            // logged message carries the sender-side one), exactly as
+            // `deliver` computes it.
+            let rel = net.slot_entry(xi, e.msg.slot).rel;
+            let class = match PrefClass::from_sender_rel(rel) {
+                Some(c) => c.as_u8(),
+                None => e.msg.class, // sibling: inherit
+            };
+            state.ws.adj[e.msg.slot as usize] = AdjEntry {
+                origin: e.msg.origin,
+                len: e.msg.len,
+                class,
+                node: e.msg.node,
+            };
+        }
+    }
+    state.ws.in_cur[x as usize] = ic;
+    let mut oc = baseline.out_off[x as usize];
+    let out_hi = baseline.out_off[x as usize + 1];
+    while oc < out_hi {
+        let e = &baseline.log[baseline.out_dat[oc as usize] as usize];
+        if e.gen > g {
+            break;
+        }
+        oc += 1;
+        state.ws.sent[e.islot as usize] = e.msg.origin != NONE;
+    }
+    state.ws.out_cur[x as usize] = oc;
+    // Origins keep their seeded self-route (constant through the race);
+    // everyone else selects by re-scanning the reconstructed table. The
+    // `(NONE, 0, 0)` last-export sentinel is safe: it only ever coincides
+    // with a no-route export phase, which emits nothing an AS that never
+    // exported could need to emit (all its sent flags are false).
+    let b = match baseline.snap.best[x as usize] {
+        Some(b) if b.slot == NONE && b.origin != NONE => b,
+        _ => {
+            let tier1 = policy.tier1_shortest_path && net.is_tier1(xi);
+            rescan(net, state, xi, tier1).unwrap_or(NO_ROUTE)
+        }
+    };
+    state.set_best(x, b);
+    let mut le = (NONE, 0u16, 0u8);
+    for &(eg, t) in &baseline.export_log[x as usize] {
+        if eg > g {
+            break;
+        }
+        le = t;
+    }
+    state.set_last_export(x, le);
+}
+
+/// Re-runs the race with `injections` added, simulating only the
+/// contamination cone against the baseline's recorded schedule. See the
+/// module docs for the bit-identity argument.
+///
+/// `filters` and `policy` must be the ones the baseline was built with
+/// (`policy` is asserted; `filters` is the caller's responsibility).
+///
+/// # Panics
+///
+/// Panics if `injections` is empty or contains an announcer that already
+/// originates (among the injections or in the baseline), if any index is
+/// out of range, if `policy` differs from the baseline's, or if the
+/// baseline was built for a differently-sized network.
+pub fn propagate_delta<'r, 't, O: Observer>(
+    net: &'r SimNet<'t>,
+    baseline: &'r Baseline,
+    injections: &[Announcement],
+    filters: &FilterContext<'_>,
+    policy: &PolicyConfig,
+    dws: &'r mut DeltaWorkspace,
+    obs: &mut O,
+) -> DeltaResult<'r, 't> {
+    assert!(!injections.is_empty(), "at least one injection required");
+    assert_eq!(
+        *policy, baseline.policy,
+        "delta policy must match the baseline's"
+    );
+    assert_eq!(
+        (baseline.num_ases, baseline.num_slots),
+        (net.num_ases(), net.num_slots()),
+        "baseline was built for a different network"
+    );
+    dws.begin(baseline);
+    let mut stats = ConvergenceStats::default();
+    let mut q = std::mem::take(&mut dws.queues);
+    let mut sc = std::mem::take(&mut dws.scratch);
+    {
+        let mut state = DeltaState {
+            snap: &baseline.snap,
+            ws: &mut *dws,
+            arena_base: baseline.snap.arena.len() as u32,
+        };
+        for a in injections {
+            let o = a.announcer;
+            assert!(o.usize() < net.num_ases(), "origin {o} out of range");
+            if !state.in_cone(o.raw()) {
+                // Race state at generation 0: empty tables (an announcer
+                // that is a baseline origin keeps its seeded route and
+                // trips the duplicate check in `seed_announcement`).
+                recruit(net, baseline, policy, &mut state, o.raw(), 0);
+            }
+            seed_announcement(net, &mut state, &mut q, a);
+        }
+        replay(
+            net, baseline, filters, policy, &mut state, &mut q, &mut sc, &mut stats, obs,
+        );
+    }
+    dws.queues = q;
+    dws.scratch = sc;
+    DeltaResult {
+        net,
+        baseline,
+        dws: &*dws,
+        stats,
+    }
+}
+
+/// The replay loop: the race's export/delivery waves, with out-of-cone
+/// work elided against the baseline schedule. Per generation the loop
+/// touches only cone members — their scheduled entries are reached
+/// through per-AS cursors into the baseline's CSR indices, so the cost is
+/// O(cone activity), independent of the size of the rest of the log.
+#[allow(clippy::too_many_arguments)]
+fn replay<O: Observer>(
+    net: &SimNet<'_>,
+    baseline: &Baseline,
+    filters: &FilterContext<'_>,
+    policy: &PolicyConfig,
+    state: &mut DeltaState<'_>,
+    q: &mut Queues,
+    sc: &mut ReplayScratch,
+    stats: &mut ConvergenceStats,
+    obs: &mut O,
+) {
+    let mut generation = 0u32;
+    loop {
+        // ---- Export phase: live exports from dirty cone members. ----
+        sc.live.clear();
+        for di in 0..q.dirty.len() {
+            let x = q.dirty[di];
+            let lo = sc.live.len() as u32;
+            export_from(net, state, x, &mut |islot, m| sc.live.push((islot, m)));
+            state.ws.live_lo[x as usize] = lo;
+            state.ws.live_hi[x as usize] = sc.live.len() as u32;
+            state.ws.live_tag[x as usize] =
+                ((state.ws.epoch as u64) << 32) | (generation + 1) as u64;
+        }
+        q.dirty.clear();
+
+        if sc.live.is_empty() && generation >= baseline.last_gen {
+            break;
+        }
+        generation += 1;
+        if generation > policy.max_generations {
+            stats.truncated = true;
+            break;
+        }
+        stats.generations = generation;
+        obs.on_generation_start(generation);
+
+        sc.consumed.clear();
+        sc.consumed.resize(sc.live.len(), false);
+        sc.recruits.clear();
+        let live_tag = ((state.ws.epoch as u64) << 32) | generation as u64;
+
+        // ---- Classification: per cone member, merge-join this
+        // generation's scheduled exports against its live ones (both
+        // ascending by sender-side slot). A scheduled message either is
+        // reproduced exactly (the schedule stands) or is invalidated
+        // (tombstoned; its receiver's stream deviates, so the receiver is
+        // recruited). Live messages with no scheduled counterpart recruit
+        // their receivers likewise. Members recruited *this* generation
+        // are not senders here: their generation-`g` exports were
+        // computed from identical state, so their schedule stands.
+        let senders = state.ws.touched.len();
+        for ti in 0..senders {
+            let s = state.ws.touched[ti];
+            let mut cur = state.ws.out_cur[s as usize];
+            let end = baseline.out_off[s as usize + 1];
+            let (mut li, lhi) = if state.ws.live_tag[s as usize] == live_tag {
+                (state.ws.live_lo[s as usize], state.ws.live_hi[s as usize])
+            } else {
+                (0, 0)
+            };
+            while cur < end {
+                let idx = baseline.out_dat[cur as usize] as usize;
+                let e = &baseline.log[idx];
+                if e.gen != generation {
+                    break;
+                }
+                cur += 1;
+                while li < lhi && sc.live[li as usize].0 < e.islot {
+                    li += 1;
+                }
+                if li < lhi
+                    && sc.live[li as usize].0 == e.islot
+                    && state.msgs_equal(&sc.live[li as usize].1, &e.msg)
+                {
+                    sc.consumed[li as usize] = true;
+                    li += 1;
+                } else {
+                    state.ws.tomb_stamp[idx] = state.ws.epoch;
+                    if !state.in_cone(e.msg.to) {
+                        sc.recruits.push(e.msg.to);
+                    }
+                }
+            }
+            state.ws.out_cur[s as usize] = cur;
+        }
+        for (li, &(_, m)) in sc.live.iter().enumerate() {
+            if !sc.consumed[li] && !state.in_cone(m.to) {
+                sc.recruits.push(m.to);
+            }
+        }
+        sc.recruits.sort_unstable();
+        sc.recruits.dedup();
+        for ri in 0..sc.recruits.len() {
+            let x = sc.recruits[ri];
+            if !state.in_cone(x) {
+                recruit(net, baseline, policy, state, x, generation);
+            }
+        }
+
+        // ---- Delivery phase: each cone member's scheduled messages
+        // still standing (out-of-cone receivers process theirs
+        // virtually), then live messages replacing or extending the
+        // schedule. Members recruited this generation receive their
+        // scheduled generation-`g` messages here too.
+        for ti in 0..state.ws.touched.len() {
+            let x = state.ws.touched[ti];
+            loop {
+                let cur = state.ws.in_cur[x as usize];
+                if cur >= baseline.in_off[x as usize + 1] {
+                    break;
+                }
+                let idx = baseline.in_dat[cur as usize] as usize;
+                let e = baseline.log[idx];
+                if e.gen != generation {
+                    break;
+                }
+                state.ws.in_cur[x as usize] = cur + 1;
+                if state.ws.tomb_stamp[idx] != state.ws.epoch {
+                    deliver_one(
+                        net, filters, policy, state, q, generation, e.msg, stats, obs,
+                    );
+                }
+            }
+        }
+        for li in 0..sc.live.len() {
+            if !sc.consumed[li] {
+                let m = sc.live[li].1;
+                deliver_one(net, filters, policy, state, q, generation, m, stats, obs);
+            }
+        }
+    }
+}
+
+/// Delivers one message into the cone: the same mechanics and accounting
+/// as the full engine's delivery loop.
+#[allow(clippy::too_many_arguments)]
+fn deliver_one<O: Observer>(
+    net: &SimNet<'_>,
+    filters: &FilterContext<'_>,
+    policy: &PolicyConfig,
+    state: &mut DeltaState<'_>,
+    q: &mut Queues,
+    generation: u32,
+    msg: Msg,
+    stats: &mut ConvergenceStats,
+    obs: &mut O,
+) {
+    stats.messages += 1;
+    let r = AsIndex::new(msg.to);
+    let entry = net.slot_entry(r, msg.slot);
+    let (from, rel) = (entry.index, entry.rel);
+    let decision = deliver(net, filters, policy, state, q, generation, msg, rel, from);
+    match decision {
+        Decision::NewBest => stats.accepted += 1,
+        Decision::RejectedLoop => stats.loop_rejected += 1,
+        Decision::RejectedOrigin => stats.filter_rejected += 1,
+        Decision::RejectedStub => stats.stub_rejected += 1,
+        Decision::Withdrawn => stats.withdrawals += 1,
+        Decision::Stored => {}
+    }
+    obs.on_message(MessageEvent {
+        generation,
+        from,
+        to: r,
+        origin: AsIndex::new(msg.origin),
+        len: msg.len,
+        decision,
+    });
+}
+
+/// The converged result of one delta run, borrowing the workspace (zero
+/// materialization cost).
+///
+/// [`DeltaResult::choice`] is O(1) per AS; [`DeltaResult::touched`]
+/// iterates only the cone — for hijack sweeps the polluted set is a
+/// subset of it, so counting pollution is O(cone), not O(n).
+/// [`DeltaResult::to_propagation`] materializes a full [`Propagation`]
+/// (O(n)) when an owned result is needed.
+#[derive(Debug)]
+pub struct DeltaResult<'r, 't> {
+    net: &'r SimNet<'t>,
+    baseline: &'r Baseline,
+    dws: &'r DeltaWorkspace,
+    stats: ConvergenceStats,
+}
+
+impl DeltaResult<'_, '_> {
+    /// The selection of `ix` after re-convergence: the cone's if this run
+    /// recruited `ix`, the baseline's otherwise.
+    pub fn choice(&self, ix: AsIndex) -> Option<Choice> {
+        let i = ix.usize();
+        if self.dws.best_stamp[i] == self.dws.epoch {
+            let b = self.dws.best[i];
+            if b.origin == NONE {
+                return None;
+            }
+            Some(Choice {
+                origin: AsIndex::new(b.origin),
+                learned_from: if b.slot == NONE {
+                    None
+                } else {
+                    Some(self.net.slot_entry(ix, b.slot).index)
+                },
+                len: b.len,
+                class: PrefClass::from_u8(b.class),
+            })
+        } else {
+            self.baseline.result.choice(ix)
+        }
+    }
+
+    /// The cone: ASes whose state this run simulated live (a superset of
+    /// the ASes whose final selection differs from the baseline). Every
+    /// AS not yielded kept its baseline selection exactly.
+    pub fn touched(&self) -> impl Iterator<Item = AsIndex> + '_ {
+        self.dws.touched.iter().map(|&ix| AsIndex::new(ix))
+    }
+
+    /// Convergence counters of the *delta* run only: messages delivered
+    /// into the cone, and the race generations the replay stepped through
+    /// (not comparable to a from-scratch run's message counts).
+    pub fn stats(&self) -> ConvergenceStats {
+        self.stats
+    }
+
+    /// The baseline this run re-converged from.
+    pub fn baseline(&self) -> &Baseline {
+        self.baseline
+    }
+
+    /// Materializes the full per-AS selection map (O(n)), carrying this
+    /// delta run's stats.
+    pub fn to_propagation(&self) -> Propagation {
+        let choices = (0..self.net.num_ases())
+            .map(|i| self.choice(AsIndex::new(i as u32)))
+            .collect();
+        Propagation::new(choices, self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::generation::propagate_announcements;
+    use bgpsim_topology::{topology_from_triples, AsId, LinkKind::*, Topology};
+
+    fn diamond() -> Topology {
+        topology_from_triples(&[
+            (1, 2, ProviderToCustomer),
+            (1, 3, ProviderToCustomer),
+            (2, 4, ProviderToCustomer),
+            (3, 4, ProviderToCustomer),
+            (2, 3, PeerToPeer),
+            (1, 5, ProviderToCustomer),
+        ])
+    }
+
+    fn assert_delta_matches_full(
+        net: &SimNet<'_>,
+        target: AsIndex,
+        injection: Announcement,
+        policy: &PolicyConfig,
+    ) {
+        let ctx = FilterContext::none();
+        let mut ws = Workspace::new();
+        let baseline = Baseline::build(net, &[Announcement::honest(target)], &ctx, policy, &mut ws);
+        let mut dws = DeltaWorkspace::new();
+        let delta = propagate_delta(
+            net,
+            &baseline,
+            &[injection],
+            &ctx,
+            policy,
+            &mut dws,
+            &mut NullObserver,
+        );
+        let full = propagate_announcements(
+            net,
+            &[Announcement::honest(target), injection],
+            &ctx,
+            policy,
+            &mut ws,
+            &mut NullObserver,
+        );
+        for i in 0..net.num_ases() {
+            let ix = AsIndex::new(i as u32);
+            assert_eq!(delta.choice(ix), full.choice(ix), "divergence at {ix}");
+        }
+        let p = delta.to_propagation();
+        assert_eq!(p.choices(), full.choices());
+    }
+
+    #[test]
+    fn delta_matches_full_on_diamond() {
+        let topo = diamond();
+        let net = SimNet::new(&topo);
+        let t = topo.index_of(AsId::new(4)).unwrap();
+        let a = topo.index_of(AsId::new(5)).unwrap();
+        for policy in [PolicyConfig::paper(), PolicyConfig::strict_gao_rexford()] {
+            assert_delta_matches_full(&net, t, Announcement::honest(a), &policy);
+            assert_delta_matches_full(&net, t, Announcement::forged(a, t), &policy);
+        }
+    }
+
+    #[test]
+    fn empty_baseline_is_from_scratch() {
+        let topo = diamond();
+        let net = SimNet::new(&topo);
+        let a = topo.index_of(AsId::new(5)).unwrap();
+        let policy = PolicyConfig::paper();
+        let baseline = Baseline::empty(&net, &policy);
+        assert_eq!(baseline.propagation().reached_count(), 0);
+        let mut dws = DeltaWorkspace::new();
+        let delta = propagate_delta(
+            &net,
+            &baseline,
+            &[Announcement::honest(a)],
+            &FilterContext::none(),
+            &policy,
+            &mut dws,
+            &mut NullObserver,
+        );
+        let full = propagate_announcements(
+            &net,
+            &[Announcement::honest(a)],
+            &FilterContext::none(),
+            &policy,
+            &mut Workspace::new(),
+            &mut NullObserver,
+        );
+        assert_eq!(delta.to_propagation().choices(), full.choices());
+        // From an empty baseline every routed AS joins the cone.
+        assert_eq!(delta.touched().count(), full.reached_count());
+        // And the stats ARE comparable here: nothing was elided.
+        assert_eq!(delta.stats(), full.stats());
+    }
+
+    #[test]
+    fn untouched_ases_keep_baseline_choices() {
+        let topo = diamond();
+        let net = SimNet::new(&topo);
+        let t = topo.index_of(AsId::new(4)).unwrap();
+        let a = topo.index_of(AsId::new(5)).unwrap();
+        let ctx = FilterContext::none();
+        let policy = PolicyConfig::paper();
+        let mut ws = Workspace::new();
+        let baseline = Baseline::build(&net, &[Announcement::honest(t)], &ctx, &policy, &mut ws);
+        let mut dws = DeltaWorkspace::new();
+        let delta = propagate_delta(
+            &net,
+            &baseline,
+            &[Announcement::honest(a)],
+            &ctx,
+            &policy,
+            &mut dws,
+            &mut NullObserver,
+        );
+        let touched: Vec<AsIndex> = delta.touched().collect();
+        for i in 0..net.num_ases() {
+            let ix = AsIndex::new(i as u32);
+            if !touched.contains(&ix) {
+                assert_eq!(delta.choice(ix), baseline.propagation().choice(ix));
+            }
+        }
+    }
+
+    /// Satellite: epoch wrap-around for the overlay workspace, mirroring
+    /// the `Workspace` wrap test — stamps must clear at the wrap and runs
+    /// across it must match a fresh overlay workspace.
+    #[test]
+    fn delta_workspace_epoch_wraparound() {
+        let topo = diamond();
+        let net = SimNet::new(&topo);
+        let t = topo.index_of(AsId::new(4)).unwrap();
+        let a = topo.index_of(AsId::new(5)).unwrap();
+        let ctx = FilterContext::none();
+        let policy = PolicyConfig::paper();
+        let mut ws = Workspace::new();
+        let baseline = Baseline::build(&net, &[Announcement::honest(t)], &ctx, &policy, &mut ws);
+        let inject = [Announcement::honest(a)];
+
+        let mut dws = DeltaWorkspace::new();
+        // Prime the arrays, then force the counter to the wrap edge.
+        let first = propagate_delta(
+            &net,
+            &baseline,
+            &inject,
+            &ctx,
+            &policy,
+            &mut dws,
+            &mut NullObserver,
+        )
+        .to_propagation();
+        dws.epoch = u32::MAX - 1;
+        let at_max = propagate_delta(
+            &net,
+            &baseline,
+            &inject,
+            &ctx,
+            &policy,
+            &mut dws,
+            &mut NullObserver,
+        )
+        .to_propagation();
+        assert_eq!(dws.epoch, u32::MAX);
+        let wrapped = propagate_delta(
+            &net,
+            &baseline,
+            &inject,
+            &ctx,
+            &policy,
+            &mut dws,
+            &mut NullObserver,
+        )
+        .to_propagation();
+        assert_eq!(dws.epoch, 1, "wrap must land on cleared epoch 1");
+        assert!(dws.best_stamp.iter().all(|&e| e <= 1));
+        assert!(dws.adj_stamp.iter().all(|&e| e <= 1));
+        assert!(dws.sent_stamp.iter().all(|&e| e <= 1));
+        assert!(dws.last_export_stamp.iter().all(|&e| e <= 1));
+        assert!(dws.dirty_tag.iter().all(|&t| (t >> 32) <= 1));
+
+        let fresh = propagate_delta(
+            &net,
+            &baseline,
+            &inject,
+            &ctx,
+            &policy,
+            &mut DeltaWorkspace::new(),
+            &mut NullObserver,
+        )
+        .to_propagation();
+        assert_eq!(at_max.choices(), fresh.choices());
+        assert_eq!(wrapped.choices(), first.choices());
+        assert_eq!(wrapped.stats(), first.stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate origin")]
+    fn injecting_a_baseline_origin_panics() {
+        let topo = diamond();
+        let net = SimNet::new(&topo);
+        let t = topo.index_of(AsId::new(4)).unwrap();
+        let policy = PolicyConfig::paper();
+        let mut ws = Workspace::new();
+        let baseline = Baseline::build(
+            &net,
+            &[Announcement::honest(t)],
+            &FilterContext::none(),
+            &policy,
+            &mut ws,
+        );
+        let mut dws = DeltaWorkspace::new();
+        let _ = propagate_delta(
+            &net,
+            &baseline,
+            &[Announcement::honest(t)],
+            &FilterContext::none(),
+            &policy,
+            &mut dws,
+            &mut NullObserver,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "match the baseline")]
+    fn policy_mismatch_panics() {
+        let topo = diamond();
+        let net = SimNet::new(&topo);
+        let t = topo.index_of(AsId::new(4)).unwrap();
+        let a = topo.index_of(AsId::new(5)).unwrap();
+        let mut ws = Workspace::new();
+        let baseline = Baseline::build(
+            &net,
+            &[Announcement::honest(t)],
+            &FilterContext::none(),
+            &PolicyConfig::paper(),
+            &mut ws,
+        );
+        let mut dws = DeltaWorkspace::new();
+        let _ = propagate_delta(
+            &net,
+            &baseline,
+            &[Announcement::honest(a)],
+            &FilterContext::none(),
+            &PolicyConfig::strict_gao_rexford(),
+            &mut dws,
+            &mut NullObserver,
+        );
+    }
+}

@@ -31,6 +31,17 @@
 //!   announcement whose AS path already contains itself. (Organizations may
 //!   legitimately carry both sibling and provider links between their own
 //!   ASes, so group-level rejection would break real topologies.)
+//!
+//! # One engine, two backing stores
+//!
+//! The wave loop, delivery and re-selection logic are written once, generic
+//! over [`RibState`] — an abstract view of the engine's mutable tables.
+//! [`Workspace`] backs a from-scratch propagation; `engine::delta` layers a
+//! copy-on-write overlay over a frozen [`RibSnapshot`] to re-converge
+//! incrementally from a previously converged state. Because both run the
+//! *same* mechanics, their converged results are identical by construction
+//! wherever the stable solution is unique (and property tests enforce the
+//! bit-level agreement).
 
 use bgpsim_topology::{AsIndex, Relationship};
 
@@ -40,29 +51,29 @@ use crate::observer::{Decision, MessageEvent, Observer};
 use crate::policy::{may_export, standard_key, tier1_key, PolicyConfig, PrefClass};
 use crate::route::{Choice, ConvergenceStats, Propagation};
 
-const NONE: u32 = u32::MAX;
+pub(crate) const NONE: u32 = u32::MAX;
 
 #[derive(Debug, Clone, Copy)]
-struct AdjEntry {
-    origin: u32,
-    len: u16,
-    class: u8,
-    node: u32,
+pub(crate) struct AdjEntry {
+    pub(crate) origin: u32,
+    pub(crate) len: u16,
+    pub(crate) class: u8,
+    pub(crate) node: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Best {
+pub(crate) struct Best {
     /// `NONE` when the AS currently has no route.
-    origin: u32,
+    pub(crate) origin: u32,
     /// Receiver-side slot the route was learned on (`NONE` if self-originated).
-    slot: u32,
-    len: u16,
-    class: u8,
-    node: u32,
-    key: u64,
+    pub(crate) slot: u32,
+    pub(crate) len: u16,
+    pub(crate) class: u8,
+    pub(crate) node: u32,
+    pub(crate) key: u64,
 }
 
-const NO_ROUTE: Best = Best {
+pub(crate) const NO_ROUTE: Best = Best {
     origin: NONE,
     slot: NONE,
     len: 0,
@@ -72,21 +83,88 @@ const NO_ROUTE: Best = Best {
 };
 
 #[derive(Debug, Clone, Copy)]
-struct Msg {
-    to: u32,
+pub(crate) struct Msg {
+    pub(crate) to: u32,
     /// Receiver-side slot identifying the sender.
-    slot: u32,
+    pub(crate) slot: u32,
     /// `NONE` encodes a withdrawal.
-    origin: u32,
-    len: u16,
-    class: u8,
-    node: u32,
+    pub(crate) origin: u32,
+    pub(crate) len: u16,
+    pub(crate) class: u8,
+    pub(crate) node: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
-struct PathNode {
-    asn: u32,
-    parent: u32,
+pub(crate) struct PathNode {
+    pub(crate) asn: u32,
+    pub(crate) parent: u32,
+}
+
+/// The engine's mutable tables, abstracted so the same wave loop can run
+/// over a plain [`Workspace`] or over a delta overlay (`engine::delta`).
+///
+/// Presence semantics: `best` / `last_export` / `adj` return `None` when
+/// nothing has been recorded for this run (for an overlay: neither in the
+/// overlay nor in the baseline). A recorded best of [`NO_ROUTE`] (origin
+/// `NONE`) is `Some` — "selected nothing after a withdrawal" is distinct
+/// from "never selected".
+pub(crate) trait RibState {
+    /// The Adj-RIB-In entry stored at receiver-side `slot`, if any.
+    fn adj(&self, slot: u32) -> Option<AdjEntry>;
+    /// Stores an Adj-RIB-In entry at `slot`.
+    fn set_adj(&mut self, slot: u32, e: AdjEntry);
+    /// Removes the entry at `slot`, returning whether one was present.
+    fn clear_adj(&mut self, slot: u32) -> bool;
+    /// The recorded selection of AS `ix`, if any.
+    fn best(&self, ix: u32) -> Option<Best>;
+    /// Records the selection of AS `ix`.
+    fn set_best(&mut self, ix: u32, b: Best);
+    /// Whether an announcement is outstanding on sender-side `slot`.
+    fn sent(&self, slot: u32) -> bool;
+    /// Sets/clears the outstanding-announcement flag on sender-side `slot`.
+    fn set_sent(&mut self, slot: u32, on: bool);
+    /// The last exported `(origin, len, class)` of AS `ix`, if any.
+    fn last_export(&self, ix: u32) -> Option<(u32, u16, u8)>;
+    /// Records the last exported triple of AS `ix`.
+    fn set_last_export(&mut self, ix: u32, snap: (u32, u16, u8));
+    /// Resolves an AS-path arena node.
+    fn node(&self, node: u32) -> PathNode;
+    /// Appends an AS-path arena node, returning its index.
+    fn push_node(&mut self, pn: PathNode) -> u32;
+    /// Marks `ix` for re-export in wave `wave`; `true` if newly marked
+    /// this wave (the caller then queues it).
+    fn try_mark_dirty(&mut self, ix: u32, wave: u32) -> bool;
+}
+
+/// Walks an AS-path chain checking for `asn` (per-ASN loop prevention).
+fn path_contains<S: RibState>(state: &S, mut node: u32, asn: u32) -> bool {
+    while node != NONE {
+        let pn = state.node(node);
+        if pn.asn == asn {
+            return true;
+        }
+        node = pn.parent;
+    }
+    false
+}
+
+/// The engine's message queues, owned separately from the [`RibState`] so
+/// the wave loop can hold `&mut` to both at once. Reused across runs to
+/// amortize allocation.
+#[derive(Debug, Default)]
+pub(crate) struct Queues {
+    /// ASes whose best changed and must export next wave.
+    pub(crate) dirty: Vec<u32>,
+    pub(crate) cur: Vec<Msg>,
+    pub(crate) next: Vec<Msg>,
+}
+
+impl Queues {
+    fn clear(&mut self) {
+        self.dirty.clear();
+        self.cur.clear();
+        self.next.clear();
+    }
 }
 
 /// Reusable scratch state for [`propagate`].
@@ -109,13 +187,10 @@ pub struct Workspace {
     /// Last exported (origin, len, class) per AS, to suppress no-op exports.
     last_export: Vec<(u32, u16, u8)>,
     last_export_epoch: Vec<u32>,
-    /// ASes whose best changed and must export next wave.
-    dirty: Vec<u32>,
     /// `(epoch << 32) | wave` tag deduplicating the dirty queue per wave.
     dirty_tag: Vec<u64>,
     arena: Vec<PathNode>,
-    cur: Vec<Msg>,
-    next: Vec<Msg>,
+    queues: Queues,
 }
 
 impl Workspace {
@@ -158,33 +233,171 @@ impl Workspace {
             self.epoch = 1;
         }
         self.arena.clear();
-        self.cur.clear();
-        self.next.clear();
-        self.dirty.clear();
+        self.queues.clear();
     }
 
-    fn path_contains(&self, mut node: u32, asn: u32) -> bool {
-        while node != NONE {
-            let pn = self.arena[node as usize];
-            if pn.asn == asn {
-                return true;
-            }
-            node = pn.parent;
+    /// Freezes the converged state of the propagation that just ran in this
+    /// workspace. Must be called before the next `begin` (the snapshot
+    /// reads the current epoch's stamps). Array lengths are taken from
+    /// `net`, not from the (possibly larger, reused) workspace arrays.
+    pub(crate) fn snapshot(&self, net: &SimNet<'_>) -> RibSnapshot {
+        let n = net.num_ases();
+        let slots = net.num_slots();
+        RibSnapshot {
+            adj: (0..slots)
+                .map(|s| (self.adj_epoch[s] == self.epoch).then(|| self.adj[s]))
+                .collect(),
+            sent: (0..slots)
+                .map(|s| self.sent_epoch[s] == self.epoch)
+                .collect(),
+            best: (0..n)
+                .map(|i| (self.best_epoch[i] == self.epoch).then(|| self.best[i]))
+                .collect(),
+            last_export: (0..n)
+                .map(|i| (self.last_export_epoch[i] == self.epoch).then(|| self.last_export[i]))
+                .collect(),
+            arena: self.arena.clone(),
         }
-        false
+    }
+}
+
+impl RibState for Workspace {
+    #[inline]
+    fn adj(&self, slot: u32) -> Option<AdjEntry> {
+        (self.adj_epoch[slot as usize] == self.epoch).then(|| self.adj[slot as usize])
     }
 
-    fn mark_dirty(&mut self, ix: u32, wave: u32) {
+    #[inline]
+    fn set_adj(&mut self, slot: u32, e: AdjEntry) {
+        self.adj[slot as usize] = e;
+        self.adj_epoch[slot as usize] = self.epoch;
+    }
+
+    #[inline]
+    fn clear_adj(&mut self, slot: u32) -> bool {
+        let had = self.adj_epoch[slot as usize] == self.epoch;
+        self.adj_epoch[slot as usize] = 0;
+        had
+    }
+
+    #[inline]
+    fn best(&self, ix: u32) -> Option<Best> {
+        (self.best_epoch[ix as usize] == self.epoch).then(|| self.best[ix as usize])
+    }
+
+    #[inline]
+    fn set_best(&mut self, ix: u32, b: Best) {
+        self.best[ix as usize] = b;
+        self.best_epoch[ix as usize] = self.epoch;
+    }
+
+    #[inline]
+    fn sent(&self, slot: u32) -> bool {
+        self.sent_epoch[slot as usize] == self.epoch
+    }
+
+    #[inline]
+    fn set_sent(&mut self, slot: u32, on: bool) {
+        self.sent_epoch[slot as usize] = if on { self.epoch } else { 0 };
+    }
+
+    #[inline]
+    fn last_export(&self, ix: u32) -> Option<(u32, u16, u8)> {
+        (self.last_export_epoch[ix as usize] == self.epoch).then(|| self.last_export[ix as usize])
+    }
+
+    #[inline]
+    fn set_last_export(&mut self, ix: u32, snap: (u32, u16, u8)) {
+        self.last_export[ix as usize] = snap;
+        self.last_export_epoch[ix as usize] = self.epoch;
+    }
+
+    #[inline]
+    fn node(&self, node: u32) -> PathNode {
+        self.arena[node as usize]
+    }
+
+    #[inline]
+    fn push_node(&mut self, pn: PathNode) -> u32 {
+        let i = self.arena.len() as u32;
+        self.arena.push(pn);
+        i
+    }
+
+    #[inline]
+    fn try_mark_dirty(&mut self, ix: u32, wave: u32) -> bool {
         let tag = ((self.epoch as u64) << 32) | wave as u64;
         if self.dirty_tag[ix as usize] != tag {
             self.dirty_tag[ix as usize] = tag;
-            self.dirty.push(ix);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// One recorded delivery of a race run: the message, the generation it was
+/// delivered in, and whether its processing *removed* the receiver's
+/// Adj-RIB-In entry (withdrawal or filter/loop rejection) rather than
+/// storing it. Enough to replay the receiver's table timeline without
+/// re-running filters.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LogDelivery {
+    pub(crate) gen: u32,
+    pub(crate) msg: Msg,
+    pub(crate) removed: bool,
+}
+
+/// One recorded export phase of a race run: AS `asn` exported (or
+/// withdrew) with best-route triple `triple`, producing the messages
+/// delivered in generation `gen`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LogExport {
+    pub(crate) gen: u32,
+    pub(crate) asn: u32,
+    pub(crate) triple: (u32, u16, u8),
+}
+
+/// The full message schedule of one propagation, recorded during
+/// [`run_waves`]. `engine::delta` replays it to re-converge a baseline
+/// with extra announcements on the *same* generation timeline as a
+/// from-scratch race, which is what makes delta results bit-identical.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RaceLog {
+    /// Every delivery, in delivery order (so grouped by ascending `gen`).
+    pub(crate) deliveries: Vec<LogDelivery>,
+    /// Every non-suppressed export phase, in order of ascending `gen`.
+    pub(crate) exports: Vec<LogExport>,
+}
+
+/// Frozen converged engine state — the backing store for incremental
+/// re-convergence (`engine::delta`). Presence is materialized (`Option` /
+/// `bool`) so a consumer needs no epoch bookkeeping.
+#[derive(Debug, Clone)]
+pub(crate) struct RibSnapshot {
+    pub(crate) adj: Vec<Option<AdjEntry>>,
+    pub(crate) sent: Vec<bool>,
+    pub(crate) best: Vec<Option<Best>>,
+    pub(crate) last_export: Vec<Option<(u32, u16, u8)>>,
+    pub(crate) arena: Vec<PathNode>,
+}
+
+impl RibSnapshot {
+    /// A snapshot of the converged state of *zero* announcements: every
+    /// table empty. Re-converging from it is a from-scratch propagation.
+    pub(crate) fn empty(net: &SimNet<'_>) -> RibSnapshot {
+        RibSnapshot {
+            adj: vec![None; net.num_slots()],
+            sent: vec![false; net.num_slots()],
+            best: vec![None; net.num_ases()],
+            last_export: vec![None; net.num_ases()],
+            arena: Vec::new(),
         }
     }
 }
 
 #[inline]
-fn key_for(tier1_len_first: bool, class: PrefClass, len: u16, slot: u32) -> u64 {
+pub(crate) fn key_for(tier1_len_first: bool, class: PrefClass, len: u16, slot: u32) -> u64 {
     if tier1_len_first {
         tier1_key(class, len, slot)
     } else {
@@ -232,6 +445,58 @@ impl Announcement {
     /// Whether the announcement misrepresents its origin.
     pub fn is_forged(&self) -> bool {
         self.announcer != self.claimed_origin
+    }
+}
+
+/// Seeds one announcement into the state and queues its origin for the
+/// first export wave. Shared by from-scratch and delta propagation.
+///
+/// # Panics
+///
+/// Panics if the announcer or claimed origin is out of range, or if the
+/// announcer already self-originates (duplicate announcer, or — for a
+/// delta run — an announcer that already originates in the baseline).
+pub(crate) fn seed_announcement<S: RibState>(
+    net: &SimNet<'_>,
+    state: &mut S,
+    q: &mut Queues,
+    a: &Announcement,
+) {
+    let o = a.announcer;
+    assert!(o.usize() < net.num_ases(), "origin {o} out of range");
+    assert!(
+        a.claimed_origin.usize() < net.num_ases(),
+        "claimed origin out of range"
+    );
+    assert!(
+        !matches!(state.best(o.raw()), Some(b) if b.slot == NONE && b.origin != NONE),
+        "duplicate origin {o}"
+    );
+    let (node, len) = if a.is_forged() {
+        // The forged path already carries the victim's ASN behind the
+        // announcer, so downstream loop checks (and the victim itself)
+        // see it.
+        let node = state.push_node(PathNode {
+            asn: a.claimed_origin.raw(),
+            parent: NONE,
+        });
+        (node, 1)
+    } else {
+        (NONE, 0)
+    };
+    state.set_best(
+        o.raw(),
+        Best {
+            origin: a.claimed_origin.raw(),
+            slot: NONE,
+            len,
+            class: PrefClass::Origin.as_u8(),
+            node,
+            key: u64::MAX,
+        },
+    );
+    if state.try_mark_dirty(o.raw(), 0) {
+        q.dirty.push(o.raw());
     }
 }
 
@@ -299,142 +564,31 @@ pub fn propagate_announcements<O: Observer>(
     ws: &mut Workspace,
     obs: &mut O,
 ) -> Propagation {
+    propagate_recorded(net, announcements, filters, policy, ws, obs, None)
+}
+
+/// [`propagate_announcements`] with an optional [`RaceLog`] recorder —
+/// the entry point `engine::delta` uses to capture a replayable baseline.
+pub(crate) fn propagate_recorded<O: Observer>(
+    net: &SimNet<'_>,
+    announcements: &[Announcement],
+    filters: &FilterContext<'_>,
+    policy: &PolicyConfig,
+    ws: &mut Workspace,
+    obs: &mut O,
+    log: Option<&mut RaceLog>,
+) -> Propagation {
     assert!(!announcements.is_empty(), "at least one origin required");
     ws.begin(net);
-    let epoch = ws.epoch;
     let mut stats = ConvergenceStats::default();
-
+    let mut q = std::mem::take(&mut ws.queues);
     for a in announcements {
-        let o = a.announcer;
-        assert!(o.usize() < net.num_ases(), "origin {o} out of range");
-        assert!(
-            a.claimed_origin.usize() < net.num_ases(),
-            "claimed origin out of range"
-        );
-        assert_ne!(ws.best_epoch[o.usize()], epoch, "duplicate origin {o}");
-        let (node, len) = if a.is_forged() {
-            // The forged path already carries the victim's ASN behind the
-            // announcer, so downstream loop checks (and the victim itself)
-            // see it.
-            let node = ws.arena.len() as u32;
-            ws.arena.push(PathNode {
-                asn: a.claimed_origin.raw(),
-                parent: NONE,
-            });
-            (node, 1)
-        } else {
-            (NONE, 0)
-        };
-        ws.best[o.usize()] = Best {
-            origin: a.claimed_origin.raw(),
-            slot: NONE,
-            len,
-            class: PrefClass::Origin.as_u8(),
-            node,
-            key: u64::MAX,
-        };
-        ws.best_epoch[o.usize()] = epoch;
-        ws.mark_dirty(o.raw(), 0);
+        seed_announcement(net, ws, &mut q, a);
     }
+    run_waves(net, filters, policy, ws, &mut q, &mut stats, obs, log);
+    ws.queues = q;
 
-    let mut generation = 0u32;
-    loop {
-        // ---- Export phase: every AS whose best changed re-announces. ----
-        for di in 0..ws.dirty.len() {
-            let x = ws.dirty[di];
-            let xi = AsIndex::new(x);
-            let b = ws.best[x as usize];
-            let snapshot = (b.origin, b.len, b.class);
-            if ws.last_export_epoch[x as usize] == epoch
-                && ws.last_export[x as usize] == snapshot
-            {
-                continue;
-            }
-            ws.last_export[x as usize] = snapshot;
-            ws.last_export_epoch[x as usize] = epoch;
-            let has_route = b.origin != NONE;
-            let class = PrefClass::from_u8(b.class);
-            // The path node for external exports appends this AS's sibling
-            // group; created lazily, once per export phase.
-            let mut out_node = NONE;
-            let base = net.slots_of(xi).start;
-            for (j, nb) in net.topology().neighbors(xi).iter().enumerate() {
-                let slot_here = base + j as u32;
-                if has_route && may_export(class, nb.rel) {
-                    if out_node == NONE {
-                        out_node = ws.arena.len() as u32;
-                        ws.arena.push(PathNode {
-                            asn: x,
-                            parent: b.node,
-                        });
-                    }
-                    let node = out_node;
-                    ws.sent_epoch[slot_here as usize] = epoch;
-                    ws.next.push(Msg {
-                        to: nb.index.raw(),
-                        slot: net.reverse_slot(slot_here),
-                        origin: b.origin,
-                        len: b.len + 1,
-                        class: b.class,
-                        node,
-                    });
-                } else if ws.sent_epoch[slot_here as usize] == epoch {
-                    // Previously announced, now ineligible: withdraw.
-                    ws.sent_epoch[slot_here as usize] = 0;
-                    ws.next.push(Msg {
-                        to: nb.index.raw(),
-                        slot: net.reverse_slot(slot_here),
-                        origin: NONE,
-                        len: 0,
-                        class: 0,
-                        node: NONE,
-                    });
-                }
-            }
-        }
-        ws.dirty.clear();
-
-        if ws.next.is_empty() {
-            break;
-        }
-        generation += 1;
-        if generation > policy.max_generations {
-            stats.truncated = true;
-            break;
-        }
-        stats.generations = generation;
-        obs.on_generation_start(generation);
-        std::mem::swap(&mut ws.cur, &mut ws.next);
-
-        // ---- Delivery phase. ----
-        for mi in 0..ws.cur.len() {
-            let msg = ws.cur[mi];
-            stats.messages += 1;
-            let r = AsIndex::new(msg.to);
-            let entry = net.slot_entry(r, msg.slot);
-            let (from, rel) = (entry.index, entry.rel);
-
-            let decision = deliver(net, filters, policy, ws, epoch, generation, msg, rel, from);
-            match decision {
-                Decision::NewBest => stats.accepted += 1,
-                Decision::RejectedLoop => stats.loop_rejected += 1,
-                Decision::RejectedOrigin => stats.filter_rejected += 1,
-                Decision::RejectedStub => stats.stub_rejected += 1,
-                Decision::Withdrawn => stats.withdrawals += 1,
-                Decision::Stored => {}
-            }
-            obs.on_message(MessageEvent {
-                generation,
-                from,
-                to: r,
-                origin: AsIndex::new(msg.origin),
-                len: msg.len,
-                decision,
-            });
-        }
-        ws.cur.clear();
-    }
-
+    let epoch = ws.epoch;
     let choices: Vec<Option<Choice>> = (0..net.num_ases())
         .map(|i| {
             if ws.best_epoch[i] != epoch {
@@ -459,15 +613,169 @@ pub fn propagate_announcements<O: Observer>(
     Propagation::new(choices, stats)
 }
 
-/// Applies filters, the loop check, Adj-RIB-In replacement/removal and
-/// route re-selection for one delivered message. Returns the decision.
+/// Runs the export phase of one dirty AS: suppression check, last-export
+/// memo, per-neighbor announce/withdraw. Messages go to `sink` as
+/// `(sender_side_slot, msg)`. Returns the exported best-route triple, or
+/// `None` if the phase was suppressed (best unchanged since last export).
+/// Shared verbatim by [`run_waves`] and the delta replay loop.
+pub(crate) fn export_from<S: RibState>(
+    net: &SimNet<'_>,
+    state: &mut S,
+    x: u32,
+    sink: &mut impl FnMut(u32, Msg),
+) -> Option<(u32, u16, u8)> {
+    let xi = AsIndex::new(x);
+    let b = state.best(x).expect("dirty AS has a recorded selection");
+    let snapshot = (b.origin, b.len, b.class);
+    if state.last_export(x) == Some(snapshot) {
+        return None;
+    }
+    state.set_last_export(x, snapshot);
+    let has_route = b.origin != NONE;
+    let class = PrefClass::from_u8(b.class);
+    // The path node for external exports appends this AS's sibling
+    // group; created lazily, once per export phase.
+    let mut out_node = NONE;
+    let base = net.slots_of(xi).start;
+    for (j, nb) in net.topology().neighbors(xi).iter().enumerate() {
+        let slot_here = base + j as u32;
+        if has_route && may_export(class, nb.rel) {
+            if out_node == NONE {
+                out_node = state.push_node(PathNode {
+                    asn: x,
+                    parent: b.node,
+                });
+            }
+            state.set_sent(slot_here, true);
+            sink(
+                slot_here,
+                Msg {
+                    to: nb.index.raw(),
+                    slot: net.reverse_slot(slot_here),
+                    origin: b.origin,
+                    len: b.len + 1,
+                    class: b.class,
+                    node: out_node,
+                },
+            );
+        } else if state.sent(slot_here) {
+            // Previously announced, now ineligible: withdraw.
+            state.set_sent(slot_here, false);
+            sink(
+                slot_here,
+                Msg {
+                    to: nb.index.raw(),
+                    slot: net.reverse_slot(slot_here),
+                    origin: NONE,
+                    len: 0,
+                    class: 0,
+                    node: NONE,
+                },
+            );
+        }
+    }
+    Some(snapshot)
+}
+
+/// Runs export/delivery waves until the message queues drain (or the
+/// generation cap trips). The single source of truth for propagation
+/// mechanics — both from-scratch and delta runs call exactly this (the
+/// delta replay loop reuses [`export_from`] and [`deliver`] directly).
+///
+/// When `log` is provided, every export phase and delivery is recorded so
+/// the run can later serve as a replayable baseline.
 #[allow(clippy::too_many_arguments)]
-fn deliver(
+pub(crate) fn run_waves<S: RibState, O: Observer>(
     net: &SimNet<'_>,
     filters: &FilterContext<'_>,
     policy: &PolicyConfig,
-    ws: &mut Workspace,
-    epoch: u32,
+    state: &mut S,
+    q: &mut Queues,
+    stats: &mut ConvergenceStats,
+    obs: &mut O,
+    mut log: Option<&mut RaceLog>,
+) {
+    let mut generation = 0u32;
+    loop {
+        // ---- Export phase: every AS whose best changed re-announces. ----
+        for di in 0..q.dirty.len() {
+            let x = q.dirty[di];
+            let triple = export_from(net, state, x, &mut |_, m| q.next.push(m));
+            if let (Some(triple), Some(l)) = (triple, log.as_deref_mut()) {
+                // Messages pushed here are delivered in generation + 1.
+                l.exports.push(LogExport {
+                    gen: generation + 1,
+                    asn: x,
+                    triple,
+                });
+            }
+        }
+        q.dirty.clear();
+
+        if q.next.is_empty() {
+            break;
+        }
+        generation += 1;
+        if generation > policy.max_generations {
+            stats.truncated = true;
+            break;
+        }
+        stats.generations = generation;
+        obs.on_generation_start(generation);
+        std::mem::swap(&mut q.cur, &mut q.next);
+
+        // ---- Delivery phase. ----
+        for mi in 0..q.cur.len() {
+            let msg = q.cur[mi];
+            stats.messages += 1;
+            let r = AsIndex::new(msg.to);
+            let entry = net.slot_entry(r, msg.slot);
+            let (from, rel) = (entry.index, entry.rel);
+
+            let decision = deliver(net, filters, policy, state, q, generation, msg, rel, from);
+            if let Some(l) = log.as_deref_mut() {
+                l.deliveries.push(LogDelivery {
+                    gen: generation,
+                    msg,
+                    removed: matches!(
+                        decision,
+                        Decision::Withdrawn
+                            | Decision::RejectedLoop
+                            | Decision::RejectedOrigin
+                            | Decision::RejectedStub
+                    ),
+                });
+            }
+            match decision {
+                Decision::NewBest => stats.accepted += 1,
+                Decision::RejectedLoop => stats.loop_rejected += 1,
+                Decision::RejectedOrigin => stats.filter_rejected += 1,
+                Decision::RejectedStub => stats.stub_rejected += 1,
+                Decision::Withdrawn => stats.withdrawals += 1,
+                Decision::Stored => {}
+            }
+            obs.on_message(MessageEvent {
+                generation,
+                from,
+                to: r,
+                origin: AsIndex::new(msg.origin),
+                len: msg.len,
+                decision,
+            });
+        }
+        q.cur.clear();
+    }
+}
+
+/// Applies filters, the loop check, Adj-RIB-In replacement/removal and
+/// route re-selection for one delivered message. Returns the decision.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn deliver<S: RibState>(
+    net: &SimNet<'_>,
+    filters: &FilterContext<'_>,
+    policy: &PolicyConfig,
+    state: &mut S,
+    q: &mut Queues,
     generation: u32,
     msg: Msg,
     rel: Relationship,
@@ -482,30 +790,37 @@ fn deliver(
     } else if filters.rejects_origin(r, AsIndex::new(msg.origin)) {
         Some(Decision::RejectedOrigin)
     } else if filters.stub_defense
-        && matches!(rel, Relationship::Customer | Relationship::Peer)
-        && net.is_stub(from)
-        && filters.authorized_origin.is_some_and(|auth| auth != from)
+        && rel != Relationship::Sibling
+        && filters.authorized_origin.is_some_and(|auth| {
+            // A stub only ever originates, and its providers and peers
+            // know its prefixes; if it is not this prefix's authorized
+            // origin, any announcement it sends — and any route *claiming*
+            // it as origin — is bogus by definition. The origin match is
+            // what keeps a stub's hijack from being laundered through a
+            // transit sibling: the route crosses the internal sibling link
+            // unfiltered but is dropped on every edge leaving the
+            // organization. Together these match the paper's optimistic
+            // case, where "attacks now originate only from the transit
+            // ASes".
+            (net.is_stub(from) && auth != from)
+                || (net.is_stub(AsIndex::new(msg.origin)) && auth.raw() != msg.origin)
+        })
     {
-        // A stub only ever originates, and its neighbors (providers and
-        // peers alike) know its prefixes; if it is not this prefix's
-        // authorized origin, its announcement is bogus by definition. This
-        // matches the paper's optimistic case, where "attacks now
-        // originate only from the transit ASes".
         Some(Decision::RejectedStub)
-    } else if ws.path_contains(msg.node, r.raw()) {
+    } else if path_contains(state, msg.node, r.raw()) {
         Some(Decision::RejectedLoop)
     } else {
         None
     };
     if let Some(decision) = unusable {
-        let had_entry = ws.adj_epoch[msg.slot as usize] == epoch;
-        ws.adj_epoch[msg.slot as usize] = 0;
-        if had_entry && ws.best_epoch[r.usize()] == epoch && ws.best[r.usize()].slot == msg.slot
-        {
+        let had_entry = state.clear_adj(msg.slot);
+        if had_entry && state.best(r.raw()).is_some_and(|b| b.slot == msg.slot) {
             // The removed entry was the best route: re-select.
-            let new_best = rescan(net, ws, r, tier1, epoch).unwrap_or(NO_ROUTE);
-            ws.best[r.usize()] = new_best;
-            ws.mark_dirty(r.raw(), generation);
+            let new_best = rescan(net, state, r, tier1).unwrap_or(NO_ROUTE);
+            state.set_best(r.raw(), new_best);
+            if state.try_mark_dirty(r.raw(), generation) {
+                q.dirty.push(r.raw());
+            }
         }
         return decision;
     }
@@ -514,16 +829,19 @@ fn deliver(
         Some(c) => c,
         None => PrefClass::from_u8(msg.class), // sibling: inherit
     };
-    ws.adj[msg.slot as usize] = AdjEntry {
-        origin: msg.origin,
-        len: msg.len,
-        class: class.as_u8(),
-        node: msg.node,
-    };
-    ws.adj_epoch[msg.slot as usize] = epoch;
+    state.set_adj(
+        msg.slot,
+        AdjEntry {
+            origin: msg.origin,
+            len: msg.len,
+            class: class.as_u8(),
+            node: msg.node,
+        },
+    );
 
-    let had = ws.best_epoch[r.usize()] == epoch && ws.best[r.usize()].origin != NONE;
-    if had && ws.best[r.usize()].slot == NONE {
+    let cur_best = state.best(r.raw());
+    let had = cur_best.is_some_and(|b| b.origin != NONE);
+    if had && cur_best.expect("had implies recorded").slot == NONE {
         // The receiver originates this prefix; its own route wins.
         return Decision::Stored;
     }
@@ -537,53 +855,48 @@ fn deliver(
         key: ckey,
     };
     let decision = if !had {
-        ws.best[r.usize()] = cand;
-        ws.best_epoch[r.usize()] = epoch;
+        state.set_best(r.raw(), cand);
         Decision::NewBest
     } else {
-        let old = ws.best[r.usize()];
+        let old = cur_best.expect("had implies recorded");
         if old.slot == msg.slot {
             // Implicit replacement of the current best's entry.
             let new_best = if ckey >= old.key {
                 cand
             } else {
-                rescan(net, ws, r, tier1, epoch).expect("entry was just stored")
+                rescan(net, state, r, tier1).expect("entry was just stored")
             };
-            let changed = (old.origin, old.len, old.class)
-                != (new_best.origin, new_best.len, new_best.class);
-            ws.best[r.usize()] = new_best;
+            let changed =
+                (old.origin, old.len, old.class) != (new_best.origin, new_best.len, new_best.class);
+            state.set_best(r.raw(), new_best);
             if changed {
                 Decision::NewBest
             } else {
                 Decision::Stored
             }
         } else if ckey > old.key {
-            ws.best[r.usize()] = cand;
+            state.set_best(r.raw(), cand);
             Decision::NewBest
         } else {
             Decision::Stored
         }
     };
-    if decision == Decision::NewBest {
-        ws.mark_dirty(r.raw(), generation);
+    if decision == Decision::NewBest && state.try_mark_dirty(r.raw(), generation) {
+        q.dirty.push(r.raw());
     }
     decision
 }
 
 /// Re-selects the best entry of `r` by scanning its Adj-RIB-In.
-fn rescan(
+pub(crate) fn rescan<S: RibState>(
     net: &SimNet<'_>,
-    ws: &Workspace,
+    state: &S,
     r: AsIndex,
     tier1: bool,
-    epoch: u32,
 ) -> Option<Best> {
     let mut best: Option<Best> = None;
     for slot in net.slots_of(r) {
-        if ws.adj_epoch[slot as usize] != epoch {
-            continue;
-        }
-        let e = ws.adj[slot as usize];
+        let Some(e) = state.adj(slot) else { continue };
         let key = key_for(tier1, PrefClass::from_u8(e.class), e.len, slot);
         if best.is_none_or(|b| key > b.key) {
             best = Some(Best {
@@ -597,4 +910,99 @@ fn rescan(
         }
     }
     best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::NullObserver;
+    use bgpsim_topology::{topology_from_triples, AsId, LinkKind::*};
+
+    /// Satellite: epoch wrap-around. A workspace whose epoch counter sits
+    /// just below `u32::MAX` must survive the wrap: the wrap clears every
+    /// stamp array (otherwise stale entries from epoch `k` would read as
+    /// valid once the counter cycles back to `k`), and propagations across
+    /// the wrap must match a fresh workspace bit for bit.
+    #[test]
+    fn epoch_wraparound_clears_stamps() {
+        let topo = topology_from_triples(&[
+            (1, 2, ProviderToCustomer),
+            (1, 3, ProviderToCustomer),
+            (2, 4, ProviderToCustomer),
+            (3, 4, ProviderToCustomer),
+            (2, 3, PeerToPeer),
+        ]);
+        let net = SimNet::new(&topo);
+        let o = topo.index_of(AsId::new(4)).unwrap();
+        let a = topo.index_of(AsId::new(3)).unwrap();
+        let policy = PolicyConfig::paper();
+        let ctx = FilterContext::none();
+
+        let mut ws = Workspace::new();
+        // Prime the arrays at a normal epoch, then push the counter to the
+        // edge so the next begin() lands on u32::MAX and the one after
+        // wraps to 0 (which begin() must remap to a cleared epoch 1).
+        let first = propagate(&net, &[o], &ctx, &policy, &mut ws, &mut NullObserver);
+        ws.epoch = u32::MAX - 1;
+        let at_max = propagate(&net, &[o, a], &ctx, &policy, &mut ws, &mut NullObserver);
+        assert_eq!(ws.epoch, u32::MAX);
+        let wrapped = propagate(&net, &[o], &ctx, &policy, &mut ws, &mut NullObserver);
+        assert_eq!(ws.epoch, 1, "wrap must land on cleared epoch 1");
+
+        // Every stamp array was cleared at the wrap, so the only valid
+        // stamps afterwards belong to the post-wrap run.
+        assert!(ws.best_epoch.iter().all(|&e| e <= 1));
+        assert!(ws.adj_epoch.iter().all(|&e| e <= 1));
+        assert!(ws.sent_epoch.iter().all(|&e| e <= 1));
+        assert!(ws.last_export_epoch.iter().all(|&e| e <= 1));
+        assert!(ws.dirty_tag.iter().all(|&t| (t >> 32) <= 1));
+
+        // Results across the wrap match fresh workspaces exactly.
+        let fresh_dual = propagate(
+            &net,
+            &[o, a],
+            &ctx,
+            &policy,
+            &mut Workspace::new(),
+            &mut NullObserver,
+        );
+        assert_eq!(at_max.choices(), fresh_dual.choices());
+        assert_eq!(at_max.stats(), fresh_dual.stats());
+        assert_eq!(wrapped.choices(), first.choices());
+        assert_eq!(wrapped.stats(), first.stats());
+    }
+
+    /// The snapshot freezes exactly the converged state: bests mirror the
+    /// returned choices, and a workspace reused afterwards does not
+    /// disturb the frozen copy.
+    #[test]
+    fn snapshot_mirrors_converged_state() {
+        let topo = topology_from_triples(&[(1, 2, ProviderToCustomer), (1, 3, ProviderToCustomer)]);
+        let net = SimNet::new(&topo);
+        let o = topo.index_of(AsId::new(3)).unwrap();
+        let mut ws = Workspace::new();
+        let p = propagate(
+            &net,
+            &[o],
+            &FilterContext::none(),
+            &PolicyConfig::paper(),
+            &mut ws,
+            &mut NullObserver,
+        );
+        let snap = ws.snapshot(&net);
+        assert_eq!(snap.best.len(), net.num_ases());
+        assert_eq!(snap.adj.len(), net.num_slots());
+        for i in 0..net.num_ases() {
+            let ix = AsIndex::new(i as u32);
+            match (p.choice(ix), snap.best[i]) {
+                (Some(c), Some(b)) => {
+                    assert_eq!(c.origin.raw(), b.origin);
+                    assert_eq!(c.len, b.len);
+                    assert_eq!(c.class.as_u8(), b.class);
+                }
+                (None, b) => assert!(b.is_none() || b.expect("checked").origin == NONE),
+                (Some(_), None) => panic!("choice without snapshot best at {ix}"),
+            }
+        }
+    }
 }

@@ -8,9 +8,17 @@
 //! * [`stable`] — a closed-form label-setting solver for strict
 //!   Gao-Rexford policy, used as a fast path and as an independent oracle
 //!   in property tests.
+//!
+//! Plus one accelerator built on the first: [`delta`] re-converges a
+//! frozen, already-converged state after injecting additional
+//! announcements, running only the perturbed frontier through the *same*
+//! message-passing mechanics (shared via the `RibState` seam inside
+//! [`generation`]).
 
+pub mod delta;
 pub mod generation;
 pub mod stable;
 
+pub use delta::{propagate_delta, Baseline, DeltaResult, DeltaWorkspace};
 pub use generation::{propagate, propagate_announcements, Announcement, Workspace};
 pub use stable::solve;

@@ -123,9 +123,15 @@ pub fn solve(
             }
             let rel_at_receiver = nb.rel.reversed();
             if filters.stub_defense
-                && matches!(rel_at_receiver, Relationship::Customer | Relationship::Peer)
-                && net.is_stub(xi)
-                && filters.authorized_origin.is_some_and(|auth| auth != xi)
+                && rel_at_receiver != Relationship::Sibling
+                && filters.authorized_origin.is_some_and(|auth| {
+                    // Mirrors `generation::deliver` exactly: unauthorized
+                    // stub senders AND routes claiming an unauthorized stub
+                    // origin are dropped on every non-sibling edge, so a
+                    // hijack cannot be laundered out of the organization
+                    // through a transit sibling.
+                    (net.is_stub(xi) && auth != xi) || (net.is_stub(origin) && auth != origin)
+                })
             {
                 continue;
             }

@@ -111,8 +111,11 @@ pub struct FilterContext<'a> {
     pub authorized_origin: Option<AsIndex>,
     /// ASes rejecting announcements whose origin is unauthorized.
     pub validators: Option<&'a AsSet>,
-    /// Every provider filters bogus announcements arriving directly from
-    /// stub customers.
+    /// Every AS filters bogus stub announcements on non-sibling edges:
+    /// routes sent by an unauthorized stub *and* routes claiming an
+    /// unauthorized stub as origin are dropped. The origin half contains a
+    /// stub's hijack within its own organization even when a transit
+    /// sibling re-announces it.
     pub stub_defense: bool,
 }
 
@@ -196,8 +199,12 @@ mod tests {
         use bgpsim_topology::{AsId, LinkKind, TopologyBuilder};
         let mut b = TopologyBuilder::new();
         for i in 0..130u32 {
-            b.add_link(AsId::new(1000), AsId::new(i + 1), LinkKind::ProviderToCustomer)
-                .unwrap();
+            b.add_link(
+                AsId::new(1000),
+                AsId::new(i + 1),
+                LinkKind::ProviderToCustomer,
+            )
+            .unwrap();
         }
         let t = b.build().unwrap();
         let mut s = AsSet::empty(&t);

@@ -51,6 +51,7 @@ mod observer;
 pub mod policy;
 mod route;
 
+pub use engine::delta::{propagate_delta, Baseline, DeltaResult, DeltaWorkspace};
 pub use engine::generation::{propagate, propagate_announcements, Announcement, Workspace};
 pub use engine::stable::solve;
 pub use filter::{AsSet, FilterContext};

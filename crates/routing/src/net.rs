@@ -65,10 +65,7 @@ impl<'t> SimNet<'t> {
         for t in topo.tier1s() {
             tier1[t.usize()] = true;
         }
-        let group = topo
-            .indices()
-            .map(|ix| topo.sibling_group(ix))
-            .collect();
+        let group = topo.indices().map(|ix| topo.sibling_group(ix)).collect();
         let stub = topo.indices().map(|ix| topo.is_stub(ix)).collect();
         SimNet {
             topo,
@@ -183,10 +180,7 @@ mod tests {
 
     #[test]
     fn masks_and_groups() {
-        let topo = topology_from_triples(&[
-            (1, 2, ProviderToCustomer),
-            (2, 3, SiblingToSibling),
-        ]);
+        let topo = topology_from_triples(&[(1, 2, ProviderToCustomer), (2, 3, SiblingToSibling)]);
         let net = SimNet::new(&topo);
         let ix = |n| topo.index_of(AsId::new(n)).unwrap();
         assert!(net.is_tier1(ix(1)));

@@ -137,10 +137,7 @@ mod tests {
         );
         assert_eq!(p.captured_count(o), 1);
         assert_eq!(p.reached_count(), 3);
-        assert_eq!(
-            p.captured_by(o).collect::<Vec<_>>(),
-            vec![AsIndex::new(1)]
-        );
+        assert_eq!(p.captured_by(o).collect::<Vec<_>>(), vec![AsIndex::new(1)]);
         assert!(p.choice(AsIndex::new(3)).is_none());
     }
 
@@ -157,7 +154,12 @@ mod tests {
         };
         // 2 -> 1 -> 0 (origin).
         let p = Propagation::new(
-            vec![chain(o, None, 0), chain(o, Some(0), 1), chain(o, Some(1), 2), None],
+            vec![
+                chain(o, None, 0),
+                chain(o, Some(0), 1),
+                chain(o, Some(1), 2),
+                None,
+            ],
             ConvergenceStats::default(),
         );
         let path = p.path_to_origin(AsIndex::new(2)).unwrap();
@@ -165,7 +167,10 @@ mod tests {
             path,
             vec![AsIndex::new(2), AsIndex::new(1), AsIndex::new(0)]
         );
-        assert_eq!(path.len() as u16, p.choice(AsIndex::new(2)).unwrap().len + 1);
+        assert_eq!(
+            path.len() as u16,
+            p.choice(AsIndex::new(2)).unwrap().len + 1
+        );
         assert_eq!(p.path_to_origin(AsIndex::new(0)).unwrap(), vec![o]);
         assert!(p.path_to_origin(AsIndex::new(3)).is_none());
     }

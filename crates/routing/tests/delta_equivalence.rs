@@ -1,0 +1,315 @@
+//! Property tests pinning baseline + delta re-convergence to full
+//! two-origin propagation, bit for bit.
+//!
+//! The delta engine (`engine::delta`) freezes the converged honest state
+//! and re-converges it with the attacker's announcement injected. Its
+//! contract is *bit-identical* results: for every AS the re-converged
+//! `Choice` (origin, learned_from, len, class) equals the one a
+//! from-scratch run of the combined announcement set produces — and
+//! therefore so does every quantity derived from choices, in particular
+//! the polluted set (`captured_by`). These tests enforce that on random
+//! DAG-structured topologies across the attack shapes of §IV:
+//!
+//! * origin hijacks (honest competition for the same prefix),
+//! * sub-prefix hijacks (no competition: empty baseline),
+//! * forged-origin hijacks (the attacker prepends the victim's ASN),
+//!
+//! each under no filters, origin validation at random validators, and
+//! validators + defensive stub filtering — for both the paper policy and
+//! strict Gao-Rexford. Workspaces (full and delta) are shared across all
+//! scenarios of a case, so state leakage between runs would also fail.
+
+use proptest::prelude::*;
+
+use bgpsim_routing::{
+    propagate_announcements, propagate_delta, Announcement, AsSet, Baseline, DeltaWorkspace,
+    FilterContext, NullObserver, PolicyConfig, SimNet, Workspace,
+};
+use bgpsim_topology::{AsId, AsIndex, LinkKind, Topology, TopologyBuilder};
+
+/// A random topology recipe, identical in shape to the one in
+/// `equivalence.rs`: provider links oriented small→large index keep the
+/// provider hierarchy acyclic, as Gao-Rexford stability requires.
+#[derive(Debug, Clone)]
+struct Recipe {
+    n: u32,
+    p2c: Vec<(u32, u32)>,
+    p2p: Vec<(u32, u32)>,
+    s2s: Vec<(u32, u32)>,
+    target: u32,
+    attacker: u32,
+    validators: Vec<u32>,
+}
+
+fn arb_recipe() -> impl Strategy<Value = Recipe> {
+    (4u32..24).prop_flat_map(|n| {
+        let pair = (0..n, 0..n);
+        (
+            proptest::collection::vec(pair.clone(), 3..40),
+            proptest::collection::vec(pair.clone(), 0..12),
+            proptest::collection::vec(pair, 0..4),
+            0..n,
+            0..n,
+            proptest::collection::vec(0..n, 0..6),
+        )
+            .prop_map(
+                move |(p2c, p2p, s2s, target, attacker, validators)| Recipe {
+                    n,
+                    p2c,
+                    p2p,
+                    s2s,
+                    target,
+                    attacker,
+                    validators,
+                },
+            )
+    })
+}
+
+fn build(recipe: &Recipe) -> Topology {
+    let mut b = TopologyBuilder::new();
+    for i in 0..recipe.n {
+        b.add_as(AsId::new(i + 1));
+    }
+    for &(x, y) in &recipe.p2c {
+        if x != y {
+            let (p, c) = if x < y { (x, y) } else { (y, x) };
+            let _ = b.add_link(
+                AsId::new(p + 1),
+                AsId::new(c + 1),
+                LinkKind::ProviderToCustomer,
+            );
+        }
+    }
+    for &(x, y) in &recipe.p2p {
+        if x != y {
+            let _ = b.add_link(AsId::new(x + 1), AsId::new(y + 1), LinkKind::PeerToPeer);
+        }
+    }
+    for &(x, y) in &recipe.s2s {
+        if x != y {
+            let _ = b.add_link(
+                AsId::new(x + 1),
+                AsId::new(y + 1),
+                LinkKind::SiblingToSibling,
+            );
+        }
+    }
+    b.build().expect("non-empty")
+}
+
+/// Asserts one delta run against its from-scratch oracle: every choice
+/// identical, and (as an explicit, if redundant, check) the polluted sets
+/// identical both through the materialized propagation and through the
+/// O(touched) view.
+#[allow(clippy::too_many_arguments)]
+fn assert_delta_matches(
+    net: &SimNet<'_>,
+    baseline: &Baseline,
+    base_announcements: &[Announcement],
+    injection: Announcement,
+    ctx: &FilterContext<'_>,
+    policy: &PolicyConfig,
+    ws: &mut Workspace,
+    dws: &mut DeltaWorkspace,
+    label: &str,
+) -> Result<(), TestCaseError> {
+    let delta = propagate_delta(
+        net,
+        baseline,
+        &[injection],
+        ctx,
+        policy,
+        dws,
+        &mut NullObserver,
+    );
+    let mut combined = base_announcements.to_vec();
+    combined.push(injection);
+    let full = propagate_announcements(net, &combined, ctx, policy, ws, &mut NullObserver);
+    for i in 0..net.num_ases() {
+        let ix = AsIndex::new(i as u32);
+        prop_assert_eq!(
+            delta.choice(ix),
+            full.choice(ix),
+            "[{}] choice divergence at index {}",
+            label,
+            i
+        );
+    }
+    let materialized = delta.to_propagation();
+    prop_assert_eq!(
+        materialized.choices(),
+        full.choices(),
+        "[{}] materialized choices diverge",
+        label
+    );
+    // Polluted set (attacker's captures): identical because choices are —
+    // asserted directly so the contract is pinned even if captured_by's
+    // derivation changes.
+    let attacker = injection.announcer;
+    prop_assert_eq!(
+        materialized.captured_by(attacker).collect::<Vec<_>>(),
+        full.captured_by(attacker).collect::<Vec<_>>(),
+        "[{}] polluted set diverges",
+        label
+    );
+    // Touched completeness: an AS the delta run never touched must hold its
+    // baseline choice (`choice()` falls through, so if full disagreed the
+    // loop above already failed — this pins the fall-through itself).
+    let touched: Vec<AsIndex> = delta.touched().collect();
+    for i in 0..net.num_ases() {
+        let ix = AsIndex::new(i as u32);
+        if !touched.contains(&ix) {
+            prop_assert_eq!(
+                delta.choice(ix),
+                baseline.propagation().choice(ix),
+                "[{}] untouched AS {} lost its baseline choice",
+                label,
+                i
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full scenario matrix for one recipe; shared by the property
+/// test and any future pinned regressions.
+fn assert_delta_equivalence(recipe: &Recipe) -> Result<(), TestCaseError> {
+    let topo = build(recipe);
+    let net = SimNet::new(&topo);
+    let target = AsIndex::new(recipe.target);
+    let attacker = AsIndex::new(recipe.attacker);
+    if target == attacker {
+        return Ok(());
+    }
+    let validators = AsSet::from_members(&topo, recipe.validators.iter().map(|&v| AsIndex::new(v)));
+    let contexts = [
+        ("none", FilterContext::none()),
+        (
+            "validators",
+            FilterContext::origin_validation(target, &validators),
+        ),
+        (
+            "validators+stub",
+            FilterContext {
+                authorized_origin: Some(target),
+                validators: Some(&validators),
+                stub_defense: true,
+            },
+        ),
+    ];
+    // One workspace pair across ALL scenarios: reuse must not leak state.
+    let mut ws = Workspace::new();
+    let mut dws = DeltaWorkspace::new();
+    for policy in [PolicyConfig::paper(), PolicyConfig::strict_gao_rexford()] {
+        for (ctx_name, ctx) in &contexts {
+            let honest = [Announcement::honest(target)];
+            let baseline = Baseline::build(&net, &honest, ctx, &policy, &mut ws);
+            // Origin hijack: attacker competes for the target's prefix.
+            assert_delta_matches(
+                &net,
+                &baseline,
+                &honest,
+                Announcement::honest(attacker),
+                ctx,
+                &policy,
+                &mut ws,
+                &mut dws,
+                &format!("origin/{ctx_name}"),
+            )?;
+            // Forged-origin hijack: attacker claims the target's ASN.
+            assert_delta_matches(
+                &net,
+                &baseline,
+                &honest,
+                Announcement::forged(attacker, target),
+                ctx,
+                &policy,
+                &mut ws,
+                &mut dws,
+                &format!("forged/{ctx_name}"),
+            )?;
+            // Sub-prefix hijack: the bogus more-specific prefix has no
+            // honest competition — empty baseline, from-scratch oracle.
+            let empty = Baseline::empty(&net, &policy);
+            assert_delta_matches(
+                &net,
+                &empty,
+                &[],
+                Announcement::honest(attacker),
+                ctx,
+                &policy,
+                &mut ws,
+                &mut dws,
+                &format!("subprefix/{ctx_name}"),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Pinned regression: the topology that broke the first (snapshot-only)
+/// delta design. AS 12's honest best is a customer-class route laundered
+/// through sibling 4, which a provider-class attacker route can never
+/// dislodge *after* convergence — but in the simultaneous race AS 12
+/// adopts the attacker at generation 1, before the sibling route exists,
+/// and tier-1 AS 4 (shortest-path-first) follows it. The paper policy
+/// admits both stable states; only schedule replay picks the raced one.
+#[test]
+fn pinned_regression_sibling_laundered_multistability() {
+    let recipe = Recipe {
+        n: 13,
+        p2c: vec![
+            (3, 12),
+            (7, 7),
+            (8, 0),
+            (0, 12),
+            (8, 7),
+            (7, 9),
+            (12, 9),
+            (8, 6),
+            (8, 2),
+            (10, 5),
+            (2, 3),
+            (12, 9),
+            (8, 10),
+            (3, 9),
+            (10, 11),
+            (1, 6),
+            (7, 1),
+            (9, 12),
+            (2, 6),
+            (6, 4),
+            (9, 9),
+            (2, 7),
+            (1, 7),
+            (7, 6),
+            (1, 12),
+            (1, 11),
+            (5, 2),
+            (6, 3),
+            (0, 9),
+            (7, 11),
+            (0, 9),
+            (5, 7),
+            (7, 0),
+        ],
+        p2p: vec![(9, 2), (9, 0)],
+        s2s: vec![(12, 4), (1, 10)],
+        target: 11,
+        attacker: 0,
+        validators: vec![],
+    };
+    assert_delta_equivalence(&recipe).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Baseline + delta re-convergence is bit-identical to full
+    /// propagation across attack kinds, filter contexts and policies.
+    #[test]
+    fn delta_matches_full_propagation(recipe in arb_recipe()) {
+        assert_delta_equivalence(&recipe)?;
+    }
+}

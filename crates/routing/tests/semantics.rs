@@ -3,14 +3,19 @@
 //! Each test pins one rule from the paper's §III policy description.
 
 use bgpsim_routing::{
-    propagate, propagate_announcements, Announcement, AsSet, Decision, FilterContext,
-    NullObserver, PolicyConfig, PrefClass, Propagation, SimNet, TraceRecorder, Workspace,
+    propagate, propagate_announcements, Announcement, AsSet, Decision, FilterContext, NullObserver,
+    PolicyConfig, PrefClass, Propagation, SimNet, TraceRecorder, Workspace,
 };
 use bgpsim_topology::LinkKind::*;
 use bgpsim_topology::{topology_from_triples, AsId, AsIndex, Topology};
 
 fn run(topo: &Topology, origins: &[u32]) -> Propagation {
-    run_with(topo, origins, &FilterContext::none(), &PolicyConfig::paper())
+    run_with(
+        topo,
+        origins,
+        &FilterContext::none(),
+        &PolicyConfig::paper(),
+    )
 }
 
 fn run_with(
@@ -87,7 +92,10 @@ fn valley_free_blocks_peer_to_peer_transit() {
     let topo = topology_from_triples(&[(9, 1, PeerToPeer), (1, 2, PeerToPeer)]);
     let p = run(&topo, &[9]);
     assert!(p.choice(ix(&topo, 1)).is_some());
-    assert!(p.choice(ix(&topo, 2)).is_none(), "peer route re-exported to a peer");
+    assert!(
+        p.choice(ix(&topo, 2)).is_none(),
+        "peer route re-exported to a peer"
+    );
 }
 
 #[test]
@@ -104,10 +112,7 @@ fn valley_free_blocks_provider_route_up() {
         (9, 8, PeerToPeer),
     ]);
     let p = run(&topo, &[2]);
-    assert_eq!(
-        p.choice(ix(&topo, 9)).unwrap().class,
-        PrefClass::Provider
-    );
+    assert_eq!(p.choice(ix(&topo, 9)).unwrap().class, PrefClass::Provider);
     assert!(
         p.choice(ix(&topo, 8)).is_none(),
         "provider route re-exported to a peer"
@@ -117,10 +122,7 @@ fn valley_free_blocks_provider_route_up() {
 #[test]
 fn provider_routes_do_flow_down() {
     // origin 1 (top provider) → 2 → 3: everyone below hears it.
-    let topo = topology_from_triples(&[
-        (1, 2, ProviderToCustomer),
-        (2, 3, ProviderToCustomer),
-    ]);
+    let topo = topology_from_triples(&[(1, 2, ProviderToCustomer), (2, 3, ProviderToCustomer)]);
     let p = run(&topo, &[1]);
     let c3 = p.choice(ix(&topo, 3)).unwrap();
     assert_eq!(c3.class, PrefClass::Provider);
@@ -134,15 +136,19 @@ fn tier1_prefers_shortest_path_when_enabled() {
     // Paper policy: the shorter peer route wins at a tier-1.
     // Strict Gao-Rexford: the customer route wins.
     let topo = topology_from_triples(&[
-        (1, 2, PeerToPeer),          // tier-1 clique: 1, 2
-        (1, 3, ProviderToCustomer),  // 1's customer chain: 3 → 4 → 9
+        (1, 2, PeerToPeer),         // tier-1 clique: 1, 2
+        (1, 3, ProviderToCustomer), // 1's customer chain: 3 → 4 → 9
         (3, 4, ProviderToCustomer),
         (4, 9, ProviderToCustomer),
-        (2, 9, ProviderToCustomer),  // 2 reaches origin directly
+        (2, 9, ProviderToCustomer), // 2 reaches origin directly
     ]);
     let paper = run(&topo, &[9]);
     let c = paper.choice(ix(&topo, 1)).unwrap();
-    assert_eq!(c.class, PrefClass::Peer, "tier-1 takes the short peer route");
+    assert_eq!(
+        c.class,
+        PrefClass::Peer,
+        "tier-1 takes the short peer route"
+    );
     assert_eq!(c.len, 2);
 
     let strict = run_with(
@@ -152,7 +158,11 @@ fn tier1_prefers_shortest_path_when_enabled() {
         &PolicyConfig::strict_gao_rexford(),
     );
     let c = strict.choice(ix(&topo, 1)).unwrap();
-    assert_eq!(c.class, PrefClass::Customer, "strict GR keeps the customer route");
+    assert_eq!(
+        c.class,
+        PrefClass::Customer,
+        "strict GR keeps the customer route"
+    );
     assert_eq!(c.len, 3);
 }
 
@@ -239,7 +249,10 @@ fn full_validation_deployment_stops_everything() {
     assert_eq!(p.captured_count(a), 0, "universal ROV blocks the hijack");
     // The legitimate route still reaches everyone.
     assert_eq!(
-        p.choices().iter().filter(|c| matches!(c, Some(c) if c.origin == t)).count(),
+        p.choices()
+            .iter()
+            .filter(|c| matches!(c, Some(c) if c.origin == t))
+            .count(),
         topo.num_ases() - 1
     );
 }
@@ -454,10 +467,7 @@ fn forged_announcement_claims_origin_and_lengthens_path() {
 
 #[test]
 fn forged_announcement_passes_origin_validation() {
-    let topo = topology_from_triples(&[
-        (1, 2, ProviderToCustomer),
-        (1, 9, ProviderToCustomer),
-    ]);
+    let topo = topology_from_triples(&[(1, 2, ProviderToCustomer), (1, 9, ProviderToCustomer)]);
     let net = SimNet::new(&topo);
     let victim = ix(&topo, 9);
     let forger = ix(&topo, 2);

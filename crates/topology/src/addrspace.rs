@@ -33,11 +33,7 @@ impl AddressSpace {
     ///
     /// Panics if `weights.len() != topo.num_ases()`.
     pub fn from_weights(topo: &Topology, weights: Vec<u64>) -> AddressSpace {
-        assert_eq!(
-            weights.len(),
-            topo.num_ases(),
-            "one weight per AS required"
-        );
+        assert_eq!(weights.len(), topo.num_ases(), "one weight per AS required");
         let total = weights.iter().sum();
         AddressSpace { weights, total }
     }

@@ -114,12 +114,9 @@ impl FromStr for AsId {
                 kind: ParseAsIdErrorKind::Empty,
             });
         }
-        digits
-            .parse::<u32>()
-            .map(AsId)
-            .map_err(|e| ParseAsIdError {
-                kind: ParseAsIdErrorKind::Int(e),
-            })
+        digits.parse::<u32>().map(AsId).map_err(|e| ParseAsIdError {
+            kind: ParseAsIdErrorKind::Int(e),
+        })
     }
 }
 

@@ -189,7 +189,8 @@ mod tests {
         let mut b = TopologyBuilder::new();
         b.add_link(AsId::new(10), AsId::new(20), ProviderToCustomer)
             .unwrap();
-        b.add_link(AsId::new(30), AsId::new(10), PeerToPeer).unwrap();
+        b.add_link(AsId::new(30), AsId::new(10), PeerToPeer)
+            .unwrap();
         let t = b.build().unwrap();
         assert_eq!(t.id_of(crate::AsIndex::new(0)), AsId::new(10));
         assert_eq!(t.id_of(crate::AsIndex::new(1)), AsId::new(20));

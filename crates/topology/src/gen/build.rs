@@ -233,7 +233,8 @@ pub fn generate(params: &InternetParams, seed: u64) -> GeneratedInternet {
             chain_left = rng.random_range(1..params.max_chain_len);
             chain_prev = Some(i);
         }
-        let nproviders = 1 + usize::from(rng.random_bool(0.45)) + usize::from(rng.random_bool(0.15));
+        let nproviders =
+            1 + usize::from(rng.random_bool(0.45)) + usize::from(rng.random_bool(0.15));
         let mut got = 0;
         let mut attempts = 0;
         while got < nproviders && attempts < 64 {
@@ -341,13 +342,22 @@ pub fn generate(params: &InternetParams, seed: u64) -> GeneratedInternet {
                     let other = (l + 1) % params.ladder_count;
                     let p2 = if level == 0 {
                         let alt = other % t1.max(1);
-                        if alt != anchor { alt } else { (anchor + 1) % t1.max(1) }
+                        if alt != anchor {
+                            alt
+                        } else {
+                            (anchor + 1) % t1.max(1)
+                        }
                     } else {
                         ladder_transits[other][level - 1]
                     };
                     link(&mut builder, p2, multi, LinkKind::ProviderToCustomer);
                 } else if t1 > 1 {
-                    link(&mut builder, (anchor + 1) % t1, multi, LinkKind::ProviderToCustomer);
+                    link(
+                        &mut builder,
+                        (anchor + 1) % t1,
+                        multi,
+                        LinkKind::ProviderToCustomer,
+                    );
                 }
             }
         }
@@ -410,7 +420,11 @@ pub fn generate(params: &InternetParams, seed: u64) -> GeneratedInternet {
         // matching regions whose members multi-home abroad.
         for i in is_range.clone() {
             role[i] = Role::IslandStub;
-            let pool_start = if it_count > 0 { it_range.start } else { gw_range.start };
+            let pool_start = if it_count > 0 {
+                it_range.start
+            } else {
+                gw_range.start
+            };
             let pool_len = if it_count > 0 { it_count } else { island_gw };
             let homes = 1 + usize::from(rng.random_bool(0.4));
             let mut got = 0;
@@ -561,10 +575,7 @@ mod tests {
             assert_eq!(t.num_providers(a), 0, "tier-1 {a} must not buy transit");
             for &b in &t1s {
                 if a != b {
-                    assert!(
-                        t.peers(a).any(|p| p == b),
-                        "tier-1s {a} and {b} must peer"
-                    );
+                    assert!(t.peers(a).any(|p| p == b), "tier-1s {a} and {b} must peer");
                 }
             }
         }
@@ -639,10 +650,10 @@ mod tests {
             "too much leakage: {fully_internal}/{non_gateway} internal"
         );
         // Gateways do connect to the mainland.
-        assert!(net.island_gateways.iter().any(|&g| {
-            t.providers(g)
-                .any(|p| net.regions.region_of(p) != island)
-        }));
+        assert!(net
+            .island_gateways
+            .iter()
+            .any(|&g| { t.providers(g).any(|p| net.regions.region_of(p) != island) }));
         // The hub (first gateway) dominates: it has the most island
         // customers among the gateways.
         let hub = net.island_gateways[0];
@@ -714,7 +725,10 @@ mod tests {
         assert_eq!(net.longitude.len(), net.topology.num_ases());
         for ix in net.topology.indices() {
             let theta = net.longitude[ix.usize()];
-            assert!((-0.02..1.02).contains(&theta), "longitude {theta} out of band");
+            assert!(
+                (-0.02..1.02).contains(&theta),
+                "longitude {theta} out of band"
+            );
             let region = net.regions.region_of(ix);
             if Some(region) == net.island_region {
                 continue; // island has a dedicated id beyond the slices

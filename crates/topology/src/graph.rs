@@ -330,7 +330,8 @@ impl Topology {
         }
         self.indices()
             .filter(|&ix| {
-                self.num_providers(ix) == 0 && (self.num_customers(ix) > 0 || self.num_peers(ix) > 0)
+                self.num_providers(ix) == 0
+                    && (self.num_customers(ix) > 0 || self.num_peers(ix) > 0)
             })
             .collect()
     }

@@ -179,10 +179,7 @@ mod tests {
 
     #[test]
     fn to_tier1_uses_heuristic_when_undeclared() {
-        let topo = topology_from_triples(&[
-            (1, 2, ProviderToCustomer),
-            (2, 3, ProviderToCustomer),
-        ]);
+        let topo = topology_from_triples(&[(1, 2, ProviderToCustomer), (2, 3, ProviderToCustomer)]);
         let ix = |n| topo.index_of(AsId::new(n)).unwrap();
         let d = DepthMap::to_tier1(&topo);
         assert_eq!(d.depth(ix(3)), Some(2));

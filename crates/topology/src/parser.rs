@@ -225,14 +225,14 @@ mod tests {
     #[test]
     fn rejects_malformed_lines() {
         for bad in [
-            "1|2",          // missing rel
-            "1|2|9",        // unknown code
-            "x|2|-1",       // bad asn
-            "1|y|0",        // bad asn
+            "1|2",           // missing rel
+            "1|2|9",         // unknown code
+            "x|2|-1",        // bad asn
+            "1|y|0",         // bad asn
             "1|2|-1|s|junk", // too many fields
-            "1|2|zz",       // non-numeric rel
-            "7|7|0",        // self loop
-            "1|2|-1|",      // empty source
+            "1|2|zz",        // non-numeric rel
+            "7|7|0",         // self loop
+            "1|2|-1|",       // empty source
         ] {
             let err = from_caida_str(bad).unwrap_err();
             assert!(

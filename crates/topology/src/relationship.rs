@@ -146,14 +146,8 @@ mod tests {
         );
         assert_eq!(LinkKind::PeerToPeer.rel_at_a(), Relationship::Peer);
         assert_eq!(LinkKind::PeerToPeer.rel_at_b(), Relationship::Peer);
-        assert_eq!(
-            LinkKind::SiblingToSibling.rel_at_a(),
-            Relationship::Sibling
-        );
-        assert_eq!(
-            LinkKind::SiblingToSibling.rel_at_b(),
-            Relationship::Sibling
-        );
+        assert_eq!(LinkKind::SiblingToSibling.rel_at_a(), Relationship::Sibling);
+        assert_eq!(LinkKind::SiblingToSibling.rel_at_b(), Relationship::Sibling);
     }
 
     #[test]

@@ -48,10 +48,7 @@ impl TopologyStats {
         let thresholds = [500usize, 300, 200, 100];
         let mut cohorts = [(0usize, 0usize); 4];
         for (slot, &k) in thresholds.iter().enumerate() {
-            cohorts[slot] = (
-                k,
-                topo.indices().filter(|&ix| topo.degree(ix) >= k).count(),
-            );
+            cohorts[slot] = (k, topo.indices().filter(|&ix| topo.degree(ix) >= k).count());
         }
         TopologyStats {
             num_ases: topo.num_ases(),
@@ -65,11 +62,7 @@ impl TopologyStats {
             degree_cohorts: cohorts,
             depth_histogram: depth.histogram(),
             unreachable: depth.num_unreachable(),
-            max_degree: topo
-                .indices()
-                .map(|ix| topo.degree(ix))
-                .max()
-                .unwrap_or(0),
+            max_degree: topo.indices().map(|ix| topo.degree(ix)).max().unwrap_or(0),
         }
     }
 }

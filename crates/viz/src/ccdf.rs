@@ -89,7 +89,14 @@ impl CcdfChart {
             0.0,
         );
         if !self.subtitle.is_empty() {
-            doc.text(16.0, 48.0, &self.subtitle, 12.0, TEXT_SECONDARY, Anchor::Start);
+            doc.text(
+                16.0,
+                48.0,
+                &self.subtitle,
+                12.0,
+                TEXT_SECONDARY,
+                Anchor::Start,
+            );
         }
 
         let max_x = self

@@ -58,9 +58,25 @@ impl DetectionChart {
         let bins = self.histogram.len();
         let mut doc = SvgDoc::new(w, h);
         doc.rect(0.0, 0.0, w, h, SURFACE);
-        doc.text_styled(16.0, 28.0, &self.title, 18.0, TEXT_PRIMARY, Anchor::Start, true, 0.0);
+        doc.text_styled(
+            16.0,
+            28.0,
+            &self.title,
+            18.0,
+            TEXT_PRIMARY,
+            Anchor::Start,
+            true,
+            0.0,
+        );
         if !self.subtitle.is_empty() {
-            doc.text(16.0, 48.0, &self.subtitle, 12.0, TEXT_SECONDARY, Anchor::Start);
+            doc.text(
+                16.0,
+                48.0,
+                &self.subtitle,
+                12.0,
+                TEXT_SECONDARY,
+                Anchor::Start,
+            );
         }
 
         let slot = pw / bins as f64;
@@ -75,17 +91,27 @@ impl DetectionChart {
         let sy = |v: f64| top + panel_h - (v / y_hi) * panel_h;
         for &t in &yt {
             doc.line(left, sy(t), left + pw, sy(t), GRID, 1.0);
-            doc.text(left - 8.0, sy(t) + 4.0, &fmt_count(t), 11.0, TEXT_SECONDARY, Anchor::End);
+            doc.text(
+                left - 8.0,
+                sy(t) + 4.0,
+                &fmt_count(t),
+                11.0,
+                TEXT_SECONDARY,
+                Anchor::End,
+            );
         }
         for (k, &c) in self.histogram.iter().enumerate() {
             if c == 0 {
                 continue;
             }
-            let color = if k == 0 { series_color(5) } else { series_color(0) };
-            doc.titled(
-                &format!("{c} attacks seen by {k} probe(s)"),
-                |doc| doc.column(x_of(k), sy(c as f64), bar_w, sy(0.0), color),
-            );
+            let color = if k == 0 {
+                series_color(5)
+            } else {
+                series_color(0)
+            };
+            doc.titled(&format!("{c} attacks seen by {k} probe(s)"), |doc| {
+                doc.column(x_of(k), sy(c as f64), bar_w, sy(0.0), color)
+            });
         }
         // Direct label on the story bin: the misses.
         if self.histogram[0] > 0 {
@@ -111,23 +137,40 @@ impl DetectionChart {
         // Legend for the two bar identities.
         let ly = top - 12.0;
         doc.rect_rounded(left, ly - 9.0, 10.0, 10.0, 2.0, series_color(5));
-        doc.text(left + 16.0, ly, "undetected (0 probes)", 11.0, TEXT_SECONDARY, Anchor::Start);
+        doc.text(
+            left + 16.0,
+            ly,
+            "undetected (0 probes)",
+            11.0,
+            TEXT_SECONDARY,
+            Anchor::Start,
+        );
         doc.rect_rounded(left + 190.0, ly - 9.0, 10.0, 10.0, 2.0, series_color(0));
-        doc.text(left + 206.0, ly, "detected", 11.0, TEXT_SECONDARY, Anchor::Start);
+        doc.text(
+            left + 206.0,
+            ly,
+            "detected",
+            11.0,
+            TEXT_SECONDARY,
+            Anchor::Start,
+        );
 
         // ---- Bottom panel: mean pollution. --------------------------------
         let p_top = top + panel_h + gap;
-        let poll_hi = self
-            .mean_pollution
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max);
+        let poll_hi = self.mean_pollution.iter().copied().fold(0.0f64, f64::max);
         let pt = nice_ticks(poll_hi.max(1.0), 5);
         let p_hi = *pt.last().expect("ticks");
         let py = |v: f64| p_top + panel_h - (v / p_hi) * panel_h;
         for &t in &pt {
             doc.line(left, py(t), left + pw, py(t), GRID, 1.0);
-            doc.text(left - 8.0, py(t) + 4.0, &fmt_count(t), 11.0, TEXT_SECONDARY, Anchor::End);
+            doc.text(
+                left - 8.0,
+                py(t) + 4.0,
+                &fmt_count(t),
+                11.0,
+                TEXT_SECONDARY,
+                Anchor::End,
+            );
         }
         let line_pts: Vec<(f64, f64)> = self
             .mean_pollution

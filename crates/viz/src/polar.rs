@@ -55,7 +55,7 @@ impl<'a> PolarSnapshot<'a> {
         let radius_of = |ix: AsIndex, topo: &Topology| -> f64 {
             let d = self.depths.depth(ix).unwrap_or(max_depth) as f64;
             let base = r_outer - d * band; // outer edge of this AS's band
-            // Higher degree toward the band's inner edge.
+                                           // Higher degree toward the band's inner edge.
             let deg = topo.degree(ix) as f64;
             let frac = (deg.ln_1p() / 8.0).min(0.9);
             base - band * (0.15 + 0.7 * frac)
@@ -117,8 +117,7 @@ impl<'a> PolarSnapshot<'a> {
         {
             current_origin.insert(e.to, e.origin);
         }
-        let polluted =
-            |ix: AsIndex| -> bool { current_origin.get(&ix) == Some(&self.attacker) };
+        let polluted = |ix: AsIndex| -> bool { current_origin.get(&ix) == Some(&self.attacker) };
 
         // Idle dots (subsampled deterministically).
         let involved: std::collections::HashSet<AsIndex> = self
@@ -196,13 +195,29 @@ impl<'a> PolarSnapshot<'a> {
                 }
             }
             let (x, y) = pos(ix, self.topo);
-            let fill = if is_polluted { polar::ACCEPTED } else { polar::IDLE };
+            let fill = if is_polluted {
+                polar::ACCEPTED
+            } else {
+                polar::IDLE
+            };
             doc.circle(x, y, dot_r(ix).max(2.0), fill, None);
         }
         let (tx, ty) = pos(self.target, self.topo);
-        doc.circle(tx, ty, dot_r(self.target).max(5.0), polar::TARGET, Some(SURFACE));
+        doc.circle(
+            tx,
+            ty,
+            dot_r(self.target).max(5.0),
+            polar::TARGET,
+            Some(SURFACE),
+        );
         let (ax, ay) = pos(self.attacker, self.topo);
-        doc.circle(ax, ay, dot_r(self.attacker).max(5.0), polar::ATTACKER, Some(SURFACE));
+        doc.circle(
+            ax,
+            ay,
+            dot_r(self.attacker).max(5.0),
+            polar::ATTACKER,
+            Some(SURFACE),
+        );
 
         // Legend + stats footer.
         let ly = h - 96.0;
@@ -245,7 +260,10 @@ impl<'a> PolarSnapshot<'a> {
             doc.text(
                 16.0,
                 h - 20.0,
-                &format!("({} uninvolved ASes subsampled out for rendering)", fmt_count(skipped as f64)),
+                &format!(
+                    "({} uninvolved ASes subsampled out for rendering)",
+                    fmt_count(skipped as f64)
+                ),
                 10.0,
                 TEXT_MUTED,
                 Anchor::Start,
@@ -331,9 +349,6 @@ mod tests {
             "{} polluted so far",
             crate::svg::fmt_count(outcome.pollution_count() as f64)
         );
-        assert!(
-            svg.contains(&expect),
-            "footer should report {expect}"
-        );
+        assert!(svg.contains(&expect), "footer should report {expect}");
     }
 }

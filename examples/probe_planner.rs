@@ -33,7 +33,12 @@ fn main() {
     );
     for (i, (&p, &cov)) in plan.probes.iter().zip(&plan.coverage_steps).enumerate() {
         if i < 8 {
-            println!("  {}. {} -> {:.1}% cumulative", i + 1, lab.describe(p), 100.0 * cov);
+            println!(
+                "  {}. {} -> {:.1}% cumulative",
+                i + 1,
+                lab.describe(p),
+                100.0 * cov
+            );
         }
     }
 

@@ -41,9 +41,7 @@ fn main() {
     // 3. The same attack against incremental filter deployments.
     for strategy in [
         DeploymentStrategy::Tier1,
-        DeploymentStrategy::TopKByDegree(
-            ((62.0 * lab.config().scale()).round() as usize).max(8),
-        ),
+        DeploymentStrategy::TopKByDegree(((62.0 * lab.config().scale()).round() as usize).max(8)),
     ] {
         let defense = strategy.defense(lab.topology());
         let defended = sim.run(attack, &defense);

@@ -1,0 +1,275 @@
+//! Offline vendored micro-benchmark harness exposing the `criterion` API
+//! subset this workspace uses: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Behavior:
+//!
+//! * Under `cargo bench` (cargo passes `--bench` to the target) every
+//!   benchmark is warmed up and timed, and a mean per-iteration wall time
+//!   is printed in criterion's familiar `name ... time: [..]` shape.
+//! * Under `cargo test` (no `--bench` argument) each benchmark body runs
+//!   exactly once as a smoke test, so bench targets stay cheap in tier-1
+//!   verification while still executing their code paths.
+//!
+//! There is no statistical analysis, plotting, or baseline storage.
+
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box` (upstream forwards to
+/// `std::hint` as well).
+pub use std::hint::black_box;
+
+fn timed_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Drives one benchmark body.
+pub struct Bencher {
+    timed: bool,
+    /// Mean per-iteration time measured by [`Bencher::iter`].
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records its mean wall time (timed
+    /// mode), or exactly once (smoke mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.timed {
+            black_box(routine());
+            return;
+        }
+        // Warm-up and calibration: grow the batch until it runs long
+        // enough to time reliably, without a fixed iteration budget that
+        // would penalize multi-second routines.
+        let mut batch = 1u64;
+        let floor = Duration::from_millis(200);
+        let (iters, elapsed) = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= floor || batch >= 1 << 20 {
+                break (batch, elapsed);
+            }
+            batch *= 2;
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let measured = start.elapsed().min(elapsed);
+        self.mean = Some(measured / iters.max(1) as u32);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Identifier combining a function name and a parameter, as in
+/// `BenchmarkId::new("delta", n_ases)`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    timed: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tunes how many samples feed the statistics; this harness
+    /// takes a single calibrated measurement, so the value is accepted and
+    /// ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored (see [`Self::sample_size`]).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            timed: self.timed,
+            mean: None,
+        };
+        f(&mut b);
+        if self.timed {
+            let time = b
+                .mean
+                .map(format_duration)
+                .unwrap_or_else(|| "no iter() call".to_string());
+            println!(
+                "{}/{id}\n                        time:   [{time}]",
+                self.name
+            );
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.to_string(), f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark manager handed to each `criterion_group!` function.
+pub struct Criterion {
+    timed: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            timed: timed_mode(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a [`BenchmarkGroup`] named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let timed = self.timed;
+        BenchmarkGroup {
+            name: name.into(),
+            timed,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let group = self.benchmark_group("");
+        let mut b = Bencher {
+            timed: group.timed,
+            mean: None,
+        };
+        let mut f = f;
+        f(&mut b);
+        if group.timed {
+            let time = b
+                .mean
+                .map(format_duration)
+                .unwrap_or_else(|| "no iter() call".to_string());
+            println!("{id}\n                        time:   [{time}]");
+        }
+        group.finish();
+        self
+    }
+}
+
+/// Bundles benchmark functions into a group runner, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut calls = 0u32;
+        let mut b = Bencher {
+            timed: false,
+            mean: None,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.mean.is_none());
+    }
+
+    #[test]
+    fn timed_mode_measures_a_mean() {
+        let mut b = Bencher {
+            timed: true,
+            mean: None,
+        };
+        b.iter(|| std::hint::black_box(3u64.pow(7)));
+        assert!(b.mean.is_some());
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_upstream() {
+        assert_eq!(BenchmarkId::new("delta", 2000).to_string(), "delta/2000");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,126 @@
+//! Offline vendored subset of the `petgraph` API.
+//!
+//! Provides the small interop surface this workspace uses:
+//! [`graph::UnGraph`] construction (`with_capacity`, `add_node`,
+//! `add_edge`, `node_count`, `edge_count`) and
+//! [`algo::connected_components`].
+
+pub mod graph {
+    /// Identifier of a node in a [`Graph`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub struct NodeIndex(pub usize);
+
+    impl NodeIndex {
+        /// The underlying index.
+        pub fn index(self) -> usize {
+            self.0
+        }
+    }
+
+    /// Identifier of an edge in a [`Graph`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub struct EdgeIndex(pub usize);
+
+    /// Marker type: undirected edges.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Undirected;
+
+    /// An adjacency-list graph with node weights `N` and edge weights `E`.
+    /// Only the undirected flavor is implemented.
+    #[derive(Debug, Clone, Default)]
+    pub struct Graph<N, E, Ty = Undirected> {
+        nodes: Vec<N>,
+        edges: Vec<(usize, usize, E)>,
+        _ty: std::marker::PhantomData<Ty>,
+    }
+
+    /// Undirected graph alias matching petgraph's.
+    pub type UnGraph<N, E> = Graph<N, E, Undirected>;
+
+    impl<N, E, Ty> Graph<N, E, Ty> {
+        /// An empty graph with reserved capacity.
+        pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+            Graph {
+                nodes: Vec::with_capacity(nodes),
+                edges: Vec::with_capacity(edges),
+                _ty: std::marker::PhantomData,
+            }
+        }
+
+        /// Adds a node carrying `weight`, returning its index.
+        pub fn add_node(&mut self, weight: N) -> NodeIndex {
+            self.nodes.push(weight);
+            NodeIndex(self.nodes.len() - 1)
+        }
+
+        /// Adds an edge between `a` and `b` carrying `weight`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if either endpoint is out of range.
+        pub fn add_edge(&mut self, a: NodeIndex, b: NodeIndex, weight: E) -> EdgeIndex {
+            assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len());
+            self.edges.push((a.0, b.0, weight));
+            EdgeIndex(self.edges.len() - 1)
+        }
+
+        /// Number of nodes.
+        pub fn node_count(&self) -> usize {
+            self.nodes.len()
+        }
+
+        /// Number of edges.
+        pub fn edge_count(&self) -> usize {
+            self.edges.len()
+        }
+
+        pub(crate) fn edge_endpoints_raw(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+            self.edges.iter().map(|&(a, b, _)| (a, b))
+        }
+    }
+}
+
+pub mod algo {
+    use crate::graph::Graph;
+
+    /// Number of connected components of an undirected graph (union-find).
+    pub fn connected_components<N, E, Ty>(g: &Graph<N, E, Ty>) -> usize {
+        let n = g.node_count();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let mut components = n;
+        for (a, b) in g.edge_endpoints_raw() {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra] = rb;
+                components -= 1;
+            }
+        }
+        components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::algo::connected_components;
+    use super::graph::UnGraph;
+
+    #[test]
+    fn counts_and_components() {
+        let mut g: UnGraph<u32, ()> = UnGraph::with_capacity(4, 2);
+        let n: Vec<_> = (0..4).map(|i| g.add_node(i)).collect();
+        g.add_edge(n[0], n[1], ());
+        g.add_edge(n[1], n[2], ());
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(connected_components(&g), 2); // {0,1,2} and {3}
+        g.add_edge(n[2], n[3], ());
+        assert_eq!(connected_components(&g), 1);
+    }
+}

@@ -1,0 +1,599 @@
+//! Offline vendored property-testing engine exposing the `proptest` API
+//! subset this workspace uses.
+//!
+//! The workspace builds in environments with no crates.io access, so the
+//! external `proptest` dependency is replaced by this self-contained
+//! implementation: the [`proptest!`] macro, [`strategy::Strategy`] with
+//! `prop_map` / `prop_flat_map`, range / tuple / [`strategy::Just`] /
+//! [`prop_oneof!`] / [`collection::vec`] strategies, `prop_assert*`, and a
+//! deterministic runner with `.proptest-regressions` seed-file replay.
+//!
+//! Differences from upstream proptest, by design:
+//!
+//! * Case generation is seeded deterministically from the test name, so a
+//!   failure reproduces on every run without any environment variable.
+//! * Failing cases are persisted to the sibling `.proptest-regressions`
+//!   file as a seed (first 16 hex digits of the `cc` token) and replayed
+//!   before random generation on later runs, like upstream.
+//! * There is no shrinking: the failing value is printed in full instead.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value from `rng`.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<W, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> W,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` builds
+        /// out of it (dependent generation).
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, W> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> W,
+    {
+        type Value = W;
+        fn generate(&self, rng: &mut TestRng) -> W {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            let first = self.inner.generate(rng);
+            (self.f)(first).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (the [`crate::prop_oneof!`]
+    /// expansion).
+    pub struct Union<V> {
+        arms: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union over `arms`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Union<V> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let arm = rng.below(self.arms.len() as u64) as usize;
+            self.arms[arm].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + rng.below((self.end - self.start) as u64) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    lo + rng.below((hi - lo) as u64 + 1) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A vector whose length is drawn from `len` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.start + rng.below((self.len.end - self.len.start) as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use std::fmt::Debug;
+    use std::io::Write as _;
+    use std::path::{Path, PathBuf};
+
+    use crate::strategy::Strategy;
+
+    /// Deterministic generator driving all strategies (xoshiro256** seeded
+    /// through SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// A generator whose stream is fully determined by `seed`.
+        pub fn from_seed(seed: u64) -> TestRng {
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// A uniform draw in `[0, bound)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `bound` is zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0)");
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property was falsified with the given message.
+        Fail(String),
+        /// The input was rejected (counts against no budget here).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A falsification with `reason`.
+        pub fn fail(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// An input rejection with `reason`.
+        pub fn reject(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// Outcome of one test-case body.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to generate (after regression replay).
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases per test.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Locates the `.proptest-regressions` file for a `file!()` path.
+    ///
+    /// `file!()` paths are workspace-relative while test binaries run from
+    /// the package root, so the suffix after the last `tests/` or `src/`
+    /// component is re-anchored at `CARGO_MANIFEST_DIR`.
+    fn regression_path(source_file: &str) -> Option<PathBuf> {
+        let direct = Path::new(source_file).with_extension("proptest-regressions");
+        if direct.exists() {
+            return Some(direct);
+        }
+        let manifest = std::env::var("CARGO_MANIFEST_DIR").ok()?;
+        let normalized = source_file.replace('\\', "/");
+        for anchor in ["tests/", "src/"] {
+            if let Some(pos) = normalized.rfind(anchor) {
+                let candidate = Path::new(&manifest)
+                    .join(&normalized[pos..])
+                    .with_extension("proptest-regressions");
+                return Some(candidate);
+            }
+        }
+        Some(direct)
+    }
+
+    /// Parses the replay seeds out of a regression file: the first 16 hex
+    /// digits of each `cc <token>` line.
+    fn parse_seeds(content: &str) -> Vec<u64> {
+        content
+            .lines()
+            .filter_map(|line| {
+                let token = line.trim().strip_prefix("cc ")?.split_whitespace().next()?;
+                let head: String = token.chars().take(16).collect();
+                u64::from_str_radix(&head, 16).ok()
+            })
+            .collect()
+    }
+
+    /// Appends a failing seed to the regression file (best-effort).
+    fn persist_failure(path: &Path, seed: u64, value: &dyn Debug) {
+        let line = format!("cc {seed:016x}{:048x} # shrinks to {value:?}\n", 0u64);
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let header_needed = !path.exists();
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            if header_needed {
+                let _ = f.write_all(
+                    b"# Seeds for failure cases proptest has generated in the past. It is\n\
+                      # automatically read and these particular cases re-run before any\n\
+                      # novel cases are generated.\n",
+                );
+            }
+            let _ = f.write_all(line.as_bytes());
+        }
+    }
+
+    /// FNV-1a, used to derive the deterministic base seed per test.
+    fn fnv1a(data: &str) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in data.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Runs one property test: regression-file replay first, then
+    /// `config.cases` deterministically-seeded random cases.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the enclosing `#[test]`) on the first falsified
+    /// case, printing the seed and the generated value.
+    pub fn run<S, F>(
+        config: ProptestConfig,
+        source_file: &str,
+        test_name: &str,
+        strategy: S,
+        test: F,
+    ) where
+        S: Strategy,
+        S::Value: Debug,
+        F: Fn(S::Value) -> TestCaseResult,
+    {
+        let regressions = regression_path(source_file);
+        let mut replay_seeds = Vec::new();
+        if let Some(path) = &regressions {
+            if let Ok(content) = std::fs::read_to_string(path) {
+                replay_seeds = parse_seeds(&content);
+            }
+        }
+
+        let run_case = |seed: u64, pinned: bool| {
+            let mut rng = TestRng::from_seed(seed);
+            let value = strategy.generate(&mut rng);
+            match test(value) {
+                Ok(()) | Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(msg)) => {
+                    let mut rng = TestRng::from_seed(seed);
+                    let value = strategy.generate(&mut rng);
+                    if !pinned {
+                        if let Some(path) = &regressions {
+                            persist_failure(path, seed, &value);
+                        }
+                    }
+                    let kind = if pinned {
+                        "pinned regression"
+                    } else {
+                        "random"
+                    };
+                    panic!(
+                        "proptest: {test_name} falsified on {kind} case (seed {seed:#018x})\n\
+                         minimal input not computed (no shrinking); failing input:\n{value:#?}\n{msg}"
+                    );
+                }
+            }
+        };
+
+        for &seed in &replay_seeds {
+            run_case(seed, true);
+        }
+        let base = fnv1a(source_file) ^ fnv1a(test_name).rotate_left(17);
+        for i in 0..config.cases as u64 {
+            run_case(base.wrapping_add(i.wrapping_mul(0x9E3779B97F4A7C15)), false);
+        }
+    }
+}
+
+/// Declares property tests. Mirrors upstream `proptest!` for the supported
+/// grammar: an optional `#![proptest_config(..)]` header followed by
+/// `#[test] fn name(binding in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                // The closure must be a direct argument so expected-type
+                // propagation resolves the binding types inside `$body`.
+                $crate::test_runner::run(
+                    $cfg,
+                    file!(),
+                    stringify!($name),
+                    ($($strat,)+),
+                    |($($arg,)+)| -> $crate::test_runner::TestCaseResult {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{}: {:?} != {:?}", format!($($fmt)+), l, r);
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Uniform choice between strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(::std::boxed::Box::new($arm) as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        let strat = (3u32..9, 0usize..5);
+        for _ in 0..1000 {
+            let (a, b) = strat.generate(&mut rng);
+            assert!((3..9).contains(&a));
+            assert!(b < 5);
+        }
+    }
+
+    #[test]
+    fn flat_map_respects_dependency() {
+        let mut rng = TestRng::from_seed(2);
+        let strat = (2u32..10).prop_flat_map(|n| (Just(n), 0u32..n));
+        for _ in 0..1000 {
+            let (n, below) = strat.generate(&mut rng);
+            assert!(below < n);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_length_bounds() {
+        let mut rng = TestRng::from_seed(3);
+        let strat = crate::collection::vec(0u8..=255, 2..7);
+        for _ in 0..500 {
+            let v = strat.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = TestRng::from_seed(4);
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let strat = crate::collection::vec((0u32..100, 0u32..100), 1..20);
+        let a = strat.generate(&mut TestRng::from_seed(9));
+        let b = strat.generate(&mut TestRng::from_seed(9));
+        assert_eq!(a, b);
+    }
+
+    // The macro-level grammar (config header, multi-binding, trailing
+    // comma, early return) — compile-and-pass coverage.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_grammar_smoke(
+            a in 0u32..50,
+            b in 1u64..9,
+            v in crate::collection::vec(0usize..10, 0..4),
+        ) {
+            if v.is_empty() {
+                return Ok(());
+            }
+            prop_assert!(a < 50);
+            prop_assert!(b >= 1, "b was {}", b);
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(b, 0);
+        }
+    }
+}

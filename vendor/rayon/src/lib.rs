@@ -1,0 +1,160 @@
+//! Offline vendored subset of the `rayon` API.
+//!
+//! Implements exactly the data-parallel surface this workspace uses —
+//! `slice.par_iter().map(..)` / `.map_init(..)` followed by standard
+//! iterator adaptors — on top of `std::thread::scope`. The input slice is
+//! split into one contiguous chunk per available core; each worker maps its
+//! chunk into a local vector and the results are concatenated in input
+//! order, so the output is deterministic and identical to the sequential
+//! result.
+//!
+//! Unlike upstream rayon there is no work-stealing pool: tasks are
+//! coarse-grained per-chunk threads, which matches this repo's workloads
+//! (thousands of independent simulations of comparable cost).
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads: the machine's available parallelism.
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f` over every element of `items` on all cores, preserving input
+/// order in the returned vector.
+fn parallel_map<'a, T, I, R, FI, F>(items: &'a [T], init: FI, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    FI: Fn() -> I + Sync,
+    F: Fn(&mut I, &'a T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = num_threads().min(n).max(1);
+    if workers <= 1 {
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
+    }
+    // Ceiling-divided contiguous chunks: worker k maps chunk k, and the
+    // chunk results are concatenated in order afterwards.
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    part.iter()
+                        .map(|item| f(&mut state, item))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("rayon-stub worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// A pending parallel iteration over a slice.
+///
+/// Adaptors evaluate eagerly (in parallel) and hand back a standard
+/// [`std::vec::IntoIter`], so any further `Iterator` combinators —
+/// `flatten`, `filter`, `collect` — compose as usual.
+#[derive(Debug, Clone, Copy)]
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Parallel map; order-preserving.
+    pub fn map<R, F>(self, f: F) -> std::vec::IntoIter<R>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        parallel_map(self.items, || (), |(), item| f(item)).into_iter()
+    }
+
+    /// Parallel map with one lazily-created state per worker (rayon's
+    /// `map_init`): `init` runs once per worker thread and the state is
+    /// reused across that worker's whole chunk.
+    pub fn map_init<I, R, FI, F>(self, init: FI, f: F) -> std::vec::IntoIter<R>
+    where
+        R: Send,
+        FI: Fn() -> I + Sync,
+        F: Fn(&mut I, &'a T) -> R + Sync,
+    {
+        parallel_map(self.items, init, f).into_iter()
+    }
+}
+
+/// Extension trait providing `par_iter` on slices and vectors.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by the parallel iterator.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator borrowing the collection's elements.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_reuses_state_and_flattens() {
+        let input: Vec<u32> = (0..1000).collect();
+        let out: Vec<u32> = input
+            .par_iter()
+            .map_init(
+                || 0u32,
+                |counter, &x| {
+                    *counter += 1;
+                    if x % 2 == 0 {
+                        Some(x)
+                    } else {
+                        None
+                    }
+                },
+            )
+            .flatten()
+            .collect();
+        assert_eq!(out, (0..1000).filter(|x| x % 2 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let input: Vec<u32> = Vec::new();
+        let out: Vec<u32> = input.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

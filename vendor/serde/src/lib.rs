@@ -1,0 +1,13 @@
+//! Offline vendored `serde` trait stub.
+//!
+//! The workspace's `serde` support is an optional feature that is **off**
+//! in the tier-1 build. This stub exists only so the optional dependency
+//! resolves without network access; it defines the trait names but not the
+//! derive macros, so enabling the workspace `serde` features requires
+//! swapping this vendor path back to the real crates.io `serde`.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
