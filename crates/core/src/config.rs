@@ -75,15 +75,40 @@ impl ExperimentConfig {
         self.params.num_ases as f64 / 42_697.0
     }
 
+    /// Resolves a preset by name: `quick`, `standard`, or `paper`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown names return a message listing the valid presets, so a
+    /// typo'd scale fails loudly instead of silently running the wrong
+    /// experiment.
+    pub fn preset(name: &str) -> Result<ExperimentConfig, String> {
+        match name {
+            "quick" => Ok(ExperimentConfig::quick()),
+            "standard" => Ok(ExperimentConfig::standard()),
+            "paper" => Ok(ExperimentConfig::paper()),
+            other => Err(format!(
+                "unknown scale preset {other:?}: valid presets are \"quick\", \"standard\", \"paper\""
+            )),
+        }
+    }
+
     /// Reads a preset from the `BGPSIM_SCALE` environment variable
-    /// (`quick` / `standard` / `paper`), defaulting to `standard`. Examples
-    /// use this so `BGPSIM_SCALE=paper cargo run --example …` reproduces
-    /// the full-size study.
+    /// (`quick` / `standard` / `paper`), defaulting to `standard` when the
+    /// variable is unset. Examples use this so `BGPSIM_SCALE=paper cargo
+    /// run --example …` reproduces the full-size study.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized value (e.g. `BGPSIM_SCALE=Paper`): a typo
+    /// must not silently run a different scale than the one asked for.
     pub fn from_env() -> ExperimentConfig {
-        match std::env::var("BGPSIM_SCALE").as_deref() {
-            Ok("quick") => ExperimentConfig::quick(),
-            Ok("paper") => ExperimentConfig::paper(),
-            _ => ExperimentConfig::standard(),
+        match std::env::var("BGPSIM_SCALE") {
+            Ok(name) => match ExperimentConfig::preset(&name) {
+                Ok(config) => config,
+                Err(msg) => panic!("BGPSIM_SCALE: {msg}"),
+            },
+            Err(_) => ExperimentConfig::standard(),
         }
     }
 }
@@ -109,6 +134,39 @@ mod tests {
         assert!(q.scale() < 0.1);
         assert_eq!(p.detection_attacks, 8_000);
         assert!(p.policy.tier1_shortest_path);
+    }
+
+    #[test]
+    fn preset_resolves_known_names() {
+        assert_eq!(
+            ExperimentConfig::preset("quick").unwrap().params.num_ases,
+            ExperimentConfig::quick().params.num_ases
+        );
+        assert_eq!(
+            ExperimentConfig::preset("standard")
+                .unwrap()
+                .params
+                .num_ases,
+            ExperimentConfig::standard().params.num_ases
+        );
+        assert_eq!(
+            ExperimentConfig::preset("paper").unwrap().params.num_ases,
+            ExperimentConfig::paper().params.num_ases
+        );
+    }
+
+    #[test]
+    fn preset_rejects_unknown_names_listing_valid_ones() {
+        for bad in ["Paper", "QUICK", "med", ""] {
+            let err = ExperimentConfig::preset(bad).unwrap_err();
+            assert!(
+                err.contains(&format!("{bad:?}")),
+                "error names the input: {err}"
+            );
+            for valid in ["\"quick\"", "\"standard\"", "\"paper\""] {
+                assert!(err.contains(valid), "error lists {valid}: {err}");
+            }
+        }
     }
 
     #[test]

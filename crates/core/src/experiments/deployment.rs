@@ -4,9 +4,10 @@
 use std::path::Path;
 
 use bgpsim_defense::{
-    evaluate_strategies, top_potent_attackers, DeploymentStrategy, PotentAttackerRow,
+    evaluate_strategies_monitored, top_potent_attackers, DeploymentStrategy, PotentAttackerRow,
     StrategyOutcome,
 };
+use bgpsim_hijack::SweepMonitor;
 use bgpsim_topology::AsIndex;
 
 use crate::lab::Lab;
@@ -131,12 +132,18 @@ impl DeploymentResult {
     }
 }
 
-fn run_for(lab: &Lab, id: &'static str, title: String, target: AsIndex) -> DeploymentResult {
+fn run_for(
+    lab: &Lab,
+    id: &'static str,
+    title: String,
+    target: AsIndex,
+    monitor: &SweepMonitor<'_>,
+) -> DeploymentResult {
     let sim = lab.simulator();
     let attackers = lab.strided_transit_attackers();
     let strategies =
         DeploymentStrategy::scaled_progression(lab.config().seed, lab.config().scale());
-    let outcomes = evaluate_strategies(&sim, target, &attackers, &strategies);
+    let outcomes = evaluate_strategies_monitored(&sim, target, &attackers, &strategies, monitor);
     let strongest = outcomes.last().expect("progression is non-empty");
     let top_potent = top_potent_attackers(
         lab.topology(),
@@ -157,17 +164,28 @@ fn run_for(lab: &Lab, id: &'static str, title: String, target: AsIndex) -> Deplo
 /// Runs fig. 5: incremental deployment protecting the resistant depth-1
 /// target.
 pub fn fig5(lab: &Lab) -> DeploymentResult {
+    fig5_monitored(lab, &SweepMonitor::none())
+}
+
+/// [`fig5`] with sweep instrumentation.
+pub fn fig5_monitored(lab: &Lab, monitor: &SweepMonitor<'_>) -> DeploymentResult {
     run_for(
         lab,
         "fig5",
         "Incremental filtering, depth-1 (resistant) target".into(),
         lab.cast().resistant_stub,
+        monitor,
     )
 }
 
 /// Runs fig. 6: the same progression protecting the vulnerable deep
 /// target.
 pub fn fig6(lab: &Lab) -> DeploymentResult {
+    fig6_monitored(lab, &SweepMonitor::none())
+}
+
+/// [`fig6`] with sweep instrumentation.
+pub fn fig6_monitored(lab: &Lab, monitor: &SweepMonitor<'_>) -> DeploymentResult {
     run_for(
         lab,
         "fig6",
@@ -176,6 +194,7 @@ pub fn fig6(lab: &Lab) -> DeploymentResult {
             lab.cast().vulnerable_depth
         ),
         lab.cast().vulnerable_stub,
+        monitor,
     )
 }
 

@@ -24,9 +24,12 @@ pub mod polar_attack;
 pub mod selfinterest;
 pub mod vulnerability;
 
-pub use deployment::{fig5, fig6, DeploymentResult};
+pub use deployment::{fig5, fig5_monitored, fig6, fig6_monitored, DeploymentResult};
 pub use detect::{fig7, DetectionResult};
 pub use model::{tab_model, ModelResult};
 pub use polar_attack::{fig1, PolarResult};
 pub use selfinterest::{sec7, Scenario, SelfInterestResult};
-pub use vulnerability::{fig2, fig3, fig4, LabeledCurve, VulnerabilityResult};
+pub use vulnerability::{
+    fig2, fig2_monitored, fig3, fig3_monitored, fig4, fig4_monitored, LabeledCurve,
+    VulnerabilityResult,
+};

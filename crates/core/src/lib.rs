@@ -36,6 +36,7 @@
 mod config;
 pub mod experiments;
 mod lab;
+pub mod manifest;
 pub mod report;
 
 pub use config::ExperimentConfig;

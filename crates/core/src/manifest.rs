@@ -1,0 +1,465 @@
+//! Machine-readable run manifests and benchmark records.
+//!
+//! Every `bgpsim` CLI run writes a `run_manifest.json` — the full
+//! configuration, per-figure wall time and telemetry counters, and the
+//! crate version — so any figure in `out/` can be traced back to the
+//! exact run that produced it, and a `BENCH_sweep.json` record so the
+//! performance trajectory across PRs stays visible.
+//!
+//! The vendored `serde` is a marker-trait stub (offline builds have no
+//! derive machinery), so this module carries its own minimal JSON value
+//! type and renderer: [`Json`] covers exactly what manifests need, with
+//! RFC 8259 string escaping and deterministic (insertion-order) object
+//! keys.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use bgpsim_hijack::TelemetrySnapshot;
+
+/// Manifest schema version; bump on any breaking layout change and
+/// document the migration in DESIGN.md.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A JSON value. Objects preserve insertion order so rendered manifests
+/// are deterministic and diffable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (rendered without a fraction when integral).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object from ordered pairs.
+    pub fn obj<K: Into<String>, I: IntoIterator<Item = (K, Json)>>(pairs: I) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// A string value.
+    pub fn str<S: Into<String>>(s: S) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Renders as pretty-printed JSON (two-space indent, trailing
+    /// newline) — the layout `run_manifest.json` is committed in.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Renders on one line (for appending records to a JSON-array file).
+    #[must_use]
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_string(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            _ => self.write_compact(out),
+        }
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_number(out, *n),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null"); // JSON has no NaN/Inf
+    } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
+/// One figure's record inside a [`RunManifest`].
+#[derive(Debug, Clone)]
+pub struct FigureRecord {
+    /// Figure id (`fig1` … `fig7`, `sec7`, `model`).
+    pub id: String,
+    /// Wall time spent producing the figure, in milliseconds.
+    pub wall_ms: f64,
+    /// Artifact filenames written into the output directory.
+    pub artifacts: Vec<String>,
+    /// Sweep telemetry, when the figure runs monitored sweeps.
+    pub telemetry: Option<TelemetrySnapshot>,
+}
+
+impl FigureRecord {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("id".to_string(), Json::str(&self.id)),
+            ("wall_ms".to_string(), Json::Num(self.wall_ms)),
+            (
+                "artifacts".to_string(),
+                Json::Arr(self.artifacts.iter().map(Json::str).collect()),
+            ),
+        ];
+        pairs.push((
+            "telemetry".to_string(),
+            match &self.telemetry {
+                Some(snapshot) => telemetry_json(snapshot),
+                None => Json::Null,
+            },
+        ));
+        Json::Obj(pairs)
+    }
+}
+
+/// Renders a [`TelemetrySnapshot`] as the manifest's `telemetry` object.
+/// The wall-time histogram drops trailing zero buckets to stay compact.
+#[must_use]
+pub fn telemetry_json(snapshot: &TelemetrySnapshot) -> Json {
+    let engine = &snapshot.engine;
+    let mut hist: Vec<Json> = snapshot.wall_hist.iter().map(|&c| Json::from(c)).collect();
+    while hist.len() > 1 && hist.last() == Some(&Json::Num(0.0)) {
+        hist.pop();
+    }
+    Json::obj([
+        (
+            "engine",
+            Json::obj([
+                ("runs", Json::from(engine.runs)),
+                ("messages", Json::from(engine.messages)),
+                ("accepted", Json::from(engine.accepted)),
+                ("loop_rejected", Json::from(engine.loop_rejected)),
+                ("filter_rejected", Json::from(engine.filter_rejected)),
+                ("stub_rejected", Json::from(engine.stub_rejected)),
+                ("withdrawals", Json::from(engine.withdrawals)),
+                ("generations_total", Json::from(engine.generations_total)),
+                ("max_generations", Json::from(engine.max_generations)),
+                ("truncated_runs", Json::from(engine.truncated_runs)),
+            ]),
+        ),
+        ("stable_dispatches", Json::from(snapshot.stable_dispatches)),
+        (
+            "scratch_dispatches",
+            Json::from(snapshot.scratch_dispatches),
+        ),
+        ("delta_dispatches", Json::from(snapshot.delta_dispatches)),
+        ("baselines_built", Json::from(snapshot.baselines_built)),
+        ("attacks", Json::from(snapshot.attacks)),
+        ("skipped", Json::from(snapshot.skipped)),
+        ("cone_sum", Json::from(snapshot.cone_sum)),
+        ("cone_max", Json::from(snapshot.cone_max)),
+        ("wall_hist_us_log2", Json::Arr(hist)),
+    ])
+}
+
+/// The full record of one `bgpsim` run (see DESIGN.md for the schema).
+#[derive(Debug, Clone)]
+pub struct RunManifest {
+    /// Crate version that produced the run (`CARGO_PKG_VERSION`).
+    pub version: String,
+    /// Scale preset name (`quick` / `standard` / `paper`).
+    pub scale: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Attacker stride used in sweeps.
+    pub attacker_stride: usize,
+    /// Worker threads (0 = all cores).
+    pub jobs: usize,
+    /// ASes in the generated topology.
+    pub num_ases: usize,
+    /// Figures run, in execution order.
+    pub figures: Vec<FigureRecord>,
+    /// End-to-end wall time, milliseconds.
+    pub total_wall_ms: f64,
+}
+
+impl RunManifest {
+    /// The manifest as a JSON value.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema_version", Json::from(SCHEMA_VERSION)),
+            ("tool", Json::str("bgpsim")),
+            ("version", Json::str(&self.version)),
+            (
+                "config",
+                Json::obj([
+                    ("scale", Json::str(&self.scale)),
+                    ("seed", Json::from(self.seed)),
+                    ("attacker_stride", Json::from(self.attacker_stride)),
+                    ("jobs", Json::from(self.jobs)),
+                    ("num_ases", Json::from(self.num_ases)),
+                ]),
+            ),
+            ("total_wall_ms", Json::Num(self.total_wall_ms)),
+            (
+                "figures",
+                Json::Arr(self.figures.iter().map(FigureRecord::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Renders the manifest as pretty-printed JSON.
+    #[must_use]
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+/// Appends `record` to a JSON-array file (creating `[record]` when the
+/// file is missing, empty, or not a well-formed array — a malformed file
+/// is started over rather than corrupted further).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn append_json_record(path: &Path, record: &Json) -> std::io::Result<()> {
+    let rendered = record.render_compact();
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let trimmed = existing.trim();
+    let body = if let Some(prefix) = trimmed
+        .strip_suffix(']')
+        .filter(|_| trimmed.starts_with('['))
+    {
+        let prefix = prefix.trim_end();
+        if prefix == "[" {
+            format!("[\n  {rendered}\n]\n")
+        } else {
+            format!("{},\n  {rendered}\n]\n", prefix.trim_end_matches(','))
+        }
+    } else {
+        format!("[\n  {rendered}\n]\n")
+    };
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_escapes() {
+        assert_eq!(Json::Null.render_compact(), "null");
+        assert_eq!(Json::Bool(true).render_compact(), "true");
+        assert_eq!(Json::Num(3.0).render_compact(), "3");
+        assert_eq!(Json::Num(3.5).render_compact(), "3.5");
+        assert_eq!(Json::Num(f64::NAN).render_compact(), "null");
+        assert_eq!(
+            Json::str("a\"b\\c\n\u{1}").render_compact(),
+            "\"a\\\"b\\\\c\\n\\u0001\""
+        );
+    }
+
+    #[test]
+    fn renders_nested_pretty() {
+        let v = Json::obj([
+            ("a", Json::from(1u64)),
+            ("b", Json::Arr(vec![Json::from(2u64), Json::str("x")])),
+            ("c", Json::obj::<&str, _>([])),
+        ]);
+        let s = v.render();
+        assert!(s.starts_with("{\n  \"a\": 1,\n"));
+        assert!(s.contains("\"b\": [\n    2,\n    \"x\"\n  ]"));
+        assert!(s.contains("\"c\": {}"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn manifest_layout_is_stable() {
+        let manifest = RunManifest {
+            version: "0.1.0".into(),
+            scale: "quick".into(),
+            seed: 2014,
+            attacker_stride: 2,
+            jobs: 0,
+            num_ases: 2000,
+            figures: vec![FigureRecord {
+                id: "fig2".into(),
+                wall_ms: 12.5,
+                artifacts: vec!["fig2.svg".into(), "fig2.csv".into()],
+                telemetry: None,
+            }],
+            total_wall_ms: 20.0,
+        };
+        let s = manifest.render();
+        for needle in [
+            "\"schema_version\": 1",
+            "\"tool\": \"bgpsim\"",
+            "\"scale\": \"quick\"",
+            "\"seed\": 2014",
+            "\"id\": \"fig2\"",
+            "\"wall_ms\": 12.5",
+            "\"telemetry\": null",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn telemetry_json_drops_trailing_hist_zeros() {
+        let mut snapshot = bgpsim_hijack::SweepTelemetry::new().snapshot();
+        snapshot.wall_hist[2] = 7;
+        let s = telemetry_json(&snapshot).render_compact();
+        assert!(s.contains("\"wall_hist_us_log2\":[0,0,7]"), "{s}");
+        assert!(s.contains("\"engine\":{"));
+    }
+
+    #[test]
+    fn bench_append_grows_an_array() {
+        let dir = std::env::temp_dir().join("bgpsim-manifest-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("BENCH_sweep.json");
+        let rec1 = Json::obj([("run", Json::from(1u64))]);
+        let rec2 = Json::obj([("run", Json::from(2u64))]);
+        append_json_record(&path, &rec1).unwrap();
+        append_json_record(&path, &rec2).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "[\n  {\"run\":1},\n  {\"run\":2}\n]\n");
+        // A malformed file is restarted, not corrupted further.
+        std::fs::write(&path, "not json").unwrap();
+        append_json_record(&path, &rec1).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "[\n  {\"run\":1}\n]\n"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -20,8 +20,21 @@ impl TextTable {
     }
 
     /// Appends a row (shorter rows are padded with empty cells).
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic on a row with more cells than the header —
+    /// truncating data silently would corrupt a stats table without any
+    /// signal. (Release builds still truncate rather than abort a long
+    /// experiment over a presentation bug.)
     pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
         let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        debug_assert!(
+            row.len() <= self.header.len(),
+            "row has {} cells but the table has {} columns: {row:?}",
+            row.len(),
+            self.header.len()
+        );
         row.resize(self.header.len(), String::new());
         self.rows.push(row);
         self
@@ -114,6 +127,14 @@ mod tests {
         assert!(s.lines().count() == 4);
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "row has 3 cells but the table has 2 columns")]
+    fn over_long_row_is_rejected_in_debug() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["1", "2", "3"]);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Evaluating deployment strategies against attack sweeps (§V).
 
-use bgpsim_hijack::{Simulator, SweepResult};
+use bgpsim_hijack::{Simulator, SweepMonitor, SweepResult};
 use bgpsim_topology::metrics::DepthMap;
 use bgpsim_topology::{AsIndex, Topology};
 
@@ -40,12 +40,26 @@ impl StrategyOutcome {
 ///
 /// The target is excluded from every deployment set — a defended target
 /// would trivially never be polluted anyway, and keeping it out isolates
-/// the *network-side* effect the paper studies.
+/// the *network-side* effect the paper studies. The target is likewise
+/// excluded from the attacker pool (it cannot attack itself), so curve
+/// statistics like `failed_attacks` count real attacks only.
 pub fn evaluate_strategies(
     sim: &Simulator<'_>,
     target: AsIndex,
     attackers: &[AsIndex],
     strategies: &[DeploymentStrategy],
+) -> Vec<StrategyOutcome> {
+    evaluate_strategies_monitored(sim, target, attackers, strategies, &SweepMonitor::none())
+}
+
+/// [`evaluate_strategies`] with sweep instrumentation (telemetry counters,
+/// per-attack progress, cancellation) forwarded to every strategy's sweep.
+pub fn evaluate_strategies_monitored(
+    sim: &Simulator<'_>,
+    target: AsIndex,
+    attackers: &[AsIndex],
+    strategies: &[DeploymentStrategy],
+    monitor: &SweepMonitor<'_>,
 ) -> Vec<StrategyOutcome> {
     strategies
         .iter()
@@ -54,11 +68,11 @@ pub fn evaluate_strategies(
             members.retain(|&ix| ix != target);
             let deployed = members.len();
             let defense = bgpsim_hijack::Defense::validators(sim.topology(), members);
-            let counts = sim.sweep_attackers(target, attackers, &defense);
+            let sweep = sim.sweep_result_monitored(target, attackers, &defense, monitor);
             StrategyOutcome {
                 strategy: strategy.clone(),
                 deployed,
-                sweep: SweepResult::new(attackers.to_vec(), counts),
+                sweep,
             }
         })
         .collect()

@@ -40,6 +40,7 @@ mod evaluation;
 mod strategy;
 
 pub use evaluation::{
-    evaluate_strategies, top_potent_attackers, PotentAttackerRow, StrategyOutcome,
+    evaluate_strategies, evaluate_strategies_monitored, top_potent_attackers, PotentAttackerRow,
+    StrategyOutcome,
 };
 pub use strategy::DeploymentStrategy;

@@ -37,10 +37,14 @@ mod aggressiveness;
 mod attack;
 mod defense;
 mod simulator;
+mod telemetry;
 mod vulnerability;
 
 pub use aggressiveness::{aggressiveness, rank_by_aggressiveness};
 pub use attack::{Attack, AttackKind, AttackOutcome};
 pub use defense::Defense;
 pub use simulator::Simulator;
+pub use telemetry::{
+    Dispatch, SweepMonitor, SweepProgress, SweepTelemetry, TelemetrySnapshot, WALL_HIST_BUCKETS,
+};
 pub use vulnerability::{SweepResult, VulnerabilityCurve};

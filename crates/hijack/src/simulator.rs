@@ -24,14 +24,16 @@
 use std::collections::HashMap;
 
 use bgpsim_routing::{
-    propagate_announcements, propagate_delta, solve, Announcement, Baseline, DeltaWorkspace,
-    NullObserver, Observer, PolicyConfig, Propagation, SimNet, Workspace,
+    propagate_announcements, propagate_delta, solve_observed, Announcement, Baseline,
+    DeltaWorkspace, NullObserver, Observer, PolicyConfig, Propagation, SimNet, Workspace,
 };
 use bgpsim_topology::{AsIndex, Topology};
 use rayon::prelude::*;
 
 use crate::attack::{Attack, AttackKind, AttackOutcome};
 use crate::defense::Defense;
+use crate::telemetry::{run_instrumented, Dispatch, MaybeSink, ProgressState, SweepMonitor};
+use crate::vulnerability::SweepResult;
 
 /// Simulates origin and sub-prefix hijacks on one topology.
 ///
@@ -160,6 +162,24 @@ impl<'t> Simulator<'t> {
         defense: &Defense,
         region: Option<&[AsIndex]>,
     ) -> Vec<u32> {
+        self.sweep_attackers_monitored(target, attackers, defense, region, &SweepMonitor::none())
+    }
+
+    /// [`Simulator::sweep_attackers_within`] with instrumentation: the
+    /// monitor's telemetry collector receives engine counters, dispatch
+    /// counts, cone sizes and per-attack wall times; its progress callback
+    /// fires after every attacker; setting its cancellation flag makes the
+    /// remaining attackers report zero pollution (the sweep still returns
+    /// one row per attacker, in order). An inert [`SweepMonitor::none`]
+    /// makes this identical to the unmonitored sweep.
+    pub fn sweep_attackers_monitored(
+        &self,
+        target: AsIndex,
+        attackers: &[AsIndex],
+        defense: &Defense,
+        region: Option<&[AsIndex]>,
+        monitor: &SweepMonitor<'_>,
+    ) -> Vec<u32> {
         let mask: Option<Vec<bool>> = region.map(|members| {
             let mut m = vec![false; self.net.num_ases()];
             for &ix in members {
@@ -169,6 +189,7 @@ impl<'t> Simulator<'t> {
         });
         let in_mask = |ix: AsIndex| mask.as_deref().is_none_or(|m| m[ix.usize()]);
         let ctx = defense.context_for(target);
+        let progress = ProgressState::new(*monitor, attackers.len());
         if !self.policy.tier1_shortest_path {
             // Strict Gao-Rexford: the stable solution is unique and the
             // closed-form solver computes it directly.
@@ -176,10 +197,23 @@ impl<'t> Simulator<'t> {
                 .par_iter()
                 .map(|&attacker| {
                     if attacker == target {
+                        progress.tick();
                         return 0;
                     }
-                    let p = solve(&self.net, &[target, attacker], &ctx, &self.policy);
-                    p.captured_by(attacker).filter(|&ix| in_mask(ix)).count() as u32
+                    run_instrumented(monitor, &progress, 0, || {
+                        if let Some(t) = monitor.telemetry {
+                            t.record_dispatch(Dispatch::Stable);
+                        }
+                        let mut obs = MaybeSink::from_monitor(monitor);
+                        let p = solve_observed(
+                            &self.net,
+                            &[target, attacker],
+                            &ctx,
+                            &self.policy,
+                            &mut obs,
+                        );
+                        p.captured_by(attacker).filter(|&ix| in_mask(ix)).count() as u32
+                    })
                 })
                 .collect();
         }
@@ -191,19 +225,29 @@ impl<'t> Simulator<'t> {
                 .par_iter()
                 .map_init(Workspace::new, |ws, &attacker| {
                     if attacker == target {
+                        progress.tick();
                         return 0;
                     }
-                    let p = propagate_announcements(
-                        &self.net,
-                        &[Announcement::honest(target), Announcement::honest(attacker)],
-                        &ctx,
-                        &self.policy,
-                        ws,
-                        &mut NullObserver,
-                    );
-                    p.captured_by(attacker).filter(|&ix| in_mask(ix)).count() as u32
+                    run_instrumented(monitor, &progress, 0, || {
+                        if let Some(t) = monitor.telemetry {
+                            t.record_dispatch(Dispatch::Scratch);
+                        }
+                        let mut obs = MaybeSink::from_monitor(monitor);
+                        let p = propagate_announcements(
+                            &self.net,
+                            &[Announcement::honest(target), Announcement::honest(attacker)],
+                            &ctx,
+                            &self.policy,
+                            ws,
+                            &mut obs,
+                        );
+                        p.captured_by(attacker).filter(|&ix| in_mask(ix)).count() as u32
+                    })
                 })
                 .collect();
+        }
+        if let Some(t) = monitor.telemetry {
+            t.record_baseline();
         }
         let baseline = Baseline::build(
             &self.net,
@@ -216,91 +260,220 @@ impl<'t> Simulator<'t> {
             .par_iter()
             .map_init(DeltaWorkspace::new, |dws, &attacker| {
                 if attacker == target {
+                    progress.tick();
                     return 0;
                 }
-                let delta = propagate_delta(
-                    &self.net,
-                    &baseline,
-                    &[Announcement::honest(attacker)],
-                    &ctx,
-                    &self.policy,
-                    dws,
-                    &mut NullObserver,
-                );
-                // The baseline routes only to the target, so every AS now
-                // routing to the attacker is in the cone: counting over
-                // `touched` is exhaustive.
-                delta
-                    .touched()
-                    .filter(|&ix| {
-                        ix != attacker
+                run_instrumented(monitor, &progress, 0, || {
+                    if let Some(t) = monitor.telemetry {
+                        t.record_dispatch(Dispatch::Delta);
+                    }
+                    let mut obs = MaybeSink::from_monitor(monitor);
+                    let delta = propagate_delta(
+                        &self.net,
+                        &baseline,
+                        &[Announcement::honest(attacker)],
+                        &ctx,
+                        &self.policy,
+                        dws,
+                        &mut obs,
+                    );
+                    // The baseline routes only to the target, so every AS
+                    // now routing to the attacker is in the cone: counting
+                    // over `touched` is exhaustive.
+                    let mut cone = 0u64;
+                    let mut count = 0u32;
+                    for ix in delta.touched() {
+                        cone += 1;
+                        if ix != attacker
                             && in_mask(ix)
                             && delta.choice(ix).is_some_and(|c| c.origin == attacker)
-                    })
-                    .count() as u32
+                        {
+                            count += 1;
+                        }
+                    }
+                    if let Some(t) = monitor.telemetry {
+                        t.record_cone(cone);
+                    }
+                    count
+                })
             })
             .collect()
+    }
+
+    /// Sweeps `target` from every AS in `attackers` *except the target
+    /// itself* and returns the paired [`SweepResult`].
+    ///
+    /// This is the entry point the figs. 2–6 stats tables must use: a raw
+    /// [`Simulator::sweep_attackers`] keeps the target's forced-zero row,
+    /// which [`crate::VulnerabilityCurve::failed_attacks`] would then count
+    /// as a "failed attack" — an off-by-one on every table. Excluding the
+    /// target at sweep level keeps curve semantics ("attacks that polluted
+    /// nobody") honest.
+    pub fn sweep_result(
+        &self,
+        target: AsIndex,
+        attackers: &[AsIndex],
+        defense: &Defense,
+    ) -> SweepResult {
+        self.sweep_result_monitored(target, attackers, defense, &SweepMonitor::none())
+    }
+
+    /// [`Simulator::sweep_result`] with instrumentation (see
+    /// [`Simulator::sweep_attackers_monitored`]).
+    pub fn sweep_result_monitored(
+        &self,
+        target: AsIndex,
+        attackers: &[AsIndex],
+        defense: &Defense,
+        monitor: &SweepMonitor<'_>,
+    ) -> SweepResult {
+        let pool: Vec<AsIndex> = attackers.iter().copied().filter(|&a| a != target).collect();
+        let counts = self.sweep_attackers_monitored(target, &pool, defense, None, monitor);
+        SweepResult::new(pool, counts)
     }
 
     /// Runs a batch of arbitrary attacks in parallel, returning full
     /// outcomes (polluted lists included) in input order.
     ///
-    /// Exact-prefix attacks (origin and forged-origin hijacks) sharing a
-    /// target re-converge incrementally from one shared baseline of that
-    /// target whenever a localizing defense is deployed and the target
-    /// draws at least two such attacks; everything else runs from scratch.
-    /// Outcomes are bit-identical either way, except `generations`, which
-    /// counts the waves of whichever engine ran (an incremental run steps
-    /// only the attacker's re-convergence).
+    /// Dispatch matches [`Simulator::sweep_attackers_within`]: under
+    /// strict Gao-Rexford policy, honest-origin attacks (origin and
+    /// sub-prefix hijacks) go to the closed-form stable solver, whose
+    /// outcomes report `generations: 0` (the solver runs no waves).
+    /// Remaining exact-prefix attacks sharing a target re-converge
+    /// incrementally from one shared baseline of that target — baselines
+    /// are built in parallel across rayon workers — whenever a localizing
+    /// defense is deployed and the target draws at least two such attacks;
+    /// everything else runs from scratch. Polluted sets are bit-identical
+    /// across all three paths; only `generations` depends on which engine
+    /// ran.
     pub fn run_batch(&self, attacks: &[Attack], defense: &Defense) -> Vec<AttackOutcome> {
-        // A baseline pays for itself once a target is attacked twice —
-        // and only if the defense keeps contamination cones local.
-        let mut exact_attacks: HashMap<AsIndex, u32> = HashMap::new();
+        self.run_batch_monitored(attacks, defense, &SweepMonitor::none())
+    }
+
+    /// [`Simulator::run_batch`] with instrumentation (see
+    /// [`Simulator::sweep_attackers_monitored`]); attacks skipped after a
+    /// cancel report empty polluted sets.
+    pub fn run_batch_monitored(
+        &self,
+        attacks: &[Attack],
+        defense: &Defense,
+        monitor: &SweepMonitor<'_>,
+    ) -> Vec<AttackOutcome> {
+        // The stable solver cannot express a forged-origin path (the bogus
+        // announcement claims the target's ASN with a nonzero seed
+        // length), so only honest-origin kinds qualify.
+        let stable_eligible = |kind: AttackKind| {
+            !self.policy.tier1_shortest_path && kind != AttackKind::ForgedOriginHijack
+        };
+        // A baseline pays for itself once a target is attacked twice by
+        // exact-prefix attacks the solver will not take — and only if the
+        // defense keeps contamination cones local.
+        let mut delta_eligible: HashMap<AsIndex, u32> = HashMap::new();
         if defense_localizes(defense) {
             for attack in attacks {
-                if attack.kind != AttackKind::SubPrefixHijack {
-                    *exact_attacks.entry(attack.target).or_default() += 1;
+                if attack.kind != AttackKind::SubPrefixHijack && !stable_eligible(attack.kind) {
+                    *delta_eligible.entry(attack.target).or_default() += 1;
                 }
             }
         }
-        let mut ws = Workspace::new();
-        let baselines: HashMap<AsIndex, Baseline> = exact_attacks
+        let targets: Vec<AsIndex> = delta_eligible
             .iter()
             .filter(|&(_, &count)| count >= 2)
-            .map(|(&target, _)| {
+            .map(|(&target, _)| target)
+            .collect();
+        let baselines: HashMap<AsIndex, Baseline> = targets
+            .par_iter()
+            .map_init(Workspace::new, |ws, &target| {
+                if let Some(t) = monitor.telemetry {
+                    t.record_baseline();
+                }
                 let ctx = defense.context_for(target);
                 let baseline = Baseline::build(
                     &self.net,
                     &[Announcement::honest(target)],
                     &ctx,
                     &self.policy,
-                    &mut ws,
+                    ws,
                 );
                 (target, baseline)
             })
             .collect();
+        let progress = ProgressState::new(*monitor, attacks.len());
         attacks
             .par_iter()
             .map_init(
                 || (Workspace::new(), DeltaWorkspace::new()),
-                |(ws, dws), &attack| match baselines.get(&attack.target) {
-                    Some(baseline) if attack.kind != AttackKind::SubPrefixHijack => {
-                        self.run_delta(attack, baseline, defense, dws)
-                    }
-                    _ => self.run_observed(attack, defense, ws, &mut NullObserver),
+                |(ws, dws), &attack| {
+                    let skipped = AttackOutcome {
+                        attack,
+                        polluted: Vec::new(),
+                        generations: 0,
+                        truncated: false,
+                    };
+                    run_instrumented(monitor, &progress, skipped, || {
+                        let mut obs = MaybeSink::from_monitor(monitor);
+                        if stable_eligible(attack.kind) {
+                            if let Some(t) = monitor.telemetry {
+                                t.record_dispatch(Dispatch::Stable);
+                            }
+                            return self.run_stable(attack, defense, &mut obs);
+                        }
+                        match baselines.get(&attack.target) {
+                            Some(baseline) if attack.kind != AttackKind::SubPrefixHijack => {
+                                if let Some(t) = monitor.telemetry {
+                                    t.record_dispatch(Dispatch::Delta);
+                                }
+                                self.run_delta(attack, baseline, defense, dws, monitor, &mut obs)
+                            }
+                            _ => {
+                                if let Some(t) = monitor.telemetry {
+                                    t.record_dispatch(Dispatch::Scratch);
+                                }
+                                self.run_observed(attack, defense, ws, &mut obs)
+                            }
+                        }
+                    })
                 },
             )
             .collect()
     }
 
+    /// One attack through the closed-form stable solver (strict
+    /// Gao-Rexford, honest-origin kinds only). The solver runs no waves,
+    /// so the outcome reports `generations: 0` and never truncates.
+    fn run_stable<O: Observer>(
+        &self,
+        attack: Attack,
+        defense: &Defense,
+        obs: &mut O,
+    ) -> AttackOutcome {
+        let ctx = defense.context_for(attack.target);
+        let origins: &[AsIndex] = match attack.kind {
+            AttackKind::OriginHijack => &[attack.target, attack.attacker],
+            AttackKind::SubPrefixHijack => &[attack.attacker],
+            AttackKind::ForgedOriginHijack => {
+                unreachable!("forged-origin paths are not expressible in the stable solver")
+            }
+        };
+        let p = solve_observed(&self.net, origins, &ctx, &self.policy, obs);
+        AttackOutcome {
+            attack,
+            polluted: polluted_set(&p, attack),
+            generations: 0,
+            truncated: false,
+        }
+    }
+
     /// One incremental attack against a prebuilt baseline of the target's
     /// honest propagation (exact-prefix kinds only).
-    fn run_delta(
+    fn run_delta<O: Observer>(
         &self,
         attack: Attack,
         baseline: &Baseline,
         defense: &Defense,
         dws: &mut DeltaWorkspace,
+        monitor: &SweepMonitor<'_>,
+        obs: &mut O,
     ) -> AttackOutcome {
         let ctx = defense.context_for(attack.target);
         let injection = match attack.kind {
@@ -315,8 +488,11 @@ impl<'t> Simulator<'t> {
             &ctx,
             &self.policy,
             dws,
-            &mut NullObserver,
+            obs,
         );
+        if let Some(t) = monitor.telemetry {
+            t.record_cone(delta.touched().count() as u64);
+        }
         let polluted = match attack.kind {
             AttackKind::OriginHijack => {
                 // Origin capture implies a changed selection, so the cone
@@ -526,6 +702,74 @@ mod tests {
         assert_eq!(within, vec![1]); // only AS6 counted
         let total = sim.sweep_attackers(target, &attackers, &Defense::none());
         assert!(total[0] >= within[0]);
+    }
+
+    #[test]
+    fn sweep_result_excludes_target_row() {
+        let t = topo();
+        let sim = Simulator::new(&t, PolicyConfig::paper());
+        let target = ix(&t, 9);
+        let attackers: Vec<AsIndex> = t.indices().collect();
+        let sweep = sim.sweep_result(target, &attackers, &Defense::none());
+        assert_eq!(sweep.len(), attackers.len() - 1);
+        assert!(!sweep.attackers().contains(&target));
+        // The raw sweep keeps the target's forced-zero row, which the
+        // curve then counts as one spurious "failed attack"; the
+        // target-excluding sweep must report exactly one fewer.
+        let raw = crate::VulnerabilityCurve::from_counts(sim.sweep_attackers(
+            target,
+            &attackers,
+            &Defense::none(),
+        ));
+        assert_eq!(sweep.curve().failed_attacks() + 1, raw.failed_attacks());
+        // On this topology exactly one real attacker fails (AS5: its
+        // provider AS1 tie-breaks to the target's equal-length customer
+        // route, so AS5's announcement never leaves its access link) —
+        // the corrected count is 1, where the raw curve reported 2.
+        assert_eq!(sweep.curve().failed_attacks(), 1);
+        // The per-attacker counts themselves are unchanged.
+        for (attacker, count) in sweep.iter() {
+            let single = sim.run(Attack::origin(attacker, target), &Defense::none());
+            assert_eq!(single.pollution_count() as u32, count);
+        }
+    }
+
+    /// The three `run_batch` dispatch paths (stable solver, baseline
+    /// replay, from-scratch race) must agree with individual generation-
+    /// engine runs on everything except `generations`.
+    fn assert_batch_matches_individual(policy: PolicyConfig) {
+        let t = topo();
+        let sim = Simulator::new(&t, policy);
+        let defense = Defense::validators(&t, vec![ix(&t, 1), ix(&t, 2)]);
+        let mut attacks = Vec::new();
+        for &(a, tgt) in &[(8, 9), (6, 9), (5, 8), (1, 9)] {
+            attacks.push(Attack::origin(ix(&t, a), ix(&t, tgt)));
+            attacks.push(Attack::forged_origin(ix(&t, a), ix(&t, tgt)));
+            attacks.push(Attack::sub_prefix(ix(&t, a), ix(&t, tgt)));
+        }
+        let batch = sim.run_batch(&attacks, &defense);
+        assert_eq!(batch.len(), attacks.len());
+        for (outcome, &attack) in batch.iter().zip(&attacks) {
+            let single = sim.run(attack, &defense);
+            assert_eq!(outcome.attack, attack);
+            assert_eq!(outcome.polluted, single.polluted, "mismatch for {attack:?}");
+            assert_eq!(outcome.truncated, single.truncated);
+        }
+    }
+
+    #[test]
+    fn run_batch_stable_dispatch_matches_generation_engine() {
+        // Strict Gao-Rexford: origin and sub-prefix attacks take the
+        // closed-form solver, forged-origin attacks on the repeated
+        // target take the shared (parallel-built) baseline.
+        assert_batch_matches_individual(PolicyConfig::strict_gao_rexford());
+    }
+
+    #[test]
+    fn run_batch_delta_dispatch_matches_generation_engine() {
+        // Paper policy: no solver; repeated-target exact-prefix attacks
+        // take the baseline, the rest run from scratch.
+        assert_batch_matches_individual(PolicyConfig::paper());
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Integration tests for sweep telemetry: exact counter pins on a fixed
+//! topology, progress/cancellation behavior, and the invariant that
+//! turning telemetry on never changes simulation outcomes.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+
+use bgpsim_hijack::{Attack, Defense, Simulator, SweepMonitor, SweepProgress, SweepTelemetry};
+use bgpsim_routing::PolicyConfig;
+use bgpsim_topology::gen::{generate, InternetParams};
+use bgpsim_topology::{topology_from_triples, AsId, AsIndex, LinkKind::*, Topology};
+
+fn ix(topo: &Topology, n: u32) -> AsIndex {
+    topo.index_of(AsId::new(n)).unwrap()
+}
+
+/// Five ASes: tier-1s 1 and 2 peer; 1 serves stubs 3 and 4, 2 serves 5.
+fn topo5() -> Topology {
+    topology_from_triples(&[
+        (1, 2, PeerToPeer),
+        (1, 3, ProviderToCustomer),
+        (1, 4, ProviderToCustomer),
+        (2, 5, ProviderToCustomer),
+    ])
+}
+
+/// The counters a sweep over the fixed 5-AS topology must report are
+/// fully determined (no randomness, single policy), so pin them exactly:
+/// any engine change that alters message or generation accounting must
+/// show up here as a conscious diff.
+#[test]
+fn telemetry_pins_exact_counts_on_fixed_topology() {
+    let t = topo5();
+    let sim = Simulator::new(&t, PolicyConfig::paper());
+    let telemetry = SweepTelemetry::new();
+    let monitor = SweepMonitor::none().with_telemetry(&telemetry);
+    let attackers: Vec<AsIndex> = t.indices().collect();
+    let sweep = sim.sweep_result_monitored(ix(&t, 3), &attackers, &Defense::none(), &monitor);
+    assert_eq!(sweep.len(), 4, "target excluded from the pool");
+
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.attacks, 4);
+    assert_eq!(
+        snap.scratch_dispatches, 4,
+        "undefended sweeps race from scratch"
+    );
+    assert_eq!(snap.stable_dispatches, 0);
+    assert_eq!(snap.delta_dispatches, 0);
+    assert_eq!(snap.baselines_built, 0);
+    assert_eq!(snap.skipped, 0);
+    assert_eq!(snap.engine.runs, 4, "one race per attacker");
+    assert_eq!(snap.engine.messages, 24);
+    assert_eq!(snap.engine.accepted, 12);
+    assert_eq!(snap.engine.loop_rejected, 4);
+    assert_eq!(snap.engine.generations_total, 9);
+    assert_eq!(snap.engine.max_generations, 3);
+    assert_eq!(snap.engine.filter_rejected, 0);
+    assert_eq!(snap.engine.stub_rejected, 0);
+    assert_eq!(snap.engine.truncated_runs, 0);
+    assert_eq!(
+        snap.timed_attacks(),
+        4,
+        "every attack lands in the wall histogram"
+    );
+}
+
+#[test]
+fn progress_ticks_once_per_attacker() {
+    let t = topo5();
+    let sim = Simulator::new(&t, PolicyConfig::paper());
+    let seen: Mutex<Vec<SweepProgress>> = Mutex::new(Vec::new());
+    let callback = |p: SweepProgress| seen.lock().unwrap().push(p);
+    let monitor = SweepMonitor::none().with_progress(&callback);
+    let attackers: Vec<AsIndex> = t.indices().collect();
+    sim.sweep_result_monitored(ix(&t, 3), &attackers, &Defense::none(), &monitor);
+
+    let mut seen = seen.into_inner().unwrap();
+    seen.sort_by_key(|p| p.completed);
+    assert_eq!(seen.len(), 4);
+    for (i, p) in seen.iter().enumerate() {
+        assert_eq!(
+            p.completed,
+            i + 1,
+            "each completion count fires exactly once"
+        );
+        assert_eq!(p.total, 4);
+    }
+    let last = seen.last().unwrap();
+    assert!((last.fraction() - 1.0).abs() < 1e-12);
+    assert_eq!(last.eta, Some(std::time::Duration::ZERO));
+}
+
+#[test]
+fn cancellation_skips_remaining_attacks() {
+    let t = topo5();
+    let sim = Simulator::new(&t, PolicyConfig::paper());
+    let telemetry = SweepTelemetry::new();
+    let cancel = AtomicBool::new(true); // cancelled before the sweep starts
+    let monitor = SweepMonitor::none()
+        .with_telemetry(&telemetry)
+        .with_cancel(&cancel);
+    let attackers: Vec<AsIndex> = t.indices().collect();
+    let sweep = sim.sweep_result_monitored(ix(&t, 3), &attackers, &Defense::none(), &monitor);
+
+    assert!(
+        sweep.counts().iter().all(|&c| c == 0),
+        "skipped rows report zero"
+    );
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.skipped, 4);
+    assert_eq!(snap.attacks, 0);
+    assert_eq!(snap.engine.runs, 0);
+    // Un-cancelling resumes normal operation on the same monitor.
+    cancel.store(false, Ordering::Relaxed);
+    sim.sweep_result_monitored(ix(&t, 3), &attackers, &Defense::none(), &monitor);
+    assert_eq!(telemetry.snapshot().attacks, 4);
+}
+
+fn tiny_internet(seed: u64) -> bgpsim_topology::gen::GeneratedInternet {
+    let mut p = InternetParams::sized(150);
+    p.island = None;
+    p.ladder_count = 1;
+    generate(&p, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Attaching telemetry must never change what a sweep computes: the
+    /// monitored counts equal the unmonitored ones row for row.
+    #[test]
+    fn monitored_sweep_matches_unmonitored(seed in 0u64..200, ti in 0usize..150) {
+        let net = tiny_internet(seed);
+        let topo = &net.topology;
+        let target = AsIndex::new((ti % topo.num_ases()) as u32);
+        let attackers: Vec<AsIndex> = topo.indices().step_by(5).collect();
+        let validators: Vec<AsIndex> = topo.indices().step_by(9).collect();
+        let defense = Defense::validators(topo, validators);
+        let sim = Simulator::new(topo, PolicyConfig::paper());
+
+        let plain = sim.sweep_attackers_within(target, &attackers, &defense, None);
+        let telemetry = SweepTelemetry::new();
+        let monitor = SweepMonitor::none().with_telemetry(&telemetry);
+        let monitored =
+            sim.sweep_attackers_monitored(target, &attackers, &defense, None, &monitor);
+        prop_assert_eq!(&plain, &monitored);
+
+        let snap = telemetry.snapshot();
+        let expected = attackers.iter().filter(|&&a| a != target).count() as u64;
+        prop_assert_eq!(snap.attacks, expected);
+        prop_assert_eq!(snap.skipped, 0);
+        prop_assert!(snap.engine.runs >= snap.stable_dispatches + snap.delta_dispatches);
+    }
+
+    /// Same invariant for arbitrary attack batches under both policies:
+    /// telemetry-on and telemetry-off yield identical outcomes.
+    #[test]
+    fn monitored_batch_matches_unmonitored(
+        seed in 0u64..200,
+        ti in 0usize..150,
+        strict in 0u8..2,
+    ) {
+        let net = tiny_internet(seed);
+        let topo = &net.topology;
+        let n = topo.num_ases();
+        let target = AsIndex::new((ti % n) as u32);
+        let policy = if strict == 1 {
+            PolicyConfig::strict_gao_rexford()
+        } else {
+            PolicyConfig::paper()
+        };
+        let sim = Simulator::new(topo, policy);
+        let validators: Vec<AsIndex> = topo.indices().step_by(11).collect();
+        let defense = Defense::validators(topo, validators);
+        let attacks: Vec<Attack> = topo
+            .indices()
+            .step_by(13)
+            .filter(|&a| a != target)
+            .enumerate()
+            .map(|(i, a)| match i % 3 {
+                0 => Attack::origin(a, target),
+                1 => Attack::sub_prefix(a, target),
+                _ => Attack::forged_origin(a, target),
+            })
+            .collect();
+
+        let plain = sim.run_batch(&attacks, &defense);
+        let telemetry = SweepTelemetry::new();
+        let monitor = SweepMonitor::none().with_telemetry(&telemetry);
+        let monitored = sim.run_batch_monitored(&attacks, &defense, &monitor);
+
+        prop_assert_eq!(plain.len(), monitored.len());
+        for (p, m) in plain.iter().zip(&monitored) {
+            prop_assert_eq!(&p.polluted, &m.polluted);
+            prop_assert_eq!(p.generations, m.generations);
+            prop_assert_eq!(p.truncated, m.truncated);
+        }
+        prop_assert_eq!(telemetry.snapshot().attacks, attacks.len() as u64);
+    }
+}

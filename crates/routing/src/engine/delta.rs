@@ -634,6 +634,7 @@ pub fn propagate_delta<'r, 't, O: Observer>(
     }
     dws.queues = q;
     dws.scratch = sc;
+    obs.on_converged(&stats);
     DeltaResult {
         net,
         baseline,

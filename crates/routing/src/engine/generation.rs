@@ -587,6 +587,7 @@ pub(crate) fn propagate_recorded<O: Observer>(
     }
     run_waves(net, filters, policy, ws, &mut q, &mut stats, obs, log);
     ws.queues = q;
+    obs.on_converged(&stats);
 
     let epoch = ws.epoch;
     let choices: Vec<Option<Choice>> = (0..net.num_ases())

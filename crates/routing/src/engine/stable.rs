@@ -30,6 +30,7 @@ use bgpsim_topology::{AsIndex, Relationship};
 
 use crate::filter::FilterContext;
 use crate::net::SimNet;
+use crate::observer::Observer;
 use crate::policy::{may_export, standard_key, PolicyConfig, PrefClass};
 use crate::route::{Choice, ConvergenceStats, Propagation};
 
@@ -179,6 +180,27 @@ pub fn solve(
             ..ConvergenceStats::default()
         },
     )
+}
+
+/// [`solve`], reporting the final counters to `obs` via
+/// [`Observer::on_converged`] — the closed-form counterpart of the
+/// message-passing engines' convergence hook, so telemetry collectors see
+/// stable-solver dispatches too. The solver delivers no messages and runs
+/// no generations; only `accepted` (settled ASes) is nonzero.
+///
+/// # Panics
+///
+/// As [`solve`].
+pub fn solve_observed<O: Observer>(
+    net: &SimNet<'_>,
+    origins: &[AsIndex],
+    filters: &FilterContext<'_>,
+    policy: &PolicyConfig,
+    obs: &mut O,
+) -> Propagation {
+    let p = solve(net, origins, filters, policy);
+    obs.on_converged(&p.stats());
+    p
 }
 
 #[cfg(test)]

@@ -53,9 +53,11 @@ mod route;
 
 pub use engine::delta::{propagate_delta, Baseline, DeltaResult, DeltaWorkspace};
 pub use engine::generation::{propagate, propagate_announcements, Announcement, Workspace};
-pub use engine::stable::solve;
+pub use engine::stable::{solve, solve_observed};
 pub use filter::{AsSet, FilterContext};
 pub use net::SimNet;
-pub use observer::{Decision, MessageEvent, NullObserver, Observer, TraceRecorder};
+pub use observer::{
+    Decision, EngineTelemetry, MessageEvent, NullObserver, Observer, TraceRecorder,
+};
 pub use policy::{PolicyConfig, PrefClass};
 pub use route::{Choice, ConvergenceStats, Propagation};

@@ -36,9 +36,11 @@
 mod ccdf;
 mod detection;
 mod polar;
+mod progress;
 pub mod style;
 pub mod svg;
 
 pub use ccdf::{CcdfChart, CurveSeries};
 pub use detection::DetectionChart;
 pub use polar::PolarSnapshot;
+pub use progress::ProgressLine;

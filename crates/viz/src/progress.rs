@@ -1,0 +1,120 @@
+//! Terminal progress-line rendering for long sweeps.
+//!
+//! Pure string formatting — no terminal control beyond what the caller
+//! does with the returned line (the `bgpsim` CLI redraws it with a
+//! carriage return on stderr). Kept in the viz crate so every frontend
+//! renders progress the same way.
+
+use std::time::Duration;
+
+/// Renders one-line progress bars like
+/// `fig2 [#######·······················] 123/500 (24.6%) elapsed 3.2s eta 9.8s`.
+#[derive(Debug, Clone)]
+pub struct ProgressLine {
+    label: String,
+    width: usize,
+}
+
+impl ProgressLine {
+    /// A renderer for the given task label with the default 30-cell bar.
+    pub fn new<S: Into<String>>(label: S) -> ProgressLine {
+        ProgressLine {
+            label: label.into(),
+            width: 30,
+        }
+    }
+
+    /// Overrides the bar width (cells; minimum 1).
+    #[must_use]
+    pub fn width(mut self, width: usize) -> ProgressLine {
+        self.width = width.max(1);
+        self
+    }
+
+    /// Renders the line for `completed` of `total` work items. `eta` is
+    /// omitted from the line when `None`.
+    #[must_use]
+    pub fn render(
+        &self,
+        completed: usize,
+        total: usize,
+        elapsed: Duration,
+        eta: Option<Duration>,
+    ) -> String {
+        let fraction = if total == 0 {
+            1.0
+        } else {
+            (completed as f64 / total as f64).clamp(0.0, 1.0)
+        };
+        let filled = (fraction * self.width as f64).round() as usize;
+        let filled = filled.min(self.width);
+        let mut bar = String::with_capacity(self.width);
+        for i in 0..self.width {
+            bar.push(if i < filled { '#' } else { '.' });
+        }
+        let mut line = format!(
+            "{} [{}] {}/{} ({:.1}%) elapsed {}",
+            self.label,
+            bar,
+            completed,
+            total,
+            100.0 * fraction,
+            fmt_duration(elapsed),
+        );
+        if let Some(eta) = eta {
+            line.push_str(&format!(" eta {}", fmt_duration(eta)));
+        }
+        line
+    }
+}
+
+/// Compact human duration: `850ms`, `3.2s`, `2m05s`, `1h02m`.
+fn fmt_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs < 1.0 {
+        format!("{}ms", d.as_millis())
+    } else if secs < 60.0 {
+        format!("{secs:.1}s")
+    } else if secs < 3600.0 {
+        format!("{}m{:02}s", d.as_secs() / 60, d.as_secs() % 60)
+    } else {
+        format!("{}h{:02}m", d.as_secs() / 3600, (d.as_secs() % 3600) / 60)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_bar_and_percent() {
+        let line = ProgressLine::new("fig2").width(10).render(
+            25,
+            100,
+            Duration::from_secs(5),
+            Some(Duration::from_secs(15)),
+        );
+        assert_eq!(
+            line,
+            "fig2 [###.......] 25/100 (25.0%) elapsed 5.0s eta 15.0s"
+        );
+    }
+
+    #[test]
+    fn handles_done_empty_and_missing_eta() {
+        let p = ProgressLine::new("x").width(4);
+        assert_eq!(
+            p.render(0, 0, Duration::from_millis(850), None),
+            "x [####] 0/0 (100.0%) elapsed 850ms"
+        );
+        let full = p.render(7, 7, Duration::from_secs(125), None);
+        assert!(full.contains("[####] 7/7 (100.0%)"));
+        assert!(full.contains("elapsed 2m05s"));
+    }
+
+    #[test]
+    fn formats_long_durations() {
+        assert_eq!(fmt_duration(Duration::from_secs(3725)), "1h02m");
+        assert_eq!(fmt_duration(Duration::from_secs(59)), "59.0s");
+    }
+}

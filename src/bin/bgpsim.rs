@@ -1,0 +1,336 @@
+//! `bgpsim` — command-line front end for the experiment suite.
+//!
+//! Runs any subset of the paper's figures at a chosen scale and writes
+//! the artifacts plus a machine-readable `run_manifest.json` (full
+//! configuration, per-figure wall time and telemetry counters, crate
+//! version) and a `BENCH_sweep.json` append-only performance record.
+//!
+//! ```text
+//! bgpsim run --all --scale quick --out out
+//! bgpsim run fig2 fig4 --seed 7 --stride 4 --jobs 2
+//! bgpsim list
+//! ```
+
+use std::io::IsTerminal;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use bgpsim::experiments;
+use bgpsim::hijack::{SweepMonitor, SweepProgress, SweepTelemetry};
+use bgpsim::manifest::{append_json_record, FigureRecord, Json, RunManifest};
+use bgpsim::viz::ProgressLine;
+use bgpsim::{ExperimentConfig, Lab};
+
+/// Canonical run order; `--all` and `list` both use it.
+const FIGURES: &[(&str, &str)] = &[
+    ("fig1", "polar propagation snapshots of one attack"),
+    ("fig2", "vulnerability by depth under the tier-1 hierarchy"),
+    ("fig3", "vulnerability under large tier-2 providers"),
+    ("fig4", "with/without defensive stub filters"),
+    ("fig5", "incremental filter deployment, resistant target"),
+    ("fig6", "incremental filter deployment, vulnerable target"),
+    ("fig7", "detector configurations vs random attacks"),
+    ("sec7", "regional self-interest validation"),
+    ("model", "simulation substrate characteristics table"),
+];
+
+const USAGE: &str = "\
+bgpsim — reproduce the ICDCS 2014 BGP origin-hijack study
+
+USAGE:
+    bgpsim run [FIGURE...] [OPTIONS]   run figures and write artifacts
+    bgpsim list                        list figure ids
+    bgpsim --help | --version
+
+RUN OPTIONS:
+    --all             run every figure (fig1..fig7, sec7, model)
+    --scale NAME      scale preset: quick | standard | paper [standard]
+    --seed N          override the master seed
+    --stride N        override the attacker stride
+    --jobs N          worker threads (0 = all cores) [0]
+    --out DIR         output directory [out]
+    --no-progress     suppress the stderr progress line
+
+Artifacts land in DIR together with run_manifest.json (see DESIGN.md
+for the schema) and an appended BENCH_sweep.json record.";
+
+struct RunOptions {
+    figures: Vec<String>,
+    scale: String,
+    seed: Option<u64>,
+    stride: Option<usize>,
+    jobs: usize,
+    out: PathBuf,
+    progress: bool,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("--help") | Some("-h") | Some("help") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some("--version") | Some("-V") => {
+            println!("bgpsim {}", env!("CARGO_PKG_VERSION"));
+            ExitCode::SUCCESS
+        }
+        Some("list") => {
+            for (id, what) in FIGURES {
+                println!("{id:<6} {what}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => match parse_run(&args[1..]) {
+            Ok(opts) => run(&opts),
+            Err(msg) => usage_error(&msg),
+        },
+        Some(other) => usage_error(&format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn parse_run(args: &[String]) -> Result<RunOptions, String> {
+    let mut opts = RunOptions {
+        figures: Vec::new(),
+        scale: "standard".to_string(),
+        seed: None,
+        stride: None,
+        jobs: 0,
+        out: PathBuf::from("out"),
+        progress: std::io::stderr().is_terminal(),
+    };
+    let mut all = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--all" => all = true,
+            "--scale" => opts.scale = value("--scale")?,
+            "--seed" => {
+                opts.seed = Some(parse_num(&value("--seed")?, "--seed")?);
+            }
+            "--stride" => {
+                let n: usize = parse_num(&value("--stride")?, "--stride")?;
+                if n == 0 {
+                    return Err("--stride must be at least 1".to_string());
+                }
+                opts.stride = Some(n);
+            }
+            "--jobs" => opts.jobs = parse_num(&value("--jobs")?, "--jobs")?,
+            "--out" => opts.out = PathBuf::from(value("--out")?),
+            "--no-progress" => opts.progress = false,
+            flag if flag.starts_with('-') => return Err(format!("unknown option {flag:?}")),
+            id => {
+                if !FIGURES.iter().any(|(known, _)| *known == id) {
+                    return Err(format!(
+                        "unknown figure {id:?}: run `bgpsim list` for valid ids"
+                    ));
+                }
+                if !opts.figures.iter().any(|f| f == id) {
+                    opts.figures.push(id.to_string());
+                }
+            }
+        }
+    }
+    if all {
+        opts.figures = FIGURES.iter().map(|(id, _)| id.to_string()).collect();
+    }
+    // Validate the scale up front so a typo fails before topology
+    // generation, with the same message ExperimentConfig gives.
+    ExperimentConfig::preset(&opts.scale)?;
+    if opts.figures.is_empty() {
+        return Err("nothing to run: name figures (e.g. `bgpsim run fig2`) or pass --all".into());
+    }
+    Ok(opts)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("{flag} expects a number, got {s:?}"))
+}
+
+fn run(opts: &RunOptions) -> ExitCode {
+    if opts.jobs > 0 {
+        // The vendored rayon reads this on every parallel region, exactly
+        // like upstream's global-pool override.
+        std::env::set_var("RAYON_NUM_THREADS", opts.jobs.to_string());
+    }
+    let mut config = ExperimentConfig::preset(&opts.scale).expect("validated in parse_run");
+    if let Some(seed) = opts.seed {
+        config.seed = seed;
+    }
+    if let Some(stride) = opts.stride {
+        config.attacker_stride = stride;
+    }
+    if let Err(e) = std::fs::create_dir_all(&opts.out) {
+        eprintln!("error: cannot create {}: {e}", opts.out.display());
+        return ExitCode::FAILURE;
+    }
+
+    let started = Instant::now();
+    eprintln!(
+        "generating {}-AS internet (scale {}, seed {})...",
+        config.params.num_ases, opts.scale, config.seed
+    );
+    let lab = Lab::new(config);
+    eprintln!("topology ready in {:.1}s", started.elapsed().as_secs_f64());
+
+    let mut records = Vec::new();
+    for id in &opts.figures {
+        let telemetry = SweepTelemetry::new();
+        let fig_started = Instant::now();
+        let line = ProgressLine::new(id.as_str());
+        let print_progress = move |p: SweepProgress| {
+            // Worker threads tick concurrently; thin the redraws so the
+            // terminal is not the bottleneck.
+            let step = (p.total / 200).max(1);
+            if p.completed.is_multiple_of(step) || p.completed == p.total {
+                eprint!(
+                    "\r{}\x1b[K",
+                    line.render(p.completed, p.total, p.elapsed, p.eta)
+                );
+            }
+        };
+        let mut monitor = SweepMonitor::none().with_telemetry(&telemetry);
+        if opts.progress {
+            monitor = monitor.with_progress(&print_progress);
+        }
+        let outcome = run_one(id, &lab, &monitor, &opts.out);
+        if opts.progress {
+            eprint!("\r\x1b[K");
+        }
+        let wall_ms = fig_started.elapsed().as_secs_f64() * 1e3;
+        match outcome {
+            Ok((summary, artifacts)) => {
+                println!("{summary}\n");
+                eprintln!("[{id}] {:.0} ms, wrote {}", wall_ms, artifacts.join(", "));
+                let snapshot = telemetry.snapshot();
+                records.push(FigureRecord {
+                    id: id.clone(),
+                    wall_ms,
+                    artifacts,
+                    telemetry: (snapshot.attacks > 0).then_some(snapshot),
+                });
+            }
+            Err(e) => {
+                eprintln!("error: [{id}] could not write artifacts: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let total_wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let manifest = RunManifest {
+        version: env!("CARGO_PKG_VERSION").to_string(),
+        scale: opts.scale.clone(),
+        seed: lab.config().seed,
+        attacker_stride: lab.config().attacker_stride,
+        jobs: opts.jobs,
+        num_ases: lab.topology().num_ases(),
+        figures: records,
+        total_wall_ms,
+    };
+    let manifest_path = opts.out.join("run_manifest.json");
+    if let Err(e) = std::fs::write(&manifest_path, manifest.render()) {
+        eprintln!("error: cannot write {}: {e}", manifest_path.display());
+        return ExitCode::FAILURE;
+    }
+    let bench_path = opts.out.join("BENCH_sweep.json");
+    if let Err(e) = append_json_record(&bench_path, &bench_record(&manifest)) {
+        eprintln!("error: cannot append to {}: {e}", bench_path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "run complete in {:.1}s: {} + {}",
+        total_wall_ms / 1e3,
+        manifest_path.display(),
+        bench_path.display()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Dispatches one figure id to its runner; returns (summary, artifacts).
+fn run_one(
+    id: &str,
+    lab: &Lab,
+    monitor: &SweepMonitor<'_>,
+    dir: &Path,
+) -> std::io::Result<(String, Vec<String>)> {
+    Ok(match id {
+        "fig1" => {
+            let r = experiments::fig1(lab);
+            (r.summary(lab), r.write_artifacts(dir)?)
+        }
+        "fig2" => {
+            let r = experiments::fig2_monitored(lab, monitor);
+            (r.summary(), r.write_artifacts(dir)?)
+        }
+        "fig3" => {
+            let r = experiments::fig3_monitored(lab, monitor);
+            (r.summary(), r.write_artifacts(dir)?)
+        }
+        "fig4" => {
+            let r = experiments::fig4_monitored(lab, monitor);
+            (r.summary(), r.write_artifacts(dir)?)
+        }
+        "fig5" => {
+            let r = experiments::fig5_monitored(lab, monitor);
+            (r.summary(lab), r.write_artifacts(lab, dir)?)
+        }
+        "fig6" => {
+            let r = experiments::fig6_monitored(lab, monitor);
+            (r.summary(lab), r.write_artifacts(lab, dir)?)
+        }
+        "fig7" => {
+            let r = experiments::fig7(lab);
+            (r.summary(lab), r.write_artifacts(lab, dir)?)
+        }
+        "sec7" => {
+            let r = experiments::sec7(lab);
+            (r.summary(lab), r.write_artifacts(dir)?)
+        }
+        "model" => {
+            let r = experiments::tab_model(lab);
+            (r.summary(), r.write_artifacts(dir)?)
+        }
+        other => unreachable!("figure id {other:?} validated in parse_run"),
+    })
+}
+
+/// One `BENCH_sweep.json` entry: enough to chart wall time across runs.
+fn bench_record(manifest: &RunManifest) -> Json {
+    let unix_time = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    Json::obj([
+        ("unix_time", Json::from(unix_time)),
+        ("version", Json::str(&manifest.version)),
+        ("scale", Json::str(&manifest.scale)),
+        ("seed", Json::from(manifest.seed)),
+        ("attacker_stride", Json::from(manifest.attacker_stride)),
+        ("jobs", Json::from(manifest.jobs)),
+        ("num_ases", Json::from(manifest.num_ases)),
+        ("total_wall_ms", Json::Num(manifest.total_wall_ms)),
+        (
+            "figures",
+            Json::Obj(
+                manifest
+                    .figures
+                    .iter()
+                    .map(|f| (f.id.clone(), Json::Num(f.wall_ms)))
+                    .collect(),
+            ),
+        ),
+    ])
+}

@@ -14,8 +14,18 @@
 
 use std::num::NonZeroUsize;
 
-/// Number of worker threads: the machine's available parallelism.
+/// Number of worker threads: `RAYON_NUM_THREADS` when set to a positive
+/// integer (matching upstream rayon's global-pool override, which the
+/// `bgpsim` CLI uses for `--jobs`), otherwise the machine's available
+/// parallelism.
 fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
