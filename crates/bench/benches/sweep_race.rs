@@ -1,0 +1,154 @@
+//! Undefended sweep cost: the closed-form race solver vs a from-scratch
+//! generation run per attacker.
+//!
+//! This is the regime `sweep_delta` keeps as its honest negative result —
+//! no filtering, contamination cones spanning the whole graph — where
+//! baseline replay loses to simply re-running the race. The race solver
+//! (`engine::race`) attacks the same regime from the other side: instead
+//! of replaying the generation engine's message schedule it computes the
+//! stable two-origin outcome directly, wrapping a label-setting pass in a
+//! fixed point over the tier-1 clique's selections. `Simulator` dispatches
+//! undefended exact-prefix attacks here, so this group is the benchmark
+//! backing that default.
+//!
+//! Same lab as `sweep_delta` (one deep stub target on a ~2k-AS synthetic
+//! Internet, 64 strided attackers, single-threaded): the
+//! `scratch_64_attackers` / `race_64_attackers` ratio is directly
+//! comparable across the two benches. Both sides reuse one workspace
+//! across the sweep, so the ratio measures algorithmic cost, not
+//! allocation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bgpsim_core::routing::{
+    propagate_announcements, solve_race, Announcement, FilterContext, NullObserver, PolicyConfig,
+    RaceWorkspace, SimNet, Workspace, DEFAULT_MAX_ROUNDS,
+};
+use bgpsim_core::topology::gen::{generate, GeneratedInternet, InternetParams};
+use bgpsim_core::topology::metrics::DepthMap;
+use bgpsim_core::topology::select;
+use bgpsim_topology::AsIndex;
+
+struct Lab {
+    net: GeneratedInternet,
+    target: AsIndex,
+    attackers: Vec<AsIndex>,
+}
+
+fn lab() -> Lab {
+    let net = generate(&InternetParams::sized(2_000), 7);
+    let topo = &net.topology;
+    let depths = DepthMap::to_tier1(topo);
+    let target = select::deepest_stub(topo, &depths).expect("stubs exist");
+    let n = topo.num_ases();
+    let attackers: Vec<AsIndex> = (0..n)
+        .step_by(n / 64)
+        .map(|i| AsIndex::new(i as u32))
+        .filter(|&ix| ix != target)
+        .take(64)
+        .collect();
+    Lab {
+        net,
+        target,
+        attackers,
+    }
+}
+
+/// Announcement pair for one attack; `forged` prepends the victim to the
+/// attacker's path (the paper's detection-evading variant).
+fn announcements(lab: &Lab, attacker: AsIndex, forged: bool) -> [Announcement; 2] {
+    [
+        Announcement::honest(lab.target),
+        if forged {
+            Announcement::forged(attacker, lab.target)
+        } else {
+            Announcement::honest(attacker)
+        },
+    ]
+}
+
+fn scratch_sweep(
+    sim_net: &SimNet<'_>,
+    lab: &Lab,
+    policy: &PolicyConfig,
+    forged: bool,
+    ws: &mut Workspace,
+) -> usize {
+    let ctx = FilterContext::none();
+    let mut total = 0usize;
+    for &attacker in &lab.attackers {
+        let p = propagate_announcements(
+            sim_net,
+            &announcements(lab, attacker, forged),
+            &ctx,
+            policy,
+            ws,
+            &mut NullObserver,
+        );
+        total += p.captured_count(attacker);
+    }
+    total
+}
+
+fn race_sweep(
+    sim_net: &SimNet<'_>,
+    lab: &Lab,
+    policy: &PolicyConfig,
+    forged: bool,
+    rws: &mut RaceWorkspace,
+) -> usize {
+    let ctx = FilterContext::none();
+    let mut total = 0usize;
+    for &attacker in &lab.attackers {
+        let p = solve_race(
+            sim_net,
+            &announcements(lab, attacker, forged),
+            &ctx,
+            policy,
+            DEFAULT_MAX_ROUNDS,
+            rws,
+        )
+        .expect("quick-lab races converge (telemetry tests pin this)");
+        total += p.captured_count(attacker);
+    }
+    total
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let lab = lab();
+    let sim_net = SimNet::new(&lab.net.topology);
+    let policy = PolicyConfig::paper();
+    let mut ws = Workspace::new();
+    let mut rws = RaceWorkspace::new();
+
+    // Exact-prefix origin hijack, the fig. 2–4 workload.
+    {
+        let mut g = c.benchmark_group("sweep_race/undefended");
+        g.sample_size(10);
+        g.bench_function("scratch_64_attackers", |b| {
+            b.iter(|| black_box(scratch_sweep(&sim_net, &lab, &policy, false, &mut ws)))
+        });
+        g.bench_function("race_64_attackers", |b| {
+            b.iter(|| black_box(race_sweep(&sim_net, &lab, &policy, false, &mut rws)))
+        });
+        g.finish();
+    }
+
+    // Forged-origin variant: same race, the bogus announcement just
+    // carries a longer path, so the ratio should track the group above.
+    {
+        let mut g = c.benchmark_group("sweep_race/forged");
+        g.sample_size(10);
+        g.bench_function("scratch_64_attackers", |b| {
+            b.iter(|| black_box(scratch_sweep(&sim_net, &lab, &policy, true, &mut ws)))
+        });
+        g.bench_function("race_64_attackers", |b| {
+            b.iter(|| black_box(race_sweep(&sim_net, &lab, &policy, true, &mut rws)))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(sweep_race, bench_sweep);
+criterion_main!(sweep_race);

@@ -1,5 +1,6 @@
 //! Experiment configuration and scaling presets.
 
+use bgpsim_hijack::EngineChoice;
 use bgpsim_routing::PolicyConfig;
 use bgpsim_topology::gen::InternetParams;
 
@@ -27,6 +28,10 @@ pub struct ExperimentConfig {
     pub top_k: usize,
     /// Routing policy (the paper's tier-1 shortest-path rule is on).
     pub policy: PolicyConfig,
+    /// Engine dispatch for every simulator the lab builds.
+    /// [`EngineChoice::Auto`] picks per attack; the CLI's `--engine` flag
+    /// forces one engine for ablation runs.
+    pub engine: EngineChoice,
 }
 
 impl ExperimentConfig {
@@ -40,6 +45,7 @@ impl ExperimentConfig {
             detection_attacks: 400,
             top_k: 5,
             policy: PolicyConfig::paper(),
+            engine: EngineChoice::Auto,
         }
     }
 
@@ -53,6 +59,7 @@ impl ExperimentConfig {
             detection_attacks: 2_000,
             top_k: 5,
             policy: PolicyConfig::paper(),
+            engine: EngineChoice::Auto,
         }
     }
 
@@ -66,6 +73,7 @@ impl ExperimentConfig {
             detection_attacks: 8_000,
             top_k: 5,
             policy: PolicyConfig::paper(),
+            engine: EngineChoice::Auto,
         }
     }
 
@@ -134,6 +142,13 @@ mod tests {
         assert!(q.scale() < 0.1);
         assert_eq!(p.detection_attacks, 8_000);
         assert!(p.policy.tier1_shortest_path);
+        for config in [q, s, p] {
+            assert_eq!(
+                config.engine,
+                EngineChoice::Auto,
+                "presets dispatch adaptively"
+            );
+        }
     }
 
     #[test]

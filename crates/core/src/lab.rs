@@ -169,9 +169,10 @@ impl Lab {
     }
 
     /// Builds a simulator over this lab's topology (cheap relative to any
-    /// experiment; build one per experiment run).
+    /// experiment; build one per experiment run), dispatching through the
+    /// configured [`EngineChoice`](bgpsim_hijack::EngineChoice).
     pub fn simulator(&self) -> Simulator<'_> {
-        Simulator::new(&self.net.topology, self.config.policy)
+        Simulator::new(&self.net.topology, self.config.policy).with_engine(self.config.engine)
     }
 
     /// All ASes, strided per the configuration — the fig. 2 attacker pool.

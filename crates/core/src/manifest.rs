@@ -275,6 +275,8 @@ pub fn telemetry_json(snapshot: &TelemetrySnapshot) -> Json {
             "scratch_dispatches",
             Json::from(snapshot.scratch_dispatches),
         ),
+        ("race_dispatches", Json::from(snapshot.race_dispatches)),
+        ("race_wall_us", Json::from(snapshot.race_wall_us)),
         ("delta_dispatches", Json::from(snapshot.delta_dispatches)),
         ("baselines_built", Json::from(snapshot.baselines_built)),
         ("attacks", Json::from(snapshot.attacks)),
@@ -296,7 +298,11 @@ pub struct RunManifest {
     pub seed: u64,
     /// Attacker stride used in sweeps.
     pub attacker_stride: usize,
-    /// Worker threads (0 = all cores).
+    /// Engine dispatch (`auto` unless forced with `--engine`).
+    pub engine: String,
+    /// Effective worker-thread count. Always the resolved number of
+    /// threads parallel regions run on — never the literal `0` of an
+    /// unset `--jobs`.
     pub jobs: usize,
     /// ASes in the generated topology.
     pub num_ases: usize,
@@ -320,6 +326,7 @@ impl RunManifest {
                     ("scale", Json::str(&self.scale)),
                     ("seed", Json::from(self.seed)),
                     ("attacker_stride", Json::from(self.attacker_stride)),
+                    ("engine", Json::str(&self.engine)),
                     ("jobs", Json::from(self.jobs)),
                     ("num_ases", Json::from(self.num_ases)),
                 ]),
@@ -409,7 +416,8 @@ mod tests {
             scale: "quick".into(),
             seed: 2014,
             attacker_stride: 2,
-            jobs: 0,
+            engine: "auto".into(),
+            jobs: 8,
             num_ases: 2000,
             figures: vec![FigureRecord {
                 id: "fig2".into(),
@@ -425,6 +433,8 @@ mod tests {
             "\"tool\": \"bgpsim\"",
             "\"scale\": \"quick\"",
             "\"seed\": 2014",
+            "\"engine\": \"auto\"",
+            "\"jobs\": 8",
             "\"id\": \"fig2\"",
             "\"wall_ms\": 12.5",
             "\"telemetry\": null",

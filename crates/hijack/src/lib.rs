@@ -43,7 +43,7 @@ mod vulnerability;
 pub use aggressiveness::{aggressiveness, rank_by_aggressiveness};
 pub use attack::{Attack, AttackKind, AttackOutcome};
 pub use defense::Defense;
-pub use simulator::Simulator;
+pub use simulator::{EngineChoice, Simulator};
 pub use telemetry::{
     Dispatch, SweepMonitor, SweepProgress, SweepTelemetry, TelemetrySnapshot, WALL_HIST_BUCKETS,
 };

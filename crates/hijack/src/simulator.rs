@@ -15,17 +15,25 @@
 //! hijack perturbs nearly every AS (the paper's §IV observation that
 //! attackers pollute up to ~96% of the network), so the contamination cone
 //! is the whole graph and schedule replay costs slightly more than just
-//! racing both origins from scratch. Baseline reuse therefore kicks in
-//! only when the defense (origin validation and/or defensive stub
-//! filtering) can quench the attacker's routes and keep the cone local —
-//! the §V regime, where re-convergence collapses to microseconds per
-//! attacker. The `sweep_delta` Criterion bench measures both regimes.
+//! racing both origins. Undefended sweeps therefore go to the closed-form
+//! race solver ([`bgpsim_routing::solve_race`]) first — one tier-1
+//! fixed-point instead of full message-passing convergence — with the
+//! from-scratch generation engine only as the fallback for the rare
+//! multistable topology where the fixed point does not settle. Baseline
+//! reuse kicks in when the defense (origin validation and/or defensive
+//! stub filtering) can quench the attacker's routes and keep the cone
+//! local — the §V regime, where re-convergence collapses to microseconds
+//! per attacker. The `sweep_delta` and `sweep_race` Criterion benches
+//! measure these regimes; [`EngineChoice`] overrides the adaptive dispatch
+//! for debugging and ablation.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use bgpsim_routing::{
-    propagate_announcements, propagate_delta, solve_observed, Announcement, Baseline,
-    DeltaWorkspace, NullObserver, Observer, PolicyConfig, Propagation, SimNet, Workspace,
+    propagate_announcements, propagate_delta, solve_observed, solve_race_observed, Announcement,
+    Baseline, DeltaWorkspace, NullObserver, Observer, PolicyConfig, Propagation, RaceWorkspace,
+    SimNet, Workspace, DEFAULT_MAX_ROUNDS,
 };
 use bgpsim_topology::{AsIndex, Topology};
 use rayon::prelude::*;
@@ -34,6 +42,77 @@ use crate::attack::{Attack, AttackKind, AttackOutcome};
 use crate::defense::Defense;
 use crate::telemetry::{run_instrumented, Dispatch, MaybeSink, ProgressState, SweepMonitor};
 use crate::vulnerability::SweepResult;
+
+/// Engine selection for [`Simulator`] dispatch.
+///
+/// [`EngineChoice::Auto`] (the default) picks the fastest engine whose
+/// preconditions hold per attack; the other variants force every attack
+/// onto one engine for debugging and ablation, at whatever cost. All
+/// engines produce bit-identical polluted sets (the routing crate's
+/// equivalence suites pin this); only `generations` bookkeeping differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineChoice {
+    /// Adaptive dispatch: stable solver under strict Gao-Rexford, race
+    /// solver (generation fallback) when undefended, baseline-replay
+    /// delta when a localizing defense is deployed.
+    #[default]
+    Auto,
+    /// Always the step-wise generation engine, from scratch.
+    Generation,
+    /// Always baseline replay (one baseline per attacked target; the
+    /// sub-prefix baseline is empty since the bogus prefix has no honest
+    /// competition).
+    Delta,
+    /// Always the closed-form stable solver. Requires strict Gao-Rexford
+    /// policy and cannot express forged-origin attacks; invalid
+    /// combinations panic.
+    Stable,
+    /// Always the closed-form race solver, generation engine on
+    /// non-convergence.
+    Race,
+}
+
+impl EngineChoice {
+    /// Parses a CLI-style engine name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid names (mirroring the scale
+    /// preset errors) when `name` is not one of them.
+    pub fn parse(name: &str) -> Result<EngineChoice, String> {
+        match name {
+            "auto" => Ok(EngineChoice::Auto),
+            "generation" => Ok(EngineChoice::Generation),
+            "delta" => Ok(EngineChoice::Delta),
+            "stable" => Ok(EngineChoice::Stable),
+            "race" => Ok(EngineChoice::Race),
+            other => Err(format!(
+                "unknown engine {other:?}: valid engines are \"auto\", \"generation\", \
+                 \"delta\", \"stable\", \"race\""
+            )),
+        }
+    }
+
+    /// The canonical CLI name ([`EngineChoice::parse`] round-trips it).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineChoice::Auto => "auto",
+            EngineChoice::Generation => "generation",
+            EngineChoice::Delta => "delta",
+            EngineChoice::Stable => "stable",
+            EngineChoice::Race => "race",
+        }
+    }
+}
+
+impl std::str::FromStr for EngineChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<EngineChoice, String> {
+        EngineChoice::parse(s)
+    }
+}
 
 /// Simulates origin and sub-prefix hijacks on one topology.
 ///
@@ -62,15 +141,55 @@ use crate::vulnerability::SweepResult;
 pub struct Simulator<'t> {
     net: SimNet<'t>,
     policy: PolicyConfig,
+    engine: EngineChoice,
+    /// Fixed-point round cap handed to the race solver; rounds exhausted
+    /// means generation-engine fallback.
+    race_rounds: u32,
 }
 
 impl<'t> Simulator<'t> {
-    /// Builds a simulator over `topo` with the given policy.
+    /// Builds a simulator over `topo` with the given policy and adaptive
+    /// engine dispatch.
     pub fn new(topo: &'t Topology, policy: PolicyConfig) -> Simulator<'t> {
         Simulator {
             net: SimNet::new(topo),
             policy,
+            engine: EngineChoice::Auto,
+            race_rounds: DEFAULT_MAX_ROUNDS,
         }
+    }
+
+    /// Forces every attack onto one engine instead of adaptive dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`EngineChoice::Stable`] under the paper policy: the
+    /// stable solver's single pass cannot honor the tier-1 shortest-path
+    /// override.
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineChoice) -> Simulator<'t> {
+        assert!(
+            engine != EngineChoice::Stable || !self.policy.tier1_shortest_path,
+            "engine \"stable\" supports strict Gao-Rexford policy only; \
+             the configured policy enables tier1_shortest_path (use \"race\" or \"auto\")"
+        );
+        self.engine = engine;
+        self
+    }
+
+    /// Overrides the race solver's fixed-point round cap (default
+    /// [`DEFAULT_MAX_ROUNDS`]). A cap of 0 makes every race attempt fall
+    /// back to the generation engine — useful for exercising the fallback
+    /// path in tests.
+    #[must_use]
+    pub fn with_race_rounds(mut self, rounds: u32) -> Simulator<'t> {
+        self.race_rounds = rounds;
+        self
+    }
+
+    /// The active engine selection.
+    pub fn engine(&self) -> EngineChoice {
+        self.engine
     }
 
     /// The underlying topology.
@@ -152,8 +271,10 @@ impl<'t> Simulator<'t> {
     /// With a defense deployed, the honest propagation of `target` runs
     /// once; each attacker re-converges incrementally from that shared
     /// baseline, so counting is O(contamination cone) per attacker, not
-    /// O(network). Undefended sweeps race both origins from scratch (the
-    /// cone is the whole network there, see the module docs); strict
+    /// O(network). Undefended sweeps race both origins through the
+    /// closed-form race solver (the cone is the whole network there, see
+    /// the module docs), falling back to a from-scratch generation run
+    /// only when its tier-1 fixed point does not settle; strict
     /// Gao-Rexford policy uses the closed-form stable solver instead.
     pub fn sweep_attackers_within(
         &self,
@@ -190,9 +311,30 @@ impl<'t> Simulator<'t> {
         let in_mask = |ix: AsIndex| mask.as_deref().is_none_or(|m| m[ix.usize()]);
         let ctx = defense.context_for(target);
         let progress = ProgressState::new(*monitor, attackers.len());
-        if !self.policy.tier1_shortest_path {
+        // One plan per sweep — the sweep is homogeneous (same target, same
+        // defense, exact-prefix origin hijacks throughout).
+        enum Plan {
+            Stable,
+            Race,
+            Scratch,
+            Delta,
+        }
+        let plan = match self.engine {
+            EngineChoice::Stable => Plan::Stable,
+            EngineChoice::Generation => Plan::Scratch,
+            EngineChoice::Delta => Plan::Delta,
+            EngineChoice::Race => Plan::Race,
             // Strict Gao-Rexford: the stable solution is unique and the
             // closed-form solver computes it directly.
+            EngineChoice::Auto if !self.policy.tier1_shortest_path => Plan::Stable,
+            // Undefended: every AS hears the attacker and the cone is the
+            // whole graph, so race the two origins closed-form; the
+            // generation engine steps in only when the tier-1 fixed point
+            // does not settle.
+            EngineChoice::Auto if !defense_localizes(defense) => Plan::Race,
+            EngineChoice::Auto => Plan::Delta,
+        };
+        if matches!(plan, Plan::Stable) {
             return attackers
                 .par_iter()
                 .map(|&attacker| {
@@ -217,10 +359,61 @@ impl<'t> Simulator<'t> {
                 })
                 .collect();
         }
-        if !defense_localizes(defense) {
-            // Undefended: every AS hears the attacker, the cone is the
-            // whole graph, and replaying the baseline schedule on top of
-            // it costs more than racing the two origins directly.
+        if matches!(plan, Plan::Race) {
+            return attackers
+                .par_iter()
+                .map_init(
+                    || (RaceWorkspace::new(), Workspace::new()),
+                    |(rws, ws), &attacker| {
+                        if attacker == target {
+                            progress.tick();
+                            return 0;
+                        }
+                        run_instrumented(monitor, &progress, 0, || {
+                            let announcements =
+                                [Announcement::honest(target), Announcement::honest(attacker)];
+                            let mut obs = MaybeSink::from_monitor(monitor);
+                            let started = monitor.telemetry.map(|_| Instant::now());
+                            let raced = solve_race_observed(
+                                &self.net,
+                                &announcements,
+                                &ctx,
+                                &self.policy,
+                                self.race_rounds,
+                                rws,
+                                &mut obs,
+                            );
+                            if let (Some(t), Some(started)) = (monitor.telemetry, started) {
+                                t.record_race_wall(started.elapsed());
+                            }
+                            let p = match raced {
+                                Some(p) => {
+                                    if let Some(t) = monitor.telemetry {
+                                        t.record_dispatch(Dispatch::Race);
+                                    }
+                                    p
+                                }
+                                None => {
+                                    if let Some(t) = monitor.telemetry {
+                                        t.record_dispatch(Dispatch::Scratch);
+                                    }
+                                    propagate_announcements(
+                                        &self.net,
+                                        &announcements,
+                                        &ctx,
+                                        &self.policy,
+                                        ws,
+                                        &mut obs,
+                                    )
+                                }
+                            };
+                            p.captured_by(attacker).filter(|&ix| in_mask(ix)).count() as u32
+                        })
+                    },
+                )
+                .collect();
+        }
+        if matches!(plan, Plan::Scratch) {
             return attackers
                 .par_iter()
                 .map_init(Workspace::new, |ws, &attacker| {
@@ -342,9 +535,12 @@ impl<'t> Simulator<'t> {
     /// Remaining exact-prefix attacks sharing a target re-converge
     /// incrementally from one shared baseline of that target — baselines
     /// are built in parallel across rayon workers — whenever a localizing
-    /// defense is deployed and the target draws at least two such attacks;
+    /// defense is deployed and the target draws at least two such attacks.
+    /// Without a localizing defense, exact-prefix attacks go to the
+    /// closed-form race solver (generation-engine fallback on
+    /// non-convergence, reporting `generations` as fixed-point rounds);
     /// everything else runs from scratch. Polluted sets are bit-identical
-    /// across all three paths; only `generations` depends on which engine
+    /// across all four paths; only `generations` depends on which engine
     /// ran.
     pub fn run_batch(&self, attacks: &[Attack], defense: &Defense) -> Vec<AttackOutcome> {
         self.run_batch_monitored(attacks, defense, &SweepMonitor::none())
@@ -362,23 +558,50 @@ impl<'t> Simulator<'t> {
         // The stable solver cannot express a forged-origin path (the bogus
         // announcement claims the target's ASN with a nonzero seed
         // length), so only honest-origin kinds qualify.
-        let stable_eligible = |kind: AttackKind| {
-            !self.policy.tier1_shortest_path && kind != AttackKind::ForgedOriginHijack
+        if self.engine == EngineChoice::Stable {
+            assert!(
+                attacks
+                    .iter()
+                    .all(|a| a.kind != AttackKind::ForgedOriginHijack),
+                "engine \"stable\" cannot express forged-origin attacks; \
+                 use \"auto\", \"race\" or \"generation\""
+            );
+        }
+        let stable_eligible = |kind: AttackKind| match self.engine {
+            EngineChoice::Stable => true,
+            EngineChoice::Auto => {
+                !self.policy.tier1_shortest_path && kind != AttackKind::ForgedOriginHijack
+            }
+            _ => false,
+        };
+        // Race solver: exact-prefix kinds under adaptive dispatch when no
+        // defense localizes (the regime where the cone is the whole graph);
+        // every kind under the forced override (a sub-prefix "race" is a
+        // one-origin solve).
+        let race_eligible = |kind: AttackKind| match self.engine {
+            EngineChoice::Race => true,
+            EngineChoice::Auto => {
+                !defense_localizes(defense) && kind != AttackKind::SubPrefixHijack
+            }
+            _ => false,
         };
         // A baseline pays for itself once a target is attacked twice by
-        // exact-prefix attacks the solver will not take — and only if the
-        // defense keeps contamination cones local.
+        // exact-prefix attacks the faster paths will not take — and only
+        // if the defense keeps contamination cones local. The forced delta
+        // override builds one per attacked target unconditionally.
+        let delta_forced = self.engine == EngineChoice::Delta;
         let mut delta_eligible: HashMap<AsIndex, u32> = HashMap::new();
-        if defense_localizes(defense) {
+        if delta_forced || (self.engine == EngineChoice::Auto && defense_localizes(defense)) {
             for attack in attacks {
                 if attack.kind != AttackKind::SubPrefixHijack && !stable_eligible(attack.kind) {
                     *delta_eligible.entry(attack.target).or_default() += 1;
                 }
             }
         }
+        let min_attacks = if delta_forced { 1 } else { 2 };
         let targets: Vec<AsIndex> = delta_eligible
             .iter()
-            .filter(|&(_, &count)| count >= 2)
+            .filter(|&(_, &count)| count >= min_attacks)
             .map(|(&target, _)| target)
             .collect();
         let baselines: HashMap<AsIndex, Baseline> = targets
@@ -398,12 +621,26 @@ impl<'t> Simulator<'t> {
                 (target, baseline)
             })
             .collect();
+        // Sub-prefix hijacks have no honest competition, so the forced
+        // delta override replays them against one shared empty baseline
+        // (the `delta_equivalence` suite pins that oracle).
+        let empty_baseline = (delta_forced
+            && attacks
+                .iter()
+                .any(|a| a.kind == AttackKind::SubPrefixHijack))
+        .then(|| Baseline::empty(&self.net, &self.policy));
         let progress = ProgressState::new(*monitor, attacks.len());
         attacks
             .par_iter()
             .map_init(
-                || (Workspace::new(), DeltaWorkspace::new()),
-                |(ws, dws), &attack| {
+                || {
+                    (
+                        Workspace::new(),
+                        DeltaWorkspace::new(),
+                        RaceWorkspace::new(),
+                    )
+                },
+                |(ws, dws, rws), &attack| {
                     let skipped = AttackOutcome {
                         attack,
                         polluted: Vec::new(),
@@ -418,20 +655,25 @@ impl<'t> Simulator<'t> {
                             }
                             return self.run_stable(attack, defense, &mut obs);
                         }
-                        match baselines.get(&attack.target) {
-                            Some(baseline) if attack.kind != AttackKind::SubPrefixHijack => {
-                                if let Some(t) = monitor.telemetry {
-                                    t.record_dispatch(Dispatch::Delta);
-                                }
-                                self.run_delta(attack, baseline, defense, dws, monitor, &mut obs)
+                        let baseline = if attack.kind == AttackKind::SubPrefixHijack {
+                            empty_baseline.as_ref()
+                        } else {
+                            baselines.get(&attack.target)
+                        };
+                        if let Some(baseline) = baseline {
+                            if let Some(t) = monitor.telemetry {
+                                t.record_dispatch(Dispatch::Delta);
                             }
-                            _ => {
-                                if let Some(t) = monitor.telemetry {
-                                    t.record_dispatch(Dispatch::Scratch);
-                                }
-                                self.run_observed(attack, defense, ws, &mut obs)
-                            }
+                            return self
+                                .run_delta(attack, baseline, defense, dws, monitor, &mut obs);
                         }
+                        if race_eligible(attack.kind) {
+                            return self.run_race(attack, defense, rws, ws, monitor, &mut obs);
+                        }
+                        if let Some(t) = monitor.telemetry {
+                            t.record_dispatch(Dispatch::Scratch);
+                        }
+                        self.run_observed(attack, defense, ws, &mut obs)
                     })
                 },
             )
@@ -464,8 +706,68 @@ impl<'t> Simulator<'t> {
         }
     }
 
+    /// One attack through the closed-form race solver, deferring to the
+    /// generation engine when the tier-1 fixed point does not settle
+    /// within the configured round cap. `generations` reports fixed-point
+    /// rounds on the solver path, engine waves on the fallback path.
+    fn run_race<O: Observer>(
+        &self,
+        attack: Attack,
+        defense: &Defense,
+        rws: &mut RaceWorkspace,
+        ws: &mut Workspace,
+        monitor: &SweepMonitor<'_>,
+        obs: &mut O,
+    ) -> AttackOutcome {
+        let ctx = defense.context_for(attack.target);
+        let announcements: Vec<Announcement> = match attack.kind {
+            AttackKind::OriginHijack => vec![
+                Announcement::honest(attack.target),
+                Announcement::honest(attack.attacker),
+            ],
+            AttackKind::SubPrefixHijack => vec![Announcement::honest(attack.attacker)],
+            AttackKind::ForgedOriginHijack => vec![
+                Announcement::honest(attack.target),
+                Announcement::forged(attack.attacker, attack.target),
+            ],
+        };
+        let started = monitor.telemetry.map(|_| Instant::now());
+        let raced = solve_race_observed(
+            &self.net,
+            &announcements,
+            &ctx,
+            &self.policy,
+            self.race_rounds,
+            rws,
+            obs,
+        );
+        if let (Some(t), Some(started)) = (monitor.telemetry, started) {
+            t.record_race_wall(started.elapsed());
+        }
+        match raced {
+            Some(p) => {
+                if let Some(t) = monitor.telemetry {
+                    t.record_dispatch(Dispatch::Race);
+                }
+                AttackOutcome {
+                    attack,
+                    polluted: polluted_set(&p, attack),
+                    generations: p.stats().generations,
+                    truncated: false,
+                }
+            }
+            None => {
+                if let Some(t) = monitor.telemetry {
+                    t.record_dispatch(Dispatch::Scratch);
+                }
+                self.run_observed(attack, defense, ws, obs)
+            }
+        }
+    }
+
     /// One incremental attack against a prebuilt baseline of the target's
-    /// honest propagation (exact-prefix kinds only).
+    /// honest propagation (sub-prefix attacks replay against an empty
+    /// baseline, which the forced delta override supplies).
     fn run_delta<O: Observer>(
         &self,
         attack: Attack,
@@ -477,9 +779,10 @@ impl<'t> Simulator<'t> {
     ) -> AttackOutcome {
         let ctx = defense.context_for(attack.target);
         let injection = match attack.kind {
-            AttackKind::OriginHijack => Announcement::honest(attack.attacker),
+            AttackKind::OriginHijack | AttackKind::SubPrefixHijack => {
+                Announcement::honest(attack.attacker)
+            }
             AttackKind::ForgedOriginHijack => Announcement::forged(attack.attacker, attack.target),
-            AttackKind::SubPrefixHijack => unreachable!("sub-prefix attacks run from scratch"),
         };
         let delta = propagate_delta(
             &self.net,
@@ -509,9 +812,10 @@ impl<'t> Simulator<'t> {
                 polluted.sort_unstable();
                 polluted
             }
-            // The forged path claims the target's origin; pollution is a
-            // property of the learned-from chain, which the memoized walk
-            // needs the full selection map for.
+            // Forged paths claim the target's origin, so pollution is a
+            // property of the learned-from chain (the memoized walk needs
+            // the full selection map); sub-prefix capture includes the
+            // target itself, which the origin filter above would drop.
             _ => polluted_set(&delta.to_propagation(), attack),
         };
         AttackOutcome {
@@ -525,10 +829,13 @@ impl<'t> Simulator<'t> {
 
 /// Whether a defense can keep contamination cones local. Without any
 /// filtering every AS adopts or at least hears the bogus route, the cone
-/// is the whole network, and incremental re-convergence cannot beat a
-/// from-scratch race (measured ~3× slower on the 2k-AS lab topology);
-/// with validators or stub filtering deployed, cones collapse and the
-/// delta engine wins by 1–2 orders of magnitude.
+/// is the whole network, and incremental re-convergence cannot beat
+/// racing the origins directly (replay measured ~3× slower than even the
+/// from-scratch race on the 2k-AS lab topology) — such attacks go to the
+/// closed-form race solver first, with a from-scratch generation run only
+/// as its non-convergence fallback. With validators or stub filtering
+/// deployed, cones collapse and the delta engine wins by 1–2 orders of
+/// magnitude.
 fn defense_localizes(defense: &Defense) -> bool {
     defense.num_validators() > 0 || defense.has_stub_defense()
 }
@@ -770,6 +1077,118 @@ mod tests {
         // Paper policy: no solver; repeated-target exact-prefix attacks
         // take the baseline, the rest run from scratch.
         assert_batch_matches_individual(PolicyConfig::paper());
+    }
+
+    #[test]
+    fn engine_choice_parses_cli_names() {
+        assert_eq!(EngineChoice::parse("auto").unwrap(), EngineChoice::Auto);
+        assert_eq!(
+            "generation".parse::<EngineChoice>().unwrap(),
+            EngineChoice::Generation
+        );
+        assert_eq!(EngineChoice::parse("delta").unwrap(), EngineChoice::Delta);
+        assert_eq!(EngineChoice::parse("stable").unwrap(), EngineChoice::Stable);
+        assert_eq!(EngineChoice::parse("race").unwrap(), EngineChoice::Race);
+        let err = EngineChoice::parse("fast").unwrap_err();
+        assert!(err.contains("valid engines"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "strict Gao-Rexford")]
+    fn stable_engine_rejects_paper_policy() {
+        let t = topo();
+        let _ = Simulator::new(&t, PolicyConfig::paper()).with_engine(EngineChoice::Stable);
+    }
+
+    #[test]
+    #[should_panic(expected = "forged-origin")]
+    fn stable_engine_rejects_forged_attacks() {
+        let t = topo();
+        let sim = Simulator::new(&t, PolicyConfig::strict_gao_rexford())
+            .with_engine(EngineChoice::Stable);
+        sim.run_batch(
+            &[Attack::forged_origin(ix(&t, 8), ix(&t, 9))],
+            &Defense::none(),
+        );
+    }
+
+    /// Every forced engine must reproduce adaptive dispatch's sweep rows
+    /// exactly, defended and undefended alike.
+    #[test]
+    fn sweep_engine_overrides_match_auto() {
+        let t = topo();
+        let target = ix(&t, 9);
+        let attackers: Vec<AsIndex> = t.indices().collect();
+        for defense in [
+            Defense::none(),
+            Defense::validators(&t, vec![ix(&t, 1), ix(&t, 2)]),
+        ] {
+            let auto = Simulator::new(&t, PolicyConfig::paper());
+            let expected = auto.sweep_attackers(target, &attackers, &defense);
+            for engine in [
+                EngineChoice::Generation,
+                EngineChoice::Delta,
+                EngineChoice::Race,
+            ] {
+                let sim = Simulator::new(&t, PolicyConfig::paper()).with_engine(engine);
+                assert_eq!(
+                    sim.sweep_attackers(target, &attackers, &defense),
+                    expected,
+                    "{engine:?} diverges from auto"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stable_override_matches_generation_under_strict_policy() {
+        let t = topo();
+        let target = ix(&t, 9);
+        let attackers: Vec<AsIndex> = t.indices().collect();
+        let generation = Simulator::new(&t, PolicyConfig::strict_gao_rexford())
+            .with_engine(EngineChoice::Generation);
+        let stable = Simulator::new(&t, PolicyConfig::strict_gao_rexford())
+            .with_engine(EngineChoice::Stable);
+        assert_eq!(
+            generation.sweep_attackers(target, &attackers, &Defense::none()),
+            stable.sweep_attackers(target, &attackers, &Defense::none()),
+        );
+    }
+
+    /// Forced engines must also agree on full batch outcomes — this is
+    /// what the CLI's `--engine` ablation leans on. Exercises the forced
+    /// delta override's empty sub-prefix baseline and the race override
+    /// under a localizing defense (adaptive dispatch would pick delta).
+    #[test]
+    fn run_batch_engine_overrides_match_generation() {
+        let t = topo();
+        let mut attacks = Vec::new();
+        for &(a, tgt) in &[(8, 9), (6, 9), (5, 8), (1, 9)] {
+            attacks.push(Attack::origin(ix(&t, a), ix(&t, tgt)));
+            attacks.push(Attack::forged_origin(ix(&t, a), ix(&t, tgt)));
+            attacks.push(Attack::sub_prefix(ix(&t, a), ix(&t, tgt)));
+        }
+        for defense in [
+            Defense::none(),
+            Defense::validators(&t, vec![ix(&t, 1), ix(&t, 2)]),
+        ] {
+            let reference = Simulator::new(&t, PolicyConfig::paper())
+                .with_engine(EngineChoice::Generation)
+                .run_batch(&attacks, &defense);
+            for engine in [EngineChoice::Auto, EngineChoice::Delta, EngineChoice::Race] {
+                let sim = Simulator::new(&t, PolicyConfig::paper()).with_engine(engine);
+                let batch = sim.run_batch(&attacks, &defense);
+                for (outcome, expected) in batch.iter().zip(&reference) {
+                    assert_eq!(outcome.attack, expected.attack);
+                    assert_eq!(
+                        outcome.polluted, expected.polluted,
+                        "{engine:?} diverges on {:?}",
+                        expected.attack
+                    );
+                    assert_eq!(outcome.truncated, expected.truncated);
+                }
+            }
+        }
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! relaxed atomic counters shared read-only across rayon workers: engine
 //! counters flow in once per re-convergence via the routing crate's
 //! [`Observer::on_converged`] hook (never per message), dispatch counters
-//! record which engine each attack used (closed-form stable solver,
-//! from-scratch race, or baseline-replay delta), and per-attack wall times
-//! land in a log₂ histogram. [`SweepMonitor`] bundles an optional
+//! record which engine each attack used (closed-form stable or race
+//! solver, from-scratch generation race, or baseline-replay delta), and
+//! per-attack wall times land in a log₂ histogram. [`SweepMonitor`] bundles an optional
 //! telemetry sink with an optional progress callback and an optional
 //! cancellation flag; [`SweepMonitor::none`] is inert and costs a handful
 //! of predictable branches per *attack*, which is noise next to even the
@@ -27,7 +27,10 @@ pub const WALL_HIST_BUCKETS: usize = 32;
 pub enum Dispatch {
     /// Closed-form stable solver (strict Gao-Rexford policy).
     Stable,
-    /// From-scratch two-origin race (undefended, cone is the whole graph).
+    /// Closed-form race solver (paper policy, tier-1 fixed point).
+    Race,
+    /// From-scratch two-origin race through the generation engine (race
+    /// solver unavailable or non-convergent; cone is the whole graph).
     Scratch,
     /// Baseline replay with contamination-cone elision (defended).
     Delta,
@@ -54,11 +57,14 @@ pub struct SweepTelemetry {
     truncated_runs: AtomicU64,
     // Sweep-level dispatch accounting.
     stable_dispatches: AtomicU64,
+    race_dispatches: AtomicU64,
     scratch_dispatches: AtomicU64,
     delta_dispatches: AtomicU64,
     baselines_built: AtomicU64,
     attacks: AtomicU64,
     skipped: AtomicU64,
+    // Wall time spent inside race-solver attempts (converged or not).
+    race_wall_us: AtomicU64,
     // Contamination-cone sizes (delta dispatches only).
     cone_sum: AtomicU64,
     cone_max: AtomicU64,
@@ -99,6 +105,7 @@ impl SweepTelemetry {
     pub fn record_dispatch(&self, kind: Dispatch) {
         let counter = match kind {
             Dispatch::Stable => &self.stable_dispatches,
+            Dispatch::Race => &self.race_dispatches,
             Dispatch::Scratch => &self.scratch_dispatches,
             Dispatch::Delta => &self.delta_dispatches,
         };
@@ -114,6 +121,14 @@ impl SweepTelemetry {
     /// Counts one attack skipped because the sweep was cancelled.
     pub fn record_skipped(&self) {
         self.skipped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records wall time spent in one race-solver attempt. Recorded for
+    /// every attempt — a non-convergent solve's cost is real even though
+    /// the attack is then counted as a scratch dispatch.
+    pub fn record_race_wall(&self, wall: Duration) {
+        let us = u64::try_from(wall.as_micros()).unwrap_or(u64::MAX);
+        self.race_wall_us.fetch_add(us, Ordering::Relaxed);
     }
 
     /// Records one delta dispatch's contamination-cone size.
@@ -147,11 +162,13 @@ impl SweepTelemetry {
                 truncated_runs: get(&self.truncated_runs),
             },
             stable_dispatches: get(&self.stable_dispatches),
+            race_dispatches: get(&self.race_dispatches),
             scratch_dispatches: get(&self.scratch_dispatches),
             delta_dispatches: get(&self.delta_dispatches),
             baselines_built: get(&self.baselines_built),
             attacks: get(&self.attacks),
             skipped: get(&self.skipped),
+            race_wall_us: get(&self.race_wall_us),
             cone_sum: get(&self.cone_sum),
             cone_max: get(&self.cone_max),
             wall_hist: std::array::from_fn(|i| get(&self.wall_hist[i])),
@@ -175,16 +192,22 @@ pub struct TelemetrySnapshot {
     pub engine: EngineTelemetry,
     /// Attacks dispatched to the closed-form stable solver.
     pub stable_dispatches: u64,
-    /// Attacks dispatched to the from-scratch two-origin race.
+    /// Attacks dispatched to the closed-form race solver (paper policy).
+    pub race_dispatches: u64,
+    /// Attacks dispatched to the from-scratch generation-engine race
+    /// (including race-solver fallbacks after non-convergence).
     pub scratch_dispatches: u64,
     /// Attacks dispatched to baseline replay (delta engine).
     pub delta_dispatches: u64,
     /// Shared target baselines constructed.
     pub baselines_built: u64,
-    /// Attacks executed (sum of the three dispatch counters).
+    /// Attacks executed (sum of the four dispatch counters).
     pub attacks: u64,
     /// Attacks skipped because the sweep was cancelled.
     pub skipped: u64,
+    /// Total wall time (µs) spent inside race-solver attempts, converged
+    /// and non-convergent alike.
+    pub race_wall_us: u64,
     /// Sum of contamination-cone sizes over delta dispatches.
     pub cone_sum: u64,
     /// Largest contamination cone seen in a delta dispatch.
@@ -425,8 +448,11 @@ mod tests {
     fn telemetry_counts_and_snapshots() {
         let t = SweepTelemetry::new();
         t.record_dispatch(Dispatch::Stable);
+        t.record_dispatch(Dispatch::Race);
         t.record_dispatch(Dispatch::Delta);
         t.record_dispatch(Dispatch::Delta);
+        t.record_race_wall(Duration::from_micros(7));
+        t.record_race_wall(Duration::from_micros(5));
         t.record_baseline();
         t.record_cone(10);
         t.record_cone(4);
@@ -445,9 +471,11 @@ mod tests {
         t.record_attack_wall(Duration::from_micros(3));
         let s = t.snapshot();
         assert_eq!(s.stable_dispatches, 1);
+        assert_eq!(s.race_dispatches, 1);
         assert_eq!(s.delta_dispatches, 2);
         assert_eq!(s.scratch_dispatches, 0);
-        assert_eq!(s.attacks, 3);
+        assert_eq!(s.attacks, 4);
+        assert_eq!(s.race_wall_us, 12);
         assert_eq!(s.baselines_built, 1);
         assert_eq!(s.skipped, 1);
         assert_eq!(s.cone_sum, 14);

@@ -7,7 +7,9 @@ use std::sync::Mutex;
 
 use proptest::prelude::*;
 
-use bgpsim_hijack::{Attack, Defense, Simulator, SweepMonitor, SweepProgress, SweepTelemetry};
+use bgpsim_hijack::{
+    Attack, Defense, EngineChoice, Simulator, SweepMonitor, SweepProgress, SweepTelemetry,
+};
 use bgpsim_routing::PolicyConfig;
 use bgpsim_topology::gen::{generate, InternetParams};
 use bgpsim_topology::{topology_from_triples, AsId, AsIndex, LinkKind::*, Topology};
@@ -43,17 +45,23 @@ fn telemetry_pins_exact_counts_on_fixed_topology() {
     let snap = telemetry.snapshot();
     assert_eq!(snap.attacks, 4);
     assert_eq!(
-        snap.scratch_dispatches, 4,
-        "undefended sweeps race from scratch"
+        snap.race_dispatches, 4,
+        "undefended sweeps go to the closed-form race solver"
+    );
+    assert_eq!(
+        snap.scratch_dispatches, 0,
+        "this topology never needs the generation fallback"
     );
     assert_eq!(snap.stable_dispatches, 0);
     assert_eq!(snap.delta_dispatches, 0);
     assert_eq!(snap.baselines_built, 0);
     assert_eq!(snap.skipped, 0);
+    // The race solver passes no messages; its stats report routed ASes
+    // (`accepted`) and fixed-point rounds (`generations`).
     assert_eq!(snap.engine.runs, 4, "one race per attacker");
-    assert_eq!(snap.engine.messages, 24);
-    assert_eq!(snap.engine.accepted, 12);
-    assert_eq!(snap.engine.loop_rejected, 4);
+    assert_eq!(snap.engine.messages, 0);
+    assert_eq!(snap.engine.accepted, 20, "all 5 ASes routed, 4 attacks");
+    assert_eq!(snap.engine.loop_rejected, 0);
     assert_eq!(snap.engine.generations_total, 9);
     assert_eq!(snap.engine.max_generations, 3);
     assert_eq!(snap.engine.filter_rejected, 0);
@@ -64,6 +72,60 @@ fn telemetry_pins_exact_counts_on_fixed_topology() {
         4,
         "every attack lands in the wall histogram"
     );
+}
+
+/// Forcing the generation engine restores the historical from-scratch
+/// counters, so the engine-accounting pin from before the race solver
+/// stays enforced through the override.
+#[test]
+fn generation_override_pins_scratch_counts() {
+    let t = topo5();
+    let sim = Simulator::new(&t, PolicyConfig::paper()).with_engine(EngineChoice::Generation);
+    let telemetry = SweepTelemetry::new();
+    let monitor = SweepMonitor::none().with_telemetry(&telemetry);
+    let attackers: Vec<AsIndex> = t.indices().collect();
+    sim.sweep_result_monitored(ix(&t, 3), &attackers, &Defense::none(), &monitor);
+
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.attacks, 4);
+    assert_eq!(snap.scratch_dispatches, 4);
+    assert_eq!(snap.race_dispatches, 0);
+    assert_eq!(snap.race_wall_us, 0, "no race attempts under the override");
+    assert_eq!(snap.engine.runs, 4);
+    assert_eq!(snap.engine.messages, 24);
+    assert_eq!(snap.engine.accepted, 12);
+    assert_eq!(snap.engine.loop_rejected, 4);
+    assert_eq!(snap.engine.generations_total, 9);
+    assert_eq!(snap.engine.max_generations, 3);
+}
+
+/// A zero round cap forces every race attempt into the generation-engine
+/// fallback: the scratch counter takes the dispatch, the race wall clock
+/// still records the failed attempts, and the pollution rows are
+/// bit-identical to the solver path.
+#[test]
+fn race_fallback_increments_scratch_and_matches() {
+    let t = topo5();
+    let telemetry = SweepTelemetry::new();
+    let monitor = SweepMonitor::none().with_telemetry(&telemetry);
+    let attackers: Vec<AsIndex> = t.indices().collect();
+
+    let solver = Simulator::new(&t, PolicyConfig::paper());
+    let solved = solver.sweep_result_monitored(ix(&t, 3), &attackers, &Defense::none(), &monitor);
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.race_dispatches, 4);
+    assert_eq!(snap.scratch_dispatches, 0);
+
+    let fallback = Simulator::new(&t, PolicyConfig::paper()).with_race_rounds(0);
+    let fell_back =
+        fallback.sweep_result_monitored(ix(&t, 3), &attackers, &Defense::none(), &monitor);
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.race_dispatches, 4, "no new race dispatches");
+    assert_eq!(
+        snap.scratch_dispatches, 4,
+        "every attack fell back to the generation engine"
+    );
+    assert_eq!(solved.counts(), fell_back.counts(), "bit-identical rows");
 }
 
 #[test]

@@ -134,6 +134,15 @@ impl<'a> FilterContext<'a> {
         }
     }
 
+    /// Whether this context can never reject a route — no validators, no
+    /// stub defense, nothing authorized. Hot loops use this to skip the
+    /// per-edge filter predicates wholesale (the undefended sweeps of the
+    /// paper's figures all run inert contexts).
+    #[inline]
+    pub fn is_inert(&self) -> bool {
+        self.authorized_origin.is_none() && self.validators.is_none() && !self.stub_defense
+    }
+
     /// Whether `receiver` rejects a route with the given `origin` under
     /// route-origin validation.
     #[inline]

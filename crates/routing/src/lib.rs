@@ -14,8 +14,9 @@
 //!   ([`FilterContext`]), the paper's §V prevention mechanisms.
 //!
 //! A second, closed-form engine ([`engine::stable`]) computes the stable
-//! solution directly under strict Gao-Rexford policy; property tests pin
-//! both engines to each other.
+//! solution directly under strict Gao-Rexford policy, and
+//! [`engine::race`] extends it to the paper policy via a tier-1
+//! fixed-point; property tests pin all engines to each other.
 //!
 //! # Quick start
 //!
@@ -53,6 +54,7 @@ mod route;
 
 pub use engine::delta::{propagate_delta, Baseline, DeltaResult, DeltaWorkspace};
 pub use engine::generation::{propagate, propagate_announcements, Announcement, Workspace};
+pub use engine::race::{solve_race, solve_race_observed, RaceWorkspace, DEFAULT_MAX_ROUNDS};
 pub use engine::stable::{solve, solve_observed};
 pub use filter::{AsSet, FilterContext};
 pub use net::SimNet;

@@ -8,6 +8,13 @@
 
 use bgpsim_topology::{AsIndex, Relationship, Topology};
 
+/// Marker ORed into the low (receiver) half of a packed adjacency entry
+/// whose receiver is a race leaf (an AS with neither customers nor
+/// siblings that is not a tier-1), letting the race solver's relax loop
+/// skip leaves on the adjacency word alone. Dense AS indices stay far
+/// below 2^31, so the bit is free.
+pub(crate) const RACE_LEAF_BIT: u64 = 1 << 31;
+
 /// A topology plus the derived tables the engines need. Build once, share
 /// across simulations (it is `Sync`; parallel sweeps borrow it).
 #[derive(Debug)]
@@ -20,10 +27,31 @@ pub struct SimNet<'t> {
     offsets: Vec<u32>,
     /// Tier-1 membership mask.
     tier1: Vec<bool>,
+    /// Tier-1 members in index order (the mask, materialized once so the
+    /// race solver's per-run setup is O(|tier-1|), not O(n)).
+    tier1_list: Vec<AsIndex>,
     /// Sibling-group id per AS.
     group: Vec<u32>,
     /// Stub mask (no customers), used by defensive stub filtering.
     stub: Vec<bool>,
+    /// Per-slot packed edge for the race solver's relax loop: the
+    /// receiver's dense index in the low 32 bits (leaf marker in
+    /// [`RACE_LEAF_BIT`]), the mirror slot ([`SimNet::reverse_slot`]) in
+    /// the high 32. One sequential 8-byte load per edge instead of
+    /// parallel walks of two arrays.
+    race_adj: Vec<u64>,
+    /// Per-AS relationship-class boundaries as *absolute* slot positions
+    /// (end of customers, of peers, of providers) — the slot-space mirror
+    /// of [`Topology::class_bounds`].
+    race_cuts: Vec<[u32; 3]>,
+    /// Leaf-only adjacency for the race solver's post-convergence leaf
+    /// sweep: per AS, its leaf customers then its leaf peers, packed like
+    /// [`SimNet::race_adj`] (receiver index | mirror slot << 32, leaf
+    /// marker in [`RACE_LEAF_BIT`] — always set here).
+    leaf_adj: Vec<u64>,
+    /// Per-AS bounds into `leaf_adj` (length `n + 1` interleaved with the
+    /// customer/peer split): `[start, end of leaf customers, end]`.
+    leaf_cuts: Vec<[u32; 3]>,
 }
 
 impl<'t> SimNet<'t> {
@@ -62,18 +90,75 @@ impl<'t> SimNet<'t> {
             }
         }
         let mut tier1 = vec![false; n];
-        for t in topo.tier1s() {
+        assert!(n < (1 << 31), "AS index space exceeds the leaf-marker bit");
+        let mut tier1_list = topo.tier1s();
+        tier1_list.sort_unstable();
+        for &t in &tier1_list {
             tier1[t.usize()] = true;
         }
         let group = topo.indices().map(|ix| topo.sibling_group(ix)).collect();
         let stub = topo.indices().map(|ix| topo.is_stub(ix)).collect();
+        let mut race_adj = Vec::with_capacity(total);
+        let mut race_cuts = Vec::with_capacity(n);
+        // Leaf = no customers, no siblings, not a tier-1: exports
+        // peer-/provider-learned routes to nobody. Consumed below to brand
+        // adjacency entries and build the leaf-only sweep tables; the race
+        // solver reads only those.
+        let mut race_leaf = Vec::with_capacity(n);
+        for ix in topo.indices() {
+            let base = offsets[ix.usize()];
+            for (j, nb) in topo.neighbors(ix).iter().enumerate() {
+                let slot = base + j as u32;
+                let mirror = reverse_slot[slot as usize];
+                race_adj.push(u64::from(nb.index.raw()) | (u64::from(mirror) << 32));
+            }
+            let b = topo.class_bounds(ix);
+            race_cuts.push([base + b[0] as u32, base + b[1] as u32, base + b[2] as u32]);
+            // Tier-1s are excluded even at matching degree shape: the race
+            // solver treats them as fixed-point variables (candidacy
+            // tallies, sentinel stamps), never as skippable sinks.
+            race_leaf.push(b[0] == 0 && b[2] == topo.degree(ix) && !tier1[ix.usize()]);
+        }
+        // Brand leaf receivers directly in the adjacency word so the race
+        // solver's hot loop skips them without a second lookup.
+        for packed in &mut race_adj {
+            if race_leaf[*packed as u32 as usize] {
+                *packed |= RACE_LEAF_BIT;
+            }
+        }
+        let mut leaf_adj = Vec::new();
+        let mut leaf_cuts = Vec::with_capacity(n);
+        for ix in topo.indices() {
+            let base = offsets[ix.usize()] as usize;
+            let b = topo.class_bounds(ix);
+            let start = leaf_adj.len() as u32;
+            for local in [0..b[0], b[0]..b[1]] {
+                for j in local {
+                    let packed = race_adj[base + j];
+                    if packed & RACE_LEAF_BIT != 0 {
+                        leaf_adj.push(packed);
+                    }
+                }
+            }
+            let nbrs = topo.neighbors(ix);
+            let mid = start
+                + (0..b[0])
+                    .filter(|&j| race_leaf[nbrs[j].index.usize()])
+                    .count() as u32;
+            leaf_cuts.push([start, mid, leaf_adj.len() as u32]);
+        }
         SimNet {
             topo,
             reverse_slot,
             offsets,
             tier1,
+            tier1_list,
             group,
             stub,
+            race_adj,
+            race_cuts,
+            leaf_adj,
+            leaf_cuts,
         }
     }
 
@@ -110,6 +195,35 @@ impl<'t> SimNet<'t> {
         self.reverse_slot[e as usize]
     }
 
+    /// Packed per-slot edges for the race solver's relax loop, indexed by
+    /// global slot: receiver index in the low 32 bits, mirror slot in the
+    /// high 32.
+    #[inline]
+    pub(crate) fn race_adj(&self) -> &[u64] {
+        &self.race_adj
+    }
+
+    /// Absolute slot positions of `x`'s relationship-class boundaries
+    /// (end of customers, of peers, of providers); with
+    /// [`SimNet::slots_of`] they delimit the four class segments.
+    #[inline]
+    pub(crate) fn race_cuts(&self, x: usize) -> [u32; 3] {
+        self.race_cuts[x]
+    }
+
+    /// Leaf-only packed adjacency (see `leaf_adj`).
+    #[inline]
+    pub(crate) fn leaf_adj(&self) -> &[u64] {
+        &self.leaf_adj
+    }
+
+    /// Bounds of `x`'s leaf customers / leaf peers inside
+    /// [`SimNet::leaf_adj`]: `[start, customer end, peer end]`.
+    #[inline]
+    pub(crate) fn leaf_cuts(&self, x: usize) -> [u32; 3] {
+        self.leaf_cuts[x]
+    }
+
     /// The AS owning global slot `e` (binary search over offsets; not for
     /// hot paths).
     pub fn owner_of_slot(&self, e: u32) -> AsIndex {
@@ -128,6 +242,12 @@ impl<'t> SimNet<'t> {
     #[inline]
     pub fn is_tier1(&self, ix: AsIndex) -> bool {
         self.tier1[ix.usize()]
+    }
+
+    /// All tier-1 ASes, in ascending index order.
+    #[inline]
+    pub fn tier1_members(&self) -> &[AsIndex] {
+        &self.tier1_list
     }
 
     /// Sibling group of `ix`.

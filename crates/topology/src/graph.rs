@@ -242,6 +242,18 @@ impl Topology {
         &self.nbrs[s..e]
     }
 
+    /// Relationship-class boundaries inside [`Topology::neighbors`]`(ix)`:
+    /// customers occupy `[0, b[0])`, peers `[b[0], b[1])`, providers
+    /// `[b[1], b[2])` and siblings `[b[2], degree)`. Lets hot loops walk
+    /// only the classes a valley-free export may reach, without a
+    /// per-edge relationship test.
+    pub fn class_bounds(&self, ix: AsIndex) -> [usize; 3] {
+        let i = ix.usize();
+        let lo = self.offsets[i] as usize;
+        let c = self.cuts[i];
+        [c[0] as usize - lo, c[1] as usize - lo, c[2] as usize - lo]
+    }
+
     /// The customers of `ix` (ASes buying transit from it).
     pub fn customers(&self, ix: AsIndex) -> impl ExactSizeIterator<Item = AsIndex> + Clone + '_ {
         self.class_slice(ix, Relationship::Customer)

@@ -8,6 +8,7 @@
 //! ```text
 //! bgpsim run --all --scale quick --out out
 //! bgpsim run fig2 fig4 --seed 7 --stride 4 --jobs 2
+//! bgpsim run fig2 --engine generation   # ablation: no race solver
 //! bgpsim list
 //! ```
 
@@ -17,7 +18,7 @@ use std::process::ExitCode;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use bgpsim::experiments;
-use bgpsim::hijack::{SweepMonitor, SweepProgress, SweepTelemetry};
+use bgpsim::hijack::{EngineChoice, SweepMonitor, SweepProgress, SweepTelemetry};
 use bgpsim::manifest::{append_json_record, FigureRecord, Json, RunManifest};
 use bgpsim::viz::ProgressLine;
 use bgpsim::{ExperimentConfig, Lab};
@@ -46,6 +47,9 @@ USAGE:
 RUN OPTIONS:
     --all             run every figure (fig1..fig7, sec7, model)
     --scale NAME      scale preset: quick | standard | paper [standard]
+    --engine NAME     force the routing engine: auto | generation | delta |
+                      stable | race [auto]; `stable` needs a strict
+                      Gao-Rexford policy and is rejected for the presets
     --seed N          override the master seed
     --stride N        override the attacker stride
     --jobs N          worker threads (0 = all cores) [0]
@@ -58,6 +62,7 @@ for the schema) and an appended BENCH_sweep.json record.";
 struct RunOptions {
     figures: Vec<String>,
     scale: String,
+    engine: EngineChoice,
     seed: Option<u64>,
     stride: Option<usize>,
     jobs: usize,
@@ -99,6 +104,7 @@ fn parse_run(args: &[String]) -> Result<RunOptions, String> {
     let mut opts = RunOptions {
         figures: Vec::new(),
         scale: "standard".to_string(),
+        engine: EngineChoice::Auto,
         seed: None,
         stride: None,
         jobs: 0,
@@ -116,6 +122,7 @@ fn parse_run(args: &[String]) -> Result<RunOptions, String> {
         match arg.as_str() {
             "--all" => all = true,
             "--scale" => opts.scale = value("--scale")?,
+            "--engine" => opts.engine = EngineChoice::parse(&value("--engine")?)?,
             "--seed" => {
                 opts.seed = Some(parse_num(&value("--seed")?, "--seed")?);
             }
@@ -147,7 +154,16 @@ fn parse_run(args: &[String]) -> Result<RunOptions, String> {
     }
     // Validate the scale up front so a typo fails before topology
     // generation, with the same message ExperimentConfig gives.
-    ExperimentConfig::preset(&opts.scale)?;
+    let config = ExperimentConfig::preset(&opts.scale)?;
+    // Invalid engine/policy combinations must die here as a usage error,
+    // not as a panic deep inside the first sweep.
+    if opts.engine == EngineChoice::Stable && config.policy.tier1_shortest_path {
+        return Err(format!(
+            "--engine stable solves the strict Gao-Rexford policy only, but scale preset \
+             {:?} runs the paper policy (tier-1 shortest path); use --engine race instead",
+            opts.scale
+        ));
+    }
     if opts.figures.is_empty() {
         return Err("nothing to run: name figures (e.g. `bgpsim run fig2`) or pass --all".into());
     }
@@ -165,7 +181,11 @@ fn run(opts: &RunOptions) -> ExitCode {
         // like upstream's global-pool override.
         std::env::set_var("RAYON_NUM_THREADS", opts.jobs.to_string());
     }
+    // Resolve `--jobs 0` to the worker count sweeps actually run on, so
+    // the manifest records real parallelism instead of the literal zero.
+    let effective_jobs = rayon::current_num_threads();
     let mut config = ExperimentConfig::preset(&opts.scale).expect("validated in parse_run");
+    config.engine = opts.engine;
     if let Some(seed) = opts.seed {
         config.seed = seed;
     }
@@ -235,7 +255,8 @@ fn run(opts: &RunOptions) -> ExitCode {
         scale: opts.scale.clone(),
         seed: lab.config().seed,
         attacker_stride: lab.config().attacker_stride,
-        jobs: opts.jobs,
+        engine: lab.config().engine.name().to_string(),
+        jobs: effective_jobs,
         num_ases: lab.topology().num_ases(),
         figures: records,
         total_wall_ms,
@@ -319,6 +340,7 @@ fn bench_record(manifest: &RunManifest) -> Json {
         ("scale", Json::str(&manifest.scale)),
         ("seed", Json::from(manifest.seed)),
         ("attacker_stride", Json::from(manifest.attacker_stride)),
+        ("engine", Json::str(&manifest.engine)),
         ("jobs", Json::from(manifest.jobs)),
         ("num_ases", Json::from(manifest.num_ases)),
         ("total_wall_ms", Json::Num(manifest.total_wall_ms)),

@@ -266,3 +266,56 @@ fn experiments_are_reproducible() {
         assert_eq!(sa.curve.sorted_counts(), sb.curve.sorted_counts());
     }
 }
+
+/// Fig. 2 sweeps are undefended exact-prefix races: every attack must
+/// dispatch to the closed-form race solver, and on the quick lab none may
+/// fall back to the generation engine. The counts are exact — a dispatch
+/// regression (silently routing sweeps back through the slow path) shows
+/// up here as a hard diff, not a perf mystery.
+#[test]
+fn fig2_dispatch_is_race_solver_only() {
+    use bgpsim::hijack::{SweepMonitor, SweepTelemetry};
+
+    let lab = lab();
+    let telemetry = SweepTelemetry::new();
+    let monitor = SweepMonitor::none().with_telemetry(&telemetry);
+    let r = experiments::fig2_monitored(lab, &monitor);
+
+    let attackers = lab.strided_attackers();
+    let expected: u64 = r
+        .series
+        .iter()
+        .map(|s| attackers.iter().filter(|&&a| a != s.target).count() as u64)
+        .sum();
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.attacks, expected, "one attack per (target, attacker)");
+    assert_eq!(
+        snap.race_dispatches, expected,
+        "undefended sweeps all go to the race solver"
+    );
+    assert_eq!(
+        snap.scratch_dispatches, 0,
+        "no generation-engine fallback on the quick lab"
+    );
+    assert_eq!(snap.delta_dispatches, 0);
+    assert_eq!(snap.stable_dispatches, 0);
+    assert_eq!(snap.baselines_built, 0);
+}
+
+/// Forcing `--engine generation` through the config must reproduce the
+/// race-solver figures byte for byte: same lab, same CSV artifact.
+#[test]
+fn engine_override_reproduces_fig2_csv() {
+    use bgpsim::hijack::EngineChoice;
+
+    let mut config = ExperimentConfig::quick();
+    config.params = InternetParams::sized(400);
+    let raced = Lab::new(config.clone());
+    config.engine = EngineChoice::Generation;
+    let scratch = Lab::new(config);
+    assert_eq!(
+        experiments::fig2(&raced).to_csv(),
+        experiments::fig2(&scratch).to_csv(),
+        "engine choice is a pure performance knob"
+    );
+}

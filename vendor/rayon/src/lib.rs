@@ -31,6 +31,16 @@ fn num_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// The number of worker threads parallel regions will use, matching
+/// upstream rayon's `current_num_threads`: the `RAYON_NUM_THREADS`
+/// override when set, otherwise the machine's available parallelism. The
+/// `bgpsim` CLI records this in run manifests so `--jobs 0` resolves to
+/// the actual worker count instead of the literal zero.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    num_threads()
+}
+
 /// Runs `f` over every element of `items` on all cores, preserving input
 /// order in the returned vector.
 fn parallel_map<'a, T, I, R, FI, F>(items: &'a [T], init: FI, f: F) -> Vec<R>
@@ -159,6 +169,11 @@ mod tests {
             .flatten()
             .collect();
         assert_eq!(out, (0..1000).filter(|x| x % 2 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(crate::current_num_threads() >= 1);
     }
 
     #[test]
