@@ -8,9 +8,12 @@
 //!
 //! The vendored `serde` is a marker-trait stub (offline builds have no
 //! derive machinery), so this module carries its own minimal JSON value
-//! type and renderer: [`Json`] covers exactly what manifests need, with
-//! RFC 8259 string escaping and deterministic (insertion-order) object
-//! keys.
+//! type: [`Json`] covers exactly what manifests and the `bgpsim-server`
+//! wire format need, with RFC 8259 string escaping and deterministic
+//! (insertion-order) object keys. [`Json::parse`] is the matching
+//! recursive-descent reader, so the type is bidirectional:
+//! `parse(render(j)) == j` for every value whose numbers are finite (the
+//! `manifest_roundtrip` proptest pins this).
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -39,6 +42,27 @@ pub enum Json {
     Obj(Vec<(String, Json)>),
 }
 
+/// Where and why [`Json::parse`] rejected its input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset of the rejection in the input.
+    pub offset: usize,
+    /// What the parser expected or found.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Nesting depth [`Json::parse`] accepts before rejecting the document.
+/// Bounds recursion on untrusted request bodies; manifests nest 4 deep.
+const MAX_PARSE_DEPTH: u32 = 128;
+
 impl Json {
     /// An object from ordered pairs.
     pub fn obj<K: Into<String>, I: IntoIterator<Item = (K, Json)>>(pairs: I) -> Json {
@@ -48,6 +72,42 @@ impl Json {
     /// A string value.
     pub fn str<S: Into<String>>(s: S) -> Json {
         Json::Str(s.into())
+    }
+
+    /// Parses an RFC 8259 JSON document (the inverse of [`Json::render`]
+    /// / [`Json::render_compact`]).
+    ///
+    /// Accepts exactly one top-level value surrounded by optional
+    /// whitespace; trailing bytes are an error. All escape forms are
+    /// honored (`\" \\ \/ \b \f \n \r \t` and `\uXXXX` including
+    /// surrogate pairs), duplicate object keys are kept in order (this
+    /// type models objects as ordered pairs), and nesting is capped at
+    /// [`MAX_PARSE_DEPTH`] so a hostile request body cannot overflow the
+    /// stack.
+    ///
+    /// Round-trip contract: `parse(render(j)) == j` whenever every number
+    /// in `j` is finite. Non-finite numbers render as `null` (see
+    /// [`Json::render`] on `write_number`), so they round-trip to
+    /// [`Json::Null`] — the one deliberate lossy corner.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonParseError`] with the byte offset of the first
+    /// violation (syntax error, unterminated string, bad escape, lone
+    /// surrogate, non-finite number token, depth overflow, or trailing
+    /// content).
+    pub fn parse(input: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.error("trailing content after the JSON value"));
+        }
+        Ok(value)
     }
 
     /// Renders as pretty-printed JSON (two-space indent, trailing
@@ -136,12 +196,272 @@ impl Json {
     }
 }
 
+/// Recursive-descent state for [`Json::parse`]: a byte cursor over the
+/// input (string content is re-validated as UTF-8 only where escapes
+/// force re-assembly).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes `lit` (used for `null` / `true` / `false` after their
+    /// first byte identified the token).
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected {lit:?}")))
+        }
+    }
+
+    fn value(&mut self, depth: u32) -> Result<Json, JsonParseError> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(self.error(format!("nesting deeper than {MAX_PARSE_DEPTH}")));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.error(format!("unexpected byte {:?}", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: u32) -> Result<Json, JsonParseError> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: u32) -> Result<Json, JsonParseError> {
+        self.pos += 1; // consume '{'
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.error("expected a string object key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.error("expected ':' after object key"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            pairs.push((key, self.value(depth + 1)?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.pos += 1; // consume opening '"'
+        let mut out = String::new();
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.error("dangling escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        other => {
+                            self.pos -= 1;
+                            return Err(self.error(format!("invalid escape '\\{}'", other as char)));
+                        }
+                    }
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.error("unescaped control character in string"));
+                }
+                Some(_) => {
+                    // Copy a maximal escape-free run in one slice append.
+                    let run_start = self.pos;
+                    while self
+                        .peek()
+                        .is_some_and(|c| c != b'"' && c != b'\\' && c >= 0x20)
+                    {
+                        self.pos += 1;
+                    }
+                    let run =
+                        std::str::from_utf8(&self.bytes[run_start..self.pos]).map_err(|_| {
+                            JsonParseError {
+                                offset: start,
+                                message: "invalid UTF-8 in string".into(),
+                            }
+                        })?;
+                    out.push_str(run);
+                }
+            }
+        }
+    }
+
+    /// The four hex digits after `\u`, combining surrogate pairs.
+    fn unicode_escape(&mut self) -> Result<char, JsonParseError> {
+        let first = self.hex4()?;
+        let code = match first {
+            // High surrogate: a low surrogate escape must follow.
+            0xD800..=0xDBFF => {
+                if self.bytes[self.pos..].starts_with(b"\\u") {
+                    self.pos += 2;
+                    let low = self.hex4()?;
+                    if !(0xDC00..=0xDFFF).contains(&low) {
+                        return Err(self.error("high surrogate not followed by low surrogate"));
+                    }
+                    0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00)
+                } else {
+                    return Err(self.error("lone high surrogate"));
+                }
+            }
+            0xDC00..=0xDFFF => return Err(self.error("lone low surrogate")),
+            c => c,
+        };
+        char::from_u32(code).ok_or_else(|| self.error("invalid unicode escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let digits = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|d| std::str::from_utf8(d).ok())
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        let code = u32::from_str_radix(digits, 16)
+            .map_err(|_| self.error("non-hex digits in \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        // Validate the RFC 8259 grammar cursor-wise, then let the std
+        // float parser produce the value from the validated span.
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => self.digits(),
+            _ => return Err(self.error("expected a digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected a digit after '.'"));
+            }
+            self.digits();
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected a digit in exponent"));
+            }
+            self.digits();
+        }
+        let span = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII span");
+        let n: f64 = span.parse().map_err(|_| JsonParseError {
+            offset: start,
+            message: format!("unparseable number {span:?}"),
+        })?;
+        // The grammar admits tokens that overflow f64 to infinity
+        // (e.g. 1e999); [`write_number`] could not re-render them.
+        if !n.is_finite() {
+            return Err(JsonParseError {
+                offset: start,
+                message: format!("number {span:?} overflows f64"),
+            });
+        }
+        Ok(Json::Num(n))
+    }
+
+    fn digits(&mut self) {
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+    }
+}
+
 fn push_indent(out: &mut String, indent: usize) {
     for _ in 0..indent {
         out.push_str("  ");
     }
 }
 
+/// Renders one number. Decided behavior for non-finite values: they
+/// render as `null`, because JSON has no NaN/Infinity literal and a
+/// manifest or wire response must stay machine-parseable even if a
+/// counter ratio degenerates. Consequently render→parse maps non-finite
+/// numbers to [`Json::Null`]; every finite number round-trips exactly
+/// (integral values take the `i64` path, the rest rely on Rust's
+/// shortest-roundtrip `{}` formatting).
 fn write_number(out: &mut String, n: f64) {
     if !n.is_finite() {
         out.push_str("null"); // JSON has no NaN/Inf
@@ -450,6 +770,115 @@ mod tests {
         let s = telemetry_json(&snapshot).render_compact();
         assert!(s.contains("\"wall_hist_us_log2\":[0,0,7]"), "{s}");
         assert!(s.contains("\"engine\":{"));
+    }
+
+    #[test]
+    fn parse_reads_scalars_and_structures() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("-12.5e2").unwrap(), Json::Num(-1250.0));
+        assert_eq!(Json::parse("0").unwrap(), Json::Num(0.0));
+        assert_eq!(
+            Json::parse("[1, [], {\"a\": [2]}]").unwrap(),
+            Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Arr(vec![]),
+                Json::obj([("a", Json::Arr(vec![Json::Num(2.0)]))]),
+            ])
+        );
+        // Duplicate keys are preserved in order, matching the model.
+        assert_eq!(
+            Json::parse("{\"k\":1,\"k\":2}").unwrap(),
+            Json::Obj(vec![
+                ("k".into(), Json::Num(1.0)),
+                ("k".into(), Json::Num(2.0)),
+            ])
+        );
+    }
+
+    #[test]
+    fn parse_handles_all_escape_forms() {
+        assert_eq!(
+            Json::parse(r#""a\"b\\c\/d\b\f\n\r\t""#).unwrap(),
+            Json::str("a\"b\\c/d\u{8}\u{c}\n\r\t")
+        );
+        assert_eq!(Json::parse(r#""\u0041\u00e9""#).unwrap(), Json::str("Aé"));
+        // Control characters round-trip through the \u form render emits.
+        assert_eq!(Json::parse(r#""\u0001""#).unwrap(), Json::str("\u{1}"));
+        // Surrogate pair → astral code point.
+        assert_eq!(Json::parse(r#""\ud83d\ude00""#).unwrap(), Json::str("😀"));
+        // Raw (unescaped) multi-byte UTF-8 passes through.
+        assert_eq!(Json::parse("\"π😀\"").unwrap(), Json::str("π😀"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for (input, needle) in [
+            ("", "end of input"),
+            ("nul", "null"),
+            ("[1,]", "unexpected"),
+            ("[1 2]", "',' or ']'"),
+            ("{\"a\" 1}", "':'"),
+            ("{1: 2}", "string object key"),
+            ("\"abc", "unterminated"),
+            ("\"\\q\"", "invalid escape"),
+            ("\"\\u12\"", "truncated"),
+            ("\"\\uzzzz\"", "non-hex"),
+            ("\"\\ud800\"", "surrogate"),
+            ("\"\\udc00x\"", "lone low surrogate"),
+            ("\"\x01\"", "control character"),
+            ("01", "trailing content"),
+            ("1.e3", "digit after"),
+            ("1e", "exponent"),
+            ("-", "digit"),
+            ("1e999", "overflows"),
+            ("true false", "trailing content"),
+        ] {
+            let err = Json::parse(input).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{input:?}: expected {needle:?} in {err}"
+            );
+        }
+        // Depth cap: 200 nested arrays must be rejected, not overflow.
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn parse_inverts_render_on_manifests() {
+        let mut snapshot = bgpsim_hijack::SweepTelemetry::new().snapshot();
+        snapshot.wall_hist[3] = 11;
+        let manifest = RunManifest {
+            version: "0.1.0".into(),
+            scale: "quick".into(),
+            seed: 2014,
+            attacker_stride: 2,
+            engine: "auto".into(),
+            jobs: 8,
+            num_ases: 2000,
+            figures: vec![FigureRecord {
+                id: "fig5".into(),
+                wall_ms: 12.53,
+                artifacts: vec!["fig5.svg".into()],
+                telemetry: Some(snapshot),
+            }],
+            total_wall_ms: 20.25,
+        };
+        let v = manifest.to_json();
+        assert_eq!(Json::parse(&v.render()).unwrap(), v);
+        assert_eq!(Json::parse(&v.render_compact()).unwrap(), v);
+    }
+
+    #[test]
+    fn non_finite_numbers_render_null_and_round_trip_to_null() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let rendered = Json::Num(bad).render_compact();
+            assert_eq!(rendered, "null");
+            assert_eq!(Json::parse(&rendered).unwrap(), Json::Null);
+        }
     }
 
     #[test]

@@ -61,6 +61,17 @@ impl Defense {
         self.stub_defense
     }
 
+    /// Whether this defense can keep an attacker's contamination cone
+    /// local (any origin validation or stub filtering deployed). This is
+    /// the predicate [`crate::Simulator`]'s adaptive dispatch keys on:
+    /// localizing defenses make baseline replay profitable, while against
+    /// an undefended network the cone is the whole graph and racing the
+    /// origins directly is cheaper. Servers use the same predicate to
+    /// decide whether a cached baseline is worth building.
+    pub fn localizes(&self) -> bool {
+        self.num_validators() > 0 || self.stub_defense
+    }
+
     /// Binds this defense to a prefix whose legitimate origin is
     /// `authorized`, producing the per-propagation filter context.
     pub fn context_for(&self, authorized: AsIndex) -> FilterContext<'_> {

@@ -45,6 +45,7 @@ pub use attack::{Attack, AttackKind, AttackOutcome};
 pub use defense::Defense;
 pub use simulator::{EngineChoice, Simulator};
 pub use telemetry::{
-    Dispatch, SweepMonitor, SweepProgress, SweepTelemetry, TelemetrySnapshot, WALL_HIST_BUCKETS,
+    wall_bucket, Dispatch, SweepMonitor, SweepProgress, SweepTelemetry, TelemetrySnapshot,
+    WALL_HIST_BUCKETS,
 };
 pub use vulnerability::{SweepResult, VulnerabilityCurve};

@@ -32,8 +32,8 @@ use std::time::Instant;
 
 use bgpsim_routing::{
     propagate_announcements, propagate_delta, solve_observed, solve_race_observed, Announcement,
-    Baseline, DeltaWorkspace, NullObserver, Observer, PolicyConfig, Propagation, RaceWorkspace,
-    SimNet, Workspace, DEFAULT_MAX_ROUNDS,
+    Baseline, DeltaWorkspace, FilterContext, NullObserver, Observer, PolicyConfig, Propagation,
+    RaceWorkspace, SimNet, Workspace, DEFAULT_MAX_ROUNDS,
 };
 use bgpsim_topology::{AsIndex, Topology};
 use rayon::prelude::*;
@@ -449,6 +449,60 @@ impl<'t> Simulator<'t> {
             &self.policy,
             &mut Workspace::new(),
         );
+        self.sweep_delta_replay(target, attackers, &ctx, mask.as_deref(), &baseline, monitor)
+    }
+
+    /// [`Simulator::sweep_attackers_monitored`] against a caller-provided
+    /// baseline of `target`'s honest propagation, always dispatching every
+    /// attacker to baseline replay (the delta engine).
+    ///
+    /// This is the serving-layer entry point: a long-running service keeps
+    /// one [`Baseline`] per (target, defense) pair in a shared cache and
+    /// re-runs sweeps against it, skipping the baseline construction that
+    /// dominates cold-sweep cost. No `baselines_built` telemetry is
+    /// recorded here — whoever built the baseline counts it.
+    ///
+    /// The baseline must have been produced by [`Baseline::build`] on this
+    /// simulator's network with `[Announcement::honest(target)]` under
+    /// `defense.context_for(target)` and this simulator's policy — the
+    /// same contract [`bgpsim_routing::propagate_delta`] documents. Rows
+    /// are bit-identical to every other engine path (the routing crate's
+    /// `delta_equivalence` suite pins the underlying engine).
+    pub fn sweep_attackers_baseline_monitored(
+        &self,
+        target: AsIndex,
+        attackers: &[AsIndex],
+        defense: &Defense,
+        region: Option<&[AsIndex]>,
+        baseline: &Baseline,
+        monitor: &SweepMonitor<'_>,
+    ) -> Vec<u32> {
+        let mask = region.map(|members| {
+            let mut m = vec![false; self.net.num_ases()];
+            for &ix in members {
+                m[ix.usize()] = true;
+            }
+            m
+        });
+        let ctx = defense.context_for(target);
+        self.sweep_delta_replay(target, attackers, &ctx, mask.as_deref(), baseline, monitor)
+    }
+
+    /// The shared delta-replay sweep loop: one parallel pass over
+    /// `attackers`, each re-converging from `baseline` in a per-thread
+    /// workspace. `mask` (when given) restricts pollution counting to the
+    /// marked ASes.
+    fn sweep_delta_replay(
+        &self,
+        target: AsIndex,
+        attackers: &[AsIndex],
+        ctx: &FilterContext<'_>,
+        mask: Option<&[bool]>,
+        baseline: &Baseline,
+        monitor: &SweepMonitor<'_>,
+    ) -> Vec<u32> {
+        let in_mask = |ix: AsIndex| mask.is_none_or(|m| m[ix.usize()]);
+        let progress = ProgressState::new(*monitor, attackers.len());
         attackers
             .par_iter()
             .map_init(DeltaWorkspace::new, |dws, &attacker| {
@@ -463,9 +517,9 @@ impl<'t> Simulator<'t> {
                     let mut obs = MaybeSink::from_monitor(monitor);
                     let delta = propagate_delta(
                         &self.net,
-                        &baseline,
+                        baseline,
                         &[Announcement::honest(attacker)],
-                        &ctx,
+                        ctx,
                         &self.policy,
                         dws,
                         &mut obs,
@@ -765,6 +819,35 @@ impl<'t> Simulator<'t> {
         }
     }
 
+    /// Simulates one attack by baseline replay against a caller-provided
+    /// [`Baseline`] of the target's honest propagation, reusing the
+    /// caller's workspace — the serving-layer fast path: with a warm
+    /// baseline the per-attack cost is O(contamination cone), not
+    /// O(network).
+    ///
+    /// The outcome is bit-identical to [`Simulator::run`] (pinned by the
+    /// routing crate's `delta_equivalence` suite) provided the baseline
+    /// contract holds: built on this simulator's network and policy from
+    /// `[Announcement::honest(attack.target)]` under
+    /// `defense.context_for(attack.target)` — or [`Baseline::empty`] for
+    /// sub-prefix attacks, whose bogus more-specific prefix has no honest
+    /// competition. `generations` reports replay waves, which differ from
+    /// the from-scratch count.
+    pub fn run_with_baseline(
+        &self,
+        attack: Attack,
+        baseline: &Baseline,
+        defense: &Defense,
+        dws: &mut DeltaWorkspace,
+        monitor: &SweepMonitor<'_>,
+    ) -> AttackOutcome {
+        if let Some(t) = monitor.telemetry {
+            t.record_dispatch(Dispatch::Delta);
+        }
+        let mut obs = MaybeSink::from_monitor(monitor);
+        self.run_delta(attack, baseline, defense, dws, monitor, &mut obs)
+    }
+
     /// One incremental attack against a prebuilt baseline of the target's
     /// honest propagation (sub-prefix attacks replay against an empty
     /// baseline, which the forced delta override supplies).
@@ -827,17 +910,17 @@ impl<'t> Simulator<'t> {
     }
 }
 
-/// Whether a defense can keep contamination cones local. Without any
-/// filtering every AS adopts or at least hears the bogus route, the cone
-/// is the whole network, and incremental re-convergence cannot beat
-/// racing the origins directly (replay measured ~3× slower than even the
-/// from-scratch race on the 2k-AS lab topology) — such attacks go to the
-/// closed-form race solver first, with a from-scratch generation run only
-/// as its non-convergence fallback. With validators or stub filtering
-/// deployed, cones collapse and the delta engine wins by 1–2 orders of
-/// magnitude.
+/// Whether a defense can keep contamination cones local (see
+/// [`Defense::localizes`]). Without any filtering every AS adopts or at
+/// least hears the bogus route, the cone is the whole network, and
+/// incremental re-convergence cannot beat racing the origins directly
+/// (replay measured ~3× slower than even the from-scratch race on the
+/// 2k-AS lab topology) — such attacks go to the closed-form race solver
+/// first, with a from-scratch generation run only as its non-convergence
+/// fallback. With validators or stub filtering deployed, cones collapse
+/// and the delta engine wins by 1–2 orders of magnitude.
 fn defense_localizes(defense: &Defense) -> bool {
-    defense.num_validators() > 0 || defense.has_stub_defense()
+    defense.localizes()
 }
 
 /// Computes the polluted set for an outcome: for honest hijacks, every AS
@@ -890,6 +973,7 @@ fn polluted_set(p: &Propagation, attack: Attack) -> Vec<AsIndex> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::telemetry::SweepTelemetry;
     use bgpsim_topology::{topology_from_triples, AsId, LinkKind::*, Topology};
 
     fn ix(topo: &Topology, n: u32) -> AsIndex {
@@ -1189,6 +1273,58 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The serving-layer entry points (caller-provided baseline) must be
+    /// bit-identical to the self-building paths, and must not count a
+    /// baseline build of their own.
+    #[test]
+    fn baseline_entry_points_match_and_skip_baseline_telemetry() {
+        let t = topo();
+        let sim = Simulator::new(&t, PolicyConfig::paper());
+        let target = ix(&t, 9);
+        let attackers: Vec<AsIndex> = t.indices().collect();
+        let defense = Defense::validators(&t, vec![ix(&t, 1), ix(&t, 2)]);
+        let ctx = defense.context_for(target);
+        let baseline = Baseline::build(
+            sim.net(),
+            &[Announcement::honest(target)],
+            &ctx,
+            sim.policy(),
+            &mut Workspace::new(),
+        );
+        let telemetry = SweepTelemetry::new();
+        let monitor = SweepMonitor::none().with_telemetry(&telemetry);
+        let rows = sim.sweep_attackers_baseline_monitored(
+            target, &attackers, &defense, None, &baseline, &monitor,
+        );
+        assert_eq!(rows, sim.sweep_attackers(target, &attackers, &defense));
+        let snapshot = telemetry.snapshot();
+        assert_eq!(snapshot.baselines_built, 0, "caller owns the build count");
+        assert_eq!(snapshot.delta_dispatches, attackers.len() as u64 - 1);
+        // Single attacks against the same baseline agree with sim.run.
+        let mut dws = DeltaWorkspace::new();
+        for &attacker in &attackers {
+            if attacker == target {
+                continue;
+            }
+            for attack in [
+                Attack::origin(attacker, target),
+                Attack::forged_origin(attacker, target),
+            ] {
+                let warm = sim.run_with_baseline(attack, &baseline, &defense, &mut dws, &monitor);
+                let cold = sim.run(attack, &defense);
+                assert_eq!(warm.polluted, cold.polluted, "mismatch for {attack:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn defense_localizes_matches_method() {
+        let t = topo();
+        assert!(!Defense::none().localizes());
+        assert!(Defense::stub_defense_only().localizes());
+        assert!(Defense::validators(&t, vec![ix(&t, 1)]).localizes());
     }
 
     #[test]

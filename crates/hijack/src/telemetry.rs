@@ -178,7 +178,10 @@ impl SweepTelemetry {
 
 /// Log₂ bucket index for a duration in microseconds: bucket 0 is `< 1 µs`,
 /// bucket `i ≥ 1` is `[2^(i-1), 2^i) µs`, saturating at the last bucket.
-fn wall_bucket(us: u64) -> usize {
+/// Public so every latency histogram in the workspace (sweep telemetry,
+/// the server's per-endpoint metrics, the loadgen client) buckets
+/// identically and their outputs stay comparable.
+pub fn wall_bucket(us: u64) -> usize {
     (64 - us.leading_zeros() as usize).min(WALL_HIST_BUCKETS - 1)
 }
 

@@ -1,0 +1,757 @@
+//! Endpoint handlers: JSON in, JSON out.
+//!
+//! The wire schema addresses ASes by **ASN** (the generated topology's
+//! stable ids), never by internal index; handlers resolve ASNs through
+//! [`bgpsim_topology::Topology::index_of`] and answer 422 for unknown
+//! ones. Request bodies parse through the manifest crate's
+//! [`Json::parse`] (the same bidirectional JSON the run manifests use),
+//! so server documents and CLI manifests share one dialect.
+//!
+//! See `DESIGN.md` §13 for the full endpoint schema and the
+//! byte-identity contract: the `result` sub-object of every response is a
+//! pure function of (topology, attack, defense) — engine choice and
+//! cache state only ever show up under `meta`.
+
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+use bgpsim_core::manifest::{Json, SCHEMA_VERSION};
+use bgpsim_hijack::{
+    Attack, AttackKind, AttackOutcome, Defense, Dispatch, SweepMonitor, SweepTelemetry,
+};
+use bgpsim_routing::{Announcement, Baseline, ConvergenceStats, Observer};
+use bgpsim_topology::{AsId, AsIndex, Topology};
+
+use crate::cache::{defense_fingerprint, BaselineKey};
+use crate::http::{Request, Response};
+use crate::jobs::{JobState, SweepSpec, ETA_UNKNOWN};
+use crate::metrics::{render_prometheus, Endpoint};
+use crate::{ServerState, WorkerCtx};
+
+/// Attacker ASNs advertised in `/v1/healthz` for load generators.
+const SAMPLE_ATTACKERS: usize = 64;
+
+/// An error response in the making.
+#[derive(Debug)]
+struct ApiError {
+    status: u16,
+    message: String,
+}
+
+impl ApiError {
+    fn new(status: u16, message: impl Into<String>) -> ApiError {
+        ApiError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+fn error_body(message: &str) -> String {
+    let mut body = Json::obj([("error", Json::str(message))]).render_compact();
+    body.push('\n');
+    body
+}
+
+fn json_response(status: u16, json: &Json) -> Response {
+    let mut body = json.render_compact();
+    body.push('\n');
+    Response::json(status, body)
+}
+
+/// Routes one framed request to its handler; the endpoint tag feeds the
+/// per-endpoint metrics.
+pub(crate) fn dispatch(
+    state: &ServerState<'_>,
+    request: &Request,
+    ctx: &mut WorkerCtx,
+) -> (Endpoint, Response) {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    let method = request.method.as_str();
+    let (endpoint, result) = match segments.as_slice() {
+        ["v1", "healthz"] => (
+            Endpoint::Healthz,
+            expect_method(method, "GET").and_then(|()| handle_healthz(state)),
+        ),
+        ["v1", "metrics"] | ["metrics"] => (
+            Endpoint::Metrics,
+            expect_method(method, "GET").map(|()| handle_metrics(state)),
+        ),
+        ["v1", "attacks"] => (
+            Endpoint::Attacks,
+            expect_method(method, "POST").and_then(|()| handle_attack(state, request, ctx)),
+        ),
+        ["v1", "sweeps"] => (
+            Endpoint::Sweeps,
+            expect_method(method, "POST").and_then(|()| handle_sweep_submit(state, request)),
+        ),
+        ["v1", "jobs", id] => (
+            Endpoint::Jobs,
+            match method {
+                "GET" => handle_job_get(state, id),
+                "DELETE" => handle_job_cancel(state, id),
+                _ => Err(ApiError::new(
+                    405,
+                    format!("{method} not supported here (use GET or DELETE)"),
+                )),
+            },
+        ),
+        ["v1", "results", id] => (
+            Endpoint::Results,
+            expect_method(method, "GET").and_then(|()| handle_results(state, id)),
+        ),
+        ["v1", "shutdown"] => (
+            Endpoint::Shutdown,
+            expect_method(method, "POST").map(|()| handle_shutdown(state)),
+        ),
+        _ => (
+            Endpoint::Other,
+            Err(ApiError::new(
+                404,
+                format!("no route for {:?}", request.path),
+            )),
+        ),
+    };
+    let response = match result {
+        Ok(response) => response,
+        Err(e) => Response::json(e.status, error_body(&e.message)),
+    };
+    (endpoint, response)
+}
+
+fn expect_method(method: &str, want: &str) -> Result<(), ApiError> {
+    if method == want {
+        Ok(())
+    } else {
+        Err(ApiError::new(
+            405,
+            format!("{method} not supported here (use {want})"),
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON plumbing
+
+fn parse_body(request: &Request) -> Result<Json, ApiError> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| ApiError::new(400, "request body is not UTF-8"))?;
+    if text.trim().is_empty() {
+        return Err(ApiError::new(400, "request body is empty (expected JSON)"));
+    }
+    Json::parse(text).map_err(|e| ApiError::new(400, e.to_string()))
+}
+
+fn get<'a>(json: &'a Json, key: &str) -> Option<&'a Json> {
+    match json {
+        Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn as_u32(json: &Json) -> Option<u32> {
+    match json {
+        Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= f64::from(u32::MAX) => {
+            Some(*n as u32)
+        }
+        _ => None,
+    }
+}
+
+fn require_asn(json: &Json, key: &str) -> Result<u32, ApiError> {
+    get(json, key)
+        .ok_or_else(|| ApiError::new(422, format!("missing required field {key:?}")))
+        .and_then(|v| {
+            as_u32(v).ok_or_else(|| {
+                ApiError::new(422, format!("field {key:?} must be a non-negative ASN"))
+            })
+        })
+}
+
+fn resolve(topo: &Topology, asn: u32) -> Result<AsIndex, ApiError> {
+    topo.index_of(AsId::new(asn))
+        .ok_or_else(|| ApiError::new(422, format!("unknown ASN {asn}")))
+}
+
+fn parse_kind(json: &Json) -> Result<AttackKind, ApiError> {
+    match get(json, "kind") {
+        None => Ok(AttackKind::OriginHijack),
+        Some(Json::Str(s)) => match s.as_str() {
+            "origin" => Ok(AttackKind::OriginHijack),
+            "sub_prefix" => Ok(AttackKind::SubPrefixHijack),
+            "forged_origin" => Ok(AttackKind::ForgedOriginHijack),
+            other => Err(ApiError::new(
+                422,
+                format!(
+                    "unknown attack kind {other:?}: valid kinds are \"origin\", \
+                     \"sub_prefix\", \"forged_origin\""
+                ),
+            )),
+        },
+        Some(_) => Err(ApiError::new(422, "field \"kind\" must be a string")),
+    }
+}
+
+fn kind_name(kind: AttackKind) -> &'static str {
+    match kind {
+        AttackKind::OriginHijack => "origin",
+        AttackKind::SubPrefixHijack => "sub_prefix",
+        AttackKind::ForgedOriginHijack => "forged_origin",
+    }
+}
+
+/// Parsed defense: the owned deployment plus its canonical (sorted,
+/// deduplicated) ASN form and cache fingerprint.
+struct ParsedDefense {
+    defense: Defense,
+    validator_asns: Vec<u32>,
+    stub_defense: bool,
+    fingerprint: u64,
+}
+
+fn parse_defense(topo: &Topology, json: &Json) -> Result<ParsedDefense, ApiError> {
+    let spec = match get(json, "defense") {
+        None | Some(Json::Null) => {
+            return Ok(ParsedDefense {
+                defense: Defense::none(),
+                validator_asns: Vec::new(),
+                stub_defense: false,
+                fingerprint: defense_fingerprint(&[], false),
+            })
+        }
+        Some(spec @ Json::Obj(_)) => spec,
+        Some(_) => return Err(ApiError::new(422, "field \"defense\" must be an object")),
+    };
+    let mut validator_asns: Vec<u32> = match get(spec, "validators") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|item| {
+                as_u32(item).ok_or_else(|| {
+                    ApiError::new(422, "\"defense.validators\" entries must be ASNs")
+                })
+            })
+            .collect::<Result<_, _>>()?,
+        Some(_) => {
+            return Err(ApiError::new(
+                422,
+                "\"defense.validators\" must be an array of ASNs",
+            ))
+        }
+    };
+    validator_asns.sort_unstable();
+    validator_asns.dedup();
+    let stub_defense = match get(spec, "stub_defense") {
+        None | Some(Json::Null) => false,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => {
+            return Err(ApiError::new(
+                422,
+                "\"defense.stub_defense\" must be a bool",
+            ))
+        }
+    };
+    let validators: Vec<AsIndex> = validator_asns
+        .iter()
+        .map(|&asn| resolve(topo, asn))
+        .collect::<Result<_, _>>()?;
+    let mut defense = if validators.is_empty() {
+        Defense::none()
+    } else {
+        Defense::validators(topo, validators)
+    };
+    if stub_defense {
+        defense = defense.with_stub_defense();
+    }
+    let fingerprint = defense_fingerprint(&validator_asns, stub_defense);
+    Ok(ParsedDefense {
+        defense,
+        validator_asns,
+        stub_defense,
+        fingerprint,
+    })
+}
+
+fn defense_json(parsed_validators: &[u32], stub_defense: bool) -> Json {
+    Json::obj([
+        (
+            "validators",
+            Json::Arr(
+                parsed_validators
+                    .iter()
+                    .map(|&v| Json::Num(f64::from(v)))
+                    .collect(),
+            ),
+        ),
+        ("stub_defense", Json::Bool(stub_defense)),
+    ])
+}
+
+fn asn_array(topo: &Topology, indices: impl IntoIterator<Item = AsIndex>) -> Json {
+    Json::Arr(
+        indices
+            .into_iter()
+            .map(|ix| Json::Num(f64::from(topo.id_of(ix).value())))
+            .collect(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/attacks
+
+/// Forwards engine convergence counters to the shared telemetry bank.
+struct TelemetrySink<'a>(&'a SweepTelemetry);
+
+impl Observer for TelemetrySink<'_> {
+    fn on_converged(&mut self, stats: &ConvergenceStats) {
+        self.0.record_run(stats);
+    }
+}
+
+/// The engine-invariant part of an attack response: identical bytes no
+/// matter which engine or cache state produced the outcome (polluted sets
+/// are pinned bit-identical across engines by the routing crate's
+/// equivalence suites). `generations`/`truncated`-style engine
+/// bookkeeping deliberately stays out.
+fn outcome_json(topo: &Topology, outcome: &AttackOutcome) -> Json {
+    Json::obj([
+        (
+            "attacker",
+            Json::Num(f64::from(topo.id_of(outcome.attack.attacker).value())),
+        ),
+        (
+            "target",
+            Json::Num(f64::from(topo.id_of(outcome.attack.target).value())),
+        ),
+        ("kind", Json::str(kind_name(outcome.attack.kind))),
+        (
+            "pollution_count",
+            Json::Num(outcome.pollution_count() as f64),
+        ),
+        (
+            "polluted",
+            asn_array(topo, outcome.polluted.iter().copied()),
+        ),
+    ])
+}
+
+fn handle_attack(
+    state: &ServerState<'_>,
+    request: &Request,
+    ctx: &mut WorkerCtx,
+) -> Result<Response, ApiError> {
+    let body = parse_body(request)?;
+    let topo = state.sim.topology();
+    let attacker = resolve(topo, require_asn(&body, "attacker")?)?;
+    let target = resolve(topo, require_asn(&body, "target")?)?;
+    if attacker == target {
+        return Err(ApiError::new(422, "attacker and target must differ"));
+    }
+    let kind = parse_kind(&body)?;
+    let parsed = parse_defense(topo, &body)?;
+    let attack = Attack {
+        attacker,
+        target,
+        kind,
+    };
+    let engine = state.sim.engine();
+    // The baseline cache pays off exactly when replay is the dispatch
+    // choice: exact-prefix kinds under a localizing defense (or a forced
+    // delta engine). Everything else runs from scratch.
+    let use_baseline = kind != AttackKind::SubPrefixHijack
+        && (engine == bgpsim_hijack::EngineChoice::Delta
+            || (engine == bgpsim_hijack::EngineChoice::Auto && parsed.defense.localizes()));
+    let monitor = SweepMonitor::none().with_telemetry(&state.telemetry);
+    let started = Instant::now();
+    let (outcome, engine_name, cache_name) = if use_baseline {
+        let key = BaselineKey {
+            target: target.raw(),
+            defense_fp: parsed.fingerprint,
+        };
+        let (baseline, cache_outcome) = state.cache.get_or_build(key, || {
+            state.telemetry.record_baseline();
+            Baseline::build(
+                state.sim.net(),
+                &[Announcement::honest(target)],
+                &parsed.defense.context_for(target),
+                state.sim.policy(),
+                &mut ctx.ws,
+            )
+        });
+        let replay_started = Instant::now();
+        let outcome =
+            state
+                .sim
+                .run_with_baseline(attack, &baseline, &parsed.defense, &mut ctx.dws, &monitor);
+        state.telemetry.record_attack_wall(replay_started.elapsed());
+        (outcome, "delta", cache_outcome.name())
+    } else {
+        state.telemetry.record_dispatch(Dispatch::Scratch);
+        let outcome = state.sim.run_observed(
+            attack,
+            &parsed.defense,
+            &mut ctx.ws,
+            &mut TelemetrySink(&state.telemetry),
+        );
+        state.telemetry.record_attack_wall(started.elapsed());
+        (outcome, "generation", "bypass")
+    };
+    let wall_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let response = Json::obj([
+        ("result", outcome_json(topo, &outcome)),
+        (
+            "meta",
+            Json::obj([
+                ("engine", Json::str(engine_name)),
+                ("cache", Json::str(cache_name)),
+                ("wall_us", Json::Num(wall_us as f64)),
+            ]),
+        ),
+    ]);
+    Ok(json_response(200, &response))
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/sweeps + job lifecycle
+
+fn handle_sweep_submit(state: &ServerState<'_>, request: &Request) -> Result<Response, ApiError> {
+    let body = parse_body(request)?;
+    let topo = state.sim.topology();
+    let target = resolve(topo, require_asn(&body, "target")?)?;
+    let parsed = parse_defense(topo, &body)?;
+    let (pool, pool_kind): (Vec<AsIndex>, &'static str) = match get(&body, "attackers") {
+        None => (state.lab.strided_transit_attackers(), "transit"),
+        Some(Json::Str(s)) => match s.as_str() {
+            "all" => (state.lab.strided_attackers(), "all"),
+            "transit" => (state.lab.strided_transit_attackers(), "transit"),
+            other => {
+                return Err(ApiError::new(
+                    422,
+                    format!(
+                        "unknown attacker pool {other:?}: use \"all\", \"transit\", \
+                         or an explicit ASN array"
+                    ),
+                ))
+            }
+        },
+        Some(Json::Arr(items)) => {
+            let pool = items
+                .iter()
+                .map(|item| {
+                    as_u32(item)
+                        .ok_or_else(|| ApiError::new(422, "\"attackers\" entries must be ASNs"))
+                        .and_then(|asn| resolve(topo, asn))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            (pool, "explicit")
+        }
+        Some(_) => {
+            return Err(ApiError::new(
+                422,
+                "\"attackers\" must be \"all\", \"transit\", or an ASN array",
+            ))
+        }
+    };
+    // Same pool semantics as Simulator::sweep_result: the target never
+    // attacks itself, so its row is excluded rather than forced to zero.
+    let pool: Vec<AsIndex> = pool.into_iter().filter(|&a| a != target).collect();
+    if pool.is_empty() {
+        return Err(ApiError::new(422, "attacker pool is empty"));
+    }
+    let pool_asns: Vec<u32> = pool.iter().map(|&ix| topo.id_of(ix).value()).collect();
+    let engine = state.sim.engine();
+    let cacheable = engine == bgpsim_hijack::EngineChoice::Delta
+        || (engine == bgpsim_hijack::EngineChoice::Auto && parsed.defense.localizes());
+    let spec = SweepSpec {
+        target,
+        target_asn: topo.id_of(target).value(),
+        pool,
+        pool_asns,
+        defense: parsed.defense,
+        validator_asns: parsed.validator_asns,
+        stub_defense: parsed.stub_defense,
+        defense_fp: parsed.fingerprint,
+        cacheable,
+        pool_kind,
+    };
+    let job = state.jobs.submit(spec).map_err(|message| {
+        let status = if message.contains("full") { 429 } else { 503 };
+        ApiError::new(status, message)
+    })?;
+    let id = job.wire_id();
+    let response = Json::obj([
+        ("id", Json::str(id.clone())),
+        ("state", Json::str("queued")),
+        ("total", Json::Num(job.total.load(Ordering::Relaxed) as f64)),
+        ("poll", Json::str(format!("/v1/jobs/{id}"))),
+        ("results", Json::str(format!("/v1/results/{id}"))),
+    ]);
+    Ok(json_response(202, &response))
+}
+
+fn parse_job_id(wire: &str) -> Result<u64, ApiError> {
+    wire.strip_prefix("job-")
+        .and_then(|n| n.parse::<u64>().ok())
+        .ok_or_else(|| {
+            ApiError::new(
+                404,
+                format!("malformed job id {wire:?} (expected \"job-<n>\")"),
+            )
+        })
+}
+
+fn job_json(job: &crate::jobs::Job) -> Json {
+    let eta = job.eta_ms.load(Ordering::Relaxed);
+    let mut pairs = vec![
+        ("id".to_string(), Json::str(job.wire_id())),
+        (
+            "state".to_string(),
+            Json::str(job.with_state(JobState::name)),
+        ),
+        (
+            "target".to_string(),
+            Json::Num(f64::from(job.spec.target_asn)),
+        ),
+        ("pool".to_string(), Json::str(job.spec.pool_kind)),
+        (
+            "total".to_string(),
+            Json::Num(job.total.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "completed".to_string(),
+            Json::Num(job.completed.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "elapsed_ms".to_string(),
+            Json::Num(job.elapsed_ms.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "eta_ms".to_string(),
+            if eta == ETA_UNKNOWN {
+                Json::Null
+            } else {
+                Json::Num(eta as f64)
+            },
+        ),
+    ];
+    job.with_state(|state| {
+        if let JobState::Failed(message) = state {
+            pairs.push(("error".to_string(), Json::str(message.clone())));
+        }
+    });
+    Json::Obj(pairs)
+}
+
+fn handle_job_get(state: &ServerState<'_>, wire_id: &str) -> Result<Response, ApiError> {
+    let id = parse_job_id(wire_id)?;
+    let job = state
+        .jobs
+        .get(id)
+        .ok_or_else(|| ApiError::new(404, format!("no job {wire_id:?}")))?;
+    Ok(json_response(200, &job_json(&job)))
+}
+
+fn handle_job_cancel(state: &ServerState<'_>, wire_id: &str) -> Result<Response, ApiError> {
+    let id = parse_job_id(wire_id)?;
+    let job = state
+        .jobs
+        .cancel(id)
+        .ok_or_else(|| ApiError::new(404, format!("no job {wire_id:?}")))?;
+    Ok(json_response(200, &job_json(&job)))
+}
+
+fn handle_results(state: &ServerState<'_>, wire_id: &str) -> Result<Response, ApiError> {
+    let id = parse_job_id(wire_id)?;
+    let job = state
+        .jobs
+        .get(id)
+        .ok_or_else(|| ApiError::new(404, format!("no job {wire_id:?}")))?;
+    job.with_state(|job_state| match job_state {
+        JobState::Done(output) => {
+            let counts = &output.counts;
+            let attacks = counts.len();
+            let failed = counts.iter().filter(|&&c| c == 0).count();
+            let max = counts.iter().copied().max().unwrap_or(0);
+            let successful: Vec<u32> = counts.iter().copied().filter(|&c| c > 0).collect();
+            let mean_successful = if successful.is_empty() {
+                0.0
+            } else {
+                successful.iter().map(|&c| f64::from(c)).sum::<f64>() / successful.len() as f64
+            };
+            let mean = if attacks == 0 {
+                0.0
+            } else {
+                counts.iter().map(|&c| f64::from(c)).sum::<f64>() / attacks as f64
+            };
+            let response = Json::obj([
+                ("id", Json::str(job.wire_id())),
+                ("target", Json::Num(f64::from(job.spec.target_asn))),
+                (
+                    "defense",
+                    defense_json(&job.spec.validator_asns, job.spec.stub_defense),
+                ),
+                ("pool", Json::str(job.spec.pool_kind)),
+                (
+                    "result",
+                    Json::obj([
+                        (
+                            "attackers",
+                            Json::Arr(
+                                job.spec
+                                    .pool_asns
+                                    .iter()
+                                    .map(|&asn| Json::Num(f64::from(asn)))
+                                    .collect(),
+                            ),
+                        ),
+                        (
+                            "counts",
+                            Json::Arr(counts.iter().map(|&c| Json::Num(f64::from(c))).collect()),
+                        ),
+                        (
+                            "stats",
+                            Json::obj([
+                                ("attacks", Json::Num(attacks as f64)),
+                                ("failed_attacks", Json::Num(failed as f64)),
+                                ("max_pollution", Json::Num(f64::from(max))),
+                                ("mean_successful_pollution", Json::Num(mean_successful)),
+                                ("mean_pollution", Json::Num(mean)),
+                            ]),
+                        ),
+                    ]),
+                ),
+                (
+                    "meta",
+                    Json::obj([
+                        ("cache", Json::str(output.cache)),
+                        ("wall_ms", Json::Num(output.wall_ms as f64)),
+                    ]),
+                ),
+            ]);
+            Ok(json_response(200, &response))
+        }
+        other => Err(ApiError::new(
+            409,
+            format!(
+                "job {wire_id:?} has no results (state: {}); poll /v1/jobs/{wire_id}",
+                other.name()
+            ),
+        )),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+fn handle_healthz(state: &ServerState<'_>) -> Result<Response, ApiError> {
+    let topo = state.sim.topology();
+    let cast = state.lab.cast();
+    let counts = state.jobs.counts();
+    let draining = state.shutdown.load(Ordering::Relaxed);
+    let sample: Vec<AsIndex> = topo
+        .transit_ases()
+        .into_iter()
+        .take(SAMPLE_ATTACKERS)
+        .collect();
+    let response = Json::obj([
+        (
+            "status",
+            Json::str(if draining { "draining" } else { "ok" }),
+        ),
+        ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+        ("schema_version", Json::Num(SCHEMA_VERSION as f64)),
+        ("scale", Json::str(state.config.scale_name.clone())),
+        ("engine", Json::str(state.sim.engine().name())),
+        ("num_ases", Json::Num(topo.num_ases() as f64)),
+        (
+            "uptime_ms",
+            Json::Num(state.metrics.uptime().as_millis() as f64),
+        ),
+        (
+            "jobs",
+            Json::obj([
+                ("queued", Json::Num(counts.queued as f64)),
+                ("running", Json::Num(counts.running as f64)),
+                ("done", Json::Num(counts.done as f64)),
+                ("cancelled", Json::Num(counts.cancelled as f64)),
+                ("failed", Json::Num(counts.failed as f64)),
+            ]),
+        ),
+        (
+            "cache_entries",
+            Json::Num(state.cache.stats().entries as f64),
+        ),
+        (
+            "cast",
+            Json::obj([
+                (
+                    "vulnerable_stub",
+                    Json::Num(f64::from(topo.id_of(cast.vulnerable_stub).value())),
+                ),
+                (
+                    "resistant_stub",
+                    Json::Num(f64::from(topo.id_of(cast.resistant_stub).value())),
+                ),
+                (
+                    "tier1",
+                    Json::Num(f64::from(topo.id_of(cast.tier1).value())),
+                ),
+                (
+                    "aggressive_attacker",
+                    Json::Num(f64::from(topo.id_of(cast.aggressive_attacker).value())),
+                ),
+            ]),
+        ),
+        ("sample_attackers", asn_array(topo, sample)),
+    ]);
+    Ok(json_response(200, &response))
+}
+
+fn handle_metrics(state: &ServerState<'_>) -> Response {
+    let text = render_prometheus(
+        &state.metrics,
+        &state.cache.stats(),
+        &state.jobs.counts(),
+        &state.telemetry.snapshot(),
+    );
+    Response::text(200, text)
+}
+
+fn handle_shutdown(state: &ServerState<'_>) -> Response {
+    state.shutdown.store(true, Ordering::SeqCst);
+    json_response(200, &Json::obj([("status", Json::str("shutting down"))]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_ids_parse_strictly() {
+        assert_eq!(parse_job_id("job-7").unwrap(), 7);
+        assert!(parse_job_id("7").is_err());
+        assert!(parse_job_id("job-").is_err());
+        assert!(parse_job_id("job-x").is_err());
+    }
+
+    #[test]
+    fn u32_extraction_rejects_non_integers() {
+        assert_eq!(as_u32(&Json::Num(7.0)), Some(7));
+        assert_eq!(as_u32(&Json::Num(7.5)), None);
+        assert_eq!(as_u32(&Json::Num(-1.0)), None);
+        assert_eq!(as_u32(&Json::str("7")), None);
+        assert_eq!(as_u32(&Json::Num(f64::from(u32::MAX))), Some(u32::MAX));
+    }
+
+    #[test]
+    fn kind_parsing() {
+        let body = Json::obj([("kind", Json::str("sub_prefix"))]);
+        assert_eq!(parse_kind(&body).unwrap(), AttackKind::SubPrefixHijack);
+        assert_eq!(
+            parse_kind(&Json::obj::<&str, _>([])).unwrap(),
+            AttackKind::OriginHijack
+        );
+        let bad = Json::obj([("kind", Json::str("exact"))]);
+        assert!(parse_kind(&bad).is_err());
+    }
+}

@@ -1,0 +1,411 @@
+//! The shared baseline cache: LRU with single-flight coalescing.
+//!
+//! Building a [`Baseline`] (the target's honest convergence plus its
+//! recorded message schedule) dominates the cost of the first query
+//! against any (target, defense) pair; replaying an attacker against a
+//! built baseline costs microseconds. A long-running service therefore
+//! keeps baselines in a bounded cache shared by every worker thread.
+//!
+//! Two properties matter under concurrency:
+//!
+//! * **Single-flight**: when several requests need the same missing
+//!   baseline at once, exactly one thread builds it while the others
+//!   block on a condvar and receive the same [`Arc`] — N identical
+//!   concurrent sweeps cost one build, not N (the integration suite pins
+//!   this through the hit/miss/coalesced counters).
+//! * **Bounded**: eviction is least-recently-*used* by a monotonic touch
+//!   stamp; in-flight builds are never evicted.
+//!
+//! Counters are relaxed atomics exported on `/v1/metrics`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use bgpsim_routing::Baseline;
+
+/// Cache key: the attacked target plus a fingerprint of the defense
+/// deployment. The topology is fixed for a server's lifetime, so it is
+/// not part of the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BaselineKey {
+    /// Raw index of the target AS.
+    pub target: u32,
+    /// [`defense_fingerprint`] of the deployment.
+    pub defense_fp: u64,
+}
+
+/// FNV-1a over the canonical defense form: sorted validator indices plus
+/// the stub-defense flag. Two requests spelling the same deployment in
+/// different orders (or with duplicates) hash identically, so they share
+/// one cache entry.
+pub fn defense_fingerprint(sorted_validators: &[u32], stub_defense: bool) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for &v in sorted_validators {
+        for byte in v.to_le_bytes() {
+            eat(byte);
+        }
+    }
+    eat(u8::from(stub_defense));
+    hash
+}
+
+/// How a [`BaselineCache::get_or_build`] call was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The baseline was already resident.
+    Hit,
+    /// This call built the baseline.
+    Miss,
+    /// Another thread was already building it; this call waited and
+    /// shares the result.
+    Coalesced,
+}
+
+impl CacheOutcome {
+    /// Wire name used in response `meta` blocks.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// Plain-integer counter snapshot for `/v1/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups satisfied by a resident baseline.
+    pub hits: u64,
+    /// Lookups that built the baseline.
+    pub misses: u64,
+    /// Lookups that waited on another thread's in-flight build.
+    pub coalesced: u64,
+    /// Ready entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Entries currently resident (including in-flight builds).
+    pub entries: usize,
+}
+
+enum Slot {
+    /// A thread is building this baseline; waiters sleep on the condvar.
+    Building,
+    Ready(Arc<Baseline>),
+}
+
+struct Entry {
+    slot: Slot,
+    /// Monotonic last-touch stamp; smallest stamp is evicted first.
+    stamp: u64,
+}
+
+struct CacheInner {
+    entries: HashMap<BaselineKey, Entry>,
+    tick: u64,
+}
+
+/// Bounded single-flight LRU of built baselines. See the module docs.
+pub struct BaselineCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    ready: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for BaselineCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("BaselineCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+/// Removes the `Building` placeholder if the build unwinds, so waiters
+/// retry the build instead of sleeping forever.
+struct BuildGuard<'a> {
+    cache: &'a BaselineCache,
+    key: BaselineKey,
+    armed: bool,
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut inner = self.cache.inner.lock().unwrap();
+            inner.entries.remove(&self.key);
+            self.cache.ready.notify_all();
+        }
+    }
+}
+
+impl BaselineCache {
+    /// Creates a cache holding at most `capacity` ready baselines
+    /// (minimum 1).
+    pub fn new(capacity: usize) -> BaselineCache {
+        BaselineCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner {
+                entries: HashMap::new(),
+                tick: 0,
+            }),
+            ready: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the baseline for `key`, building it with `build` exactly
+    /// once across all concurrent callers. `build` runs without the cache
+    /// lock held, so resident entries stay readable during a build.
+    pub fn get_or_build(
+        &self,
+        key: BaselineKey,
+        build: impl FnOnce() -> Baseline,
+    ) -> (Arc<Baseline>, CacheOutcome) {
+        let mut waited = false;
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            // Resolve the entry's state without holding a borrow across
+            // the bookkeeping below.
+            let resident = match inner.entries.get(&key) {
+                Some(entry) => match &entry.slot {
+                    Slot::Ready(baseline) => Some(Some(Arc::clone(baseline))),
+                    Slot::Building => Some(None),
+                },
+                None => None,
+            };
+            match resident {
+                Some(Some(baseline)) => {
+                    inner.tick += 1;
+                    let tick = inner.tick;
+                    if let Some(entry) = inner.entries.get_mut(&key) {
+                        entry.stamp = tick;
+                    }
+                    let outcome = if waited {
+                        CacheOutcome::Coalesced
+                    } else {
+                        CacheOutcome::Hit
+                    };
+                    self.counter(outcome).fetch_add(1, Ordering::Relaxed);
+                    return (baseline, outcome);
+                }
+                Some(None) => {
+                    waited = true;
+                    inner = self.ready.wait(inner).unwrap();
+                }
+                None => {
+                    inner.tick += 1;
+                    let stamp = inner.tick;
+                    inner.entries.insert(
+                        key,
+                        Entry {
+                            slot: Slot::Building,
+                            stamp,
+                        },
+                    );
+                    drop(inner);
+                    let mut guard = BuildGuard {
+                        cache: self,
+                        key,
+                        armed: true,
+                    };
+                    let baseline = Arc::new(build());
+                    guard.armed = false;
+                    let mut inner = self.inner.lock().unwrap();
+                    if let Some(entry) = inner.entries.get_mut(&key) {
+                        entry.slot = Slot::Ready(Arc::clone(&baseline));
+                    }
+                    self.evict_over_capacity(&mut inner);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.ready.notify_all();
+                    return (baseline, CacheOutcome::Miss);
+                }
+            }
+        }
+    }
+
+    fn counter(&self, outcome: CacheOutcome) -> &AtomicU64 {
+        match outcome {
+            CacheOutcome::Hit => &self.hits,
+            CacheOutcome::Miss => &self.misses,
+            CacheOutcome::Coalesced => &self.coalesced,
+        }
+    }
+
+    /// Evicts the least-recently-used *ready* entries until within
+    /// capacity. In-flight builds are exempt: evicting one would strand
+    /// its waiters.
+    fn evict_over_capacity(&self, inner: &mut CacheInner) {
+        while inner.entries.len() > self.capacity {
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(_, e)| matches!(e.slot, Slot::Ready(_)))
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(&k, _)| k);
+            match victim {
+                Some(key) => {
+                    inner.entries.remove(&key);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.inner.lock().unwrap().entries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsim_routing::{Announcement, FilterContext, PolicyConfig, SimNet, Workspace};
+    use bgpsim_topology::{topology_from_triples, AsIndex, LinkKind::*, Topology};
+
+    fn test_topology() -> Topology {
+        topology_from_triples(&[
+            (1, 2, ProviderToCustomer),
+            (1, 3, ProviderToCustomer),
+            (2, 4, ProviderToCustomer),
+        ])
+    }
+
+    fn build_baseline(topo: &Topology, target: u32) -> Baseline {
+        let net = SimNet::new(topo);
+        let policy = PolicyConfig::paper();
+        let ctx = FilterContext::default();
+        Baseline::build(
+            &net,
+            &[Announcement::honest(AsIndex::new(target))],
+            &ctx,
+            &policy,
+            &mut Workspace::new(),
+        )
+    }
+
+    #[test]
+    fn fingerprint_is_order_insensitive_by_contract() {
+        // Callers sort before fingerprinting; equal sorted inputs match.
+        assert_eq!(
+            defense_fingerprint(&[1, 2, 3], false),
+            defense_fingerprint(&[1, 2, 3], false)
+        );
+        assert_ne!(
+            defense_fingerprint(&[1, 2, 3], false),
+            defense_fingerprint(&[1, 2, 3], true)
+        );
+        assert_ne!(
+            defense_fingerprint(&[1, 2], false),
+            defense_fingerprint(&[1, 3], false)
+        );
+        assert_ne!(
+            defense_fingerprint(&[], false),
+            defense_fingerprint(&[], true)
+        );
+    }
+
+    #[test]
+    fn hit_after_miss_shares_the_arc() {
+        let topo = test_topology();
+        let cache = BaselineCache::new(4);
+        let key = BaselineKey {
+            target: 0,
+            defense_fp: 7,
+        };
+        let (first, outcome) = cache.get_or_build(key, || build_baseline(&topo, 0));
+        assert_eq!(outcome, CacheOutcome::Miss);
+        let (second, outcome) = cache.get_or_build(key, || panic!("must not rebuild"));
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_ready_entry() {
+        let topo = test_topology();
+        let cache = BaselineCache::new(2);
+        let key = |t| BaselineKey {
+            target: t,
+            defense_fp: 0,
+        };
+        cache.get_or_build(key(0), || build_baseline(&topo, 0));
+        cache.get_or_build(key(1), || build_baseline(&topo, 1));
+        // Touch 0 so 1 becomes the LRU victim.
+        cache.get_or_build(key(0), || panic!("resident"));
+        cache.get_or_build(key(2), || build_baseline(&topo, 2));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        // 1 was evicted; 0 survived the eviction.
+        cache.get_or_build(key(0), || panic!("0 must have survived"));
+        let (_, outcome) = cache.get_or_build(key(1), || build_baseline(&topo, 1));
+        assert_eq!(outcome, CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn concurrent_lookups_single_flight() {
+        let topo = test_topology();
+        let cache = BaselineCache::new(4);
+        let key = BaselineKey {
+            target: 0,
+            defense_fp: 0,
+        };
+        let builds = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    cache.get_or_build(key, || {
+                        builds.fetch_add(1, Ordering::Relaxed);
+                        // Widen the race window so other threads arrive
+                        // while the build is in flight.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        build_baseline(&topo, 0)
+                    });
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::Relaxed), 1, "exactly one build");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits + stats.coalesced, 7);
+    }
+
+    #[test]
+    fn panicking_build_releases_waiters() {
+        let topo = test_topology();
+        let cache = BaselineCache::new(4);
+        let key = BaselineKey {
+            target: 0,
+            defense_fp: 0,
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_build(key, || panic!("build failed"));
+        }));
+        assert!(result.is_err());
+        // The placeholder is gone; the next caller builds afresh.
+        let (_, outcome) = cache.get_or_build(key, || build_baseline(&topo, 0));
+        assert_eq!(outcome, CacheOutcome::Miss);
+    }
+}

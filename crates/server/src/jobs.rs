@@ -1,0 +1,410 @@
+//! Asynchronous sweep jobs: a bounded FIFO queue with progress,
+//! cancellation, and bounded result retention.
+//!
+//! `POST /v1/sweeps` enqueues a [`Job`] and returns immediately; a
+//! dedicated executor thread pops jobs in submission order and runs each
+//! sweep on the rayon pool (one sweep at a time — a sweep already
+//! saturates every core, so concurrent sweeps would only fight for
+//! workers). Progress lands in relaxed atomics that `GET /v1/jobs/:id`
+//! reads lock-free; `DELETE` flips the job's cancellation flag, which the
+//! sweep engine polls per attack ([`bgpsim_hijack::SweepMonitor`]).
+//!
+//! Retention is bounded: once more than [`JobRegistry::MAX_RETAINED`]
+//! jobs exist, the oldest *finished* jobs are forgotten (their ids then
+//! answer 404). Queued and running jobs are never evicted.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use bgpsim_hijack::Defense;
+use bgpsim_topology::AsIndex;
+
+/// Everything the executor needs to run one sweep, resolved and
+/// validated at submission time so a queued job cannot fail on bad input.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Attacked target.
+    pub target: AsIndex,
+    /// Target's ASN (echoed in job and result documents).
+    pub target_asn: u32,
+    /// Attacker pool, already strided and with the target filtered out.
+    pub pool: Vec<AsIndex>,
+    /// The pool's ASNs, index-aligned with `pool`.
+    pub pool_asns: Vec<u32>,
+    /// Resolved defense deployment.
+    pub defense: Defense,
+    /// Sorted, deduplicated validator ASNs (echoed in the result).
+    pub validator_asns: Vec<u32>,
+    /// Whether provider-side stub filtering is on.
+    pub stub_defense: bool,
+    /// Defense fingerprint for the baseline cache.
+    pub defense_fp: u64,
+    /// Whether the executor should route this sweep through the baseline
+    /// cache (localizing defense under adaptive dispatch, or a forced
+    /// delta engine).
+    pub cacheable: bool,
+    /// Wire name of the attacker pool (`"all"`, `"transit"`,
+    /// `"explicit"`), echoed in documents.
+    pub pool_kind: &'static str,
+}
+
+/// A finished sweep's payload.
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// One pollution count per pool attacker, in pool order.
+    pub counts: Vec<u32>,
+    /// How the baseline cache served this sweep (`"bypass"` when the
+    /// sweep did not use it).
+    pub cache: &'static str,
+    /// Executor wall time for the sweep.
+    pub wall_ms: u64,
+}
+
+/// Lifecycle of a job.
+#[derive(Debug)]
+pub enum JobState {
+    /// Waiting in the executor queue.
+    Queued,
+    /// Currently sweeping.
+    Running,
+    /// Finished; results available on `/v1/results/:id`.
+    Done(JobOutput),
+    /// Cancelled before or during the sweep; no results retained.
+    Cancelled,
+    /// The server shut down before the job could run.
+    Failed(String),
+}
+
+impl JobState {
+    /// Wire name of the state.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed(_) => "failed",
+        }
+    }
+
+    /// Whether the job can no longer change state.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done(_) | JobState::Cancelled | JobState::Failed(_)
+        )
+    }
+}
+
+/// Sentinel for "ETA unknown" in [`Job::eta_ms`].
+pub const ETA_UNKNOWN: u64 = u64::MAX;
+
+/// One submitted sweep.
+#[derive(Debug)]
+pub struct Job {
+    /// Monotonic id; `job-<id>` on the wire.
+    pub id: u64,
+    /// The sweep to run.
+    pub spec: SweepSpec,
+    state: Mutex<JobState>,
+    /// Set by `DELETE /v1/jobs/:id`; polled per attack by the engine.
+    pub cancel: AtomicBool,
+    /// Attacks finished so far (progress callback).
+    pub completed: AtomicUsize,
+    /// Total attacks in the sweep.
+    pub total: AtomicUsize,
+    /// Wall time so far, milliseconds.
+    pub elapsed_ms: AtomicU64,
+    /// Estimated remaining time, milliseconds ([`ETA_UNKNOWN`] until the
+    /// first attack completes).
+    pub eta_ms: AtomicU64,
+}
+
+impl Job {
+    fn new(id: u64, spec: SweepSpec) -> Job {
+        let total = spec.pool.len();
+        Job {
+            id,
+            spec,
+            state: Mutex::new(JobState::Queued),
+            cancel: AtomicBool::new(false),
+            completed: AtomicUsize::new(0),
+            total: AtomicUsize::new(total),
+            elapsed_ms: AtomicU64::new(0),
+            eta_ms: AtomicU64::new(ETA_UNKNOWN),
+        }
+    }
+
+    /// Wire id (`job-<n>`).
+    pub fn wire_id(&self) -> String {
+        format!("job-{}", self.id)
+    }
+
+    /// Runs `f` against the current state.
+    pub fn with_state<R>(&self, f: impl FnOnce(&JobState) -> R) -> R {
+        f(&self.state.lock().unwrap())
+    }
+
+    /// Transitions to `next` unless already terminal (a cancelled job
+    /// stays cancelled even if the executor later reports completion).
+    pub fn transition(&self, next: JobState) {
+        let mut state = self.state.lock().unwrap();
+        if !state.is_terminal() {
+            *state = next;
+        }
+    }
+}
+
+struct RegistryInner {
+    /// Every retained job, oldest first.
+    jobs: VecDeque<Arc<Job>>,
+    /// Jobs awaiting the executor, submission order.
+    queue: VecDeque<Arc<Job>>,
+    next_id: u64,
+    closed: bool,
+}
+
+/// Owns every job and the executor hand-off queue.
+pub struct JobRegistry {
+    inner: Mutex<RegistryInner>,
+    /// Signals the executor: queue non-empty or registry closed.
+    pending: Condvar,
+    max_queued: usize,
+}
+
+/// Per-state job counts for `/v1/healthz` and `/v1/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobCounts {
+    /// Jobs waiting for the executor.
+    pub queued: usize,
+    /// Jobs currently sweeping.
+    pub running: usize,
+    /// Jobs finished with results.
+    pub done: usize,
+    /// Jobs cancelled.
+    pub cancelled: usize,
+    /// Jobs failed.
+    pub failed: usize,
+}
+
+impl std::fmt::Debug for JobRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobRegistry")
+            .field("counts", &self.counts())
+            .finish()
+    }
+}
+
+impl JobRegistry {
+    /// Finished jobs retained before the oldest are forgotten.
+    pub const MAX_RETAINED: usize = 256;
+
+    /// A registry accepting at most `max_queued` unstarted jobs.
+    pub fn new(max_queued: usize) -> JobRegistry {
+        JobRegistry {
+            inner: Mutex::new(RegistryInner {
+                jobs: VecDeque::new(),
+                queue: VecDeque::new(),
+                next_id: 1,
+                closed: false,
+            }),
+            pending: Condvar::new(),
+            max_queued: max_queued.max(1),
+        }
+    }
+
+    /// Enqueues a sweep, returning the job handle, or an error message
+    /// when the queue is full (HTTP 429) or the server is draining
+    /// (HTTP 503).
+    pub fn submit(&self, spec: SweepSpec) -> Result<Arc<Job>, &'static str> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err("server is shutting down");
+        }
+        if inner.queue.len() >= self.max_queued {
+            return Err("job queue is full");
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let job = Arc::new(Job::new(id, spec));
+        inner.jobs.push_back(Arc::clone(&job));
+        inner.queue.push_back(Arc::clone(&job));
+        // Forget the oldest finished jobs beyond the retention bound.
+        while inner.jobs.len() > JobRegistry::MAX_RETAINED {
+            let Some(pos) = inner
+                .jobs
+                .iter()
+                .position(|j| j.with_state(JobState::is_terminal))
+            else {
+                break;
+            };
+            inner.jobs.remove(pos);
+        }
+        drop(inner);
+        self.pending.notify_one();
+        Ok(job)
+    }
+
+    /// Looks up a retained job by numeric id.
+    pub fn get(&self, id: u64) -> Option<Arc<Job>> {
+        self.inner
+            .lock()
+            .unwrap()
+            .jobs
+            .iter()
+            .find(|j| j.id == id)
+            .cloned()
+    }
+
+    /// Blocks until a job is available (skipping ones already cancelled
+    /// while queued) or the registry closes; `None` means shut down.
+    pub fn next_job(&self) -> Option<Arc<Job>> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            while let Some(job) = inner.queue.pop_front() {
+                if job.cancel.load(Ordering::Relaxed) {
+                    job.transition(JobState::Cancelled);
+                    continue;
+                }
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.pending.wait(inner).unwrap();
+        }
+    }
+
+    /// Requests cancellation of a job. Queued jobs become `cancelled`
+    /// immediately; a running job's sweep notices the flag per attack and
+    /// the executor marks it `cancelled` when the sweep returns. Returns
+    /// the job, or `None` if the id is unknown.
+    pub fn cancel(&self, id: u64) -> Option<Arc<Job>> {
+        let job = self.get(id)?;
+        job.cancel.store(true, Ordering::Relaxed);
+        // Transition queued jobs right away so the DELETE response is
+        // immediately truthful; the executor also skips them when popped.
+        let queued = job.with_state(|s| matches!(s, JobState::Queued));
+        if queued {
+            job.transition(JobState::Cancelled);
+        }
+        Some(job)
+    }
+
+    /// Closes the registry: refuses new submissions, cancels every
+    /// not-yet-terminal job, and wakes the executor so it can exit.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        for job in &inner.jobs {
+            job.cancel.store(true, Ordering::Relaxed);
+            let queued = job.with_state(|s| matches!(s, JobState::Queued));
+            if queued {
+                job.transition(JobState::Failed("server shut down".to_string()));
+            }
+        }
+        inner.queue.clear();
+        drop(inner);
+        self.pending.notify_all();
+    }
+
+    /// Per-state counts over retained jobs.
+    pub fn counts(&self) -> JobCounts {
+        let inner = self.inner.lock().unwrap();
+        let mut counts = JobCounts::default();
+        for job in &inner.jobs {
+            job.with_state(|state| match state {
+                JobState::Queued => counts.queued += 1,
+                JobState::Running => counts.running += 1,
+                JobState::Done(_) => counts.done += 1,
+                JobState::Cancelled => counts.cancelled += 1,
+                JobState::Failed(_) => counts.failed += 1,
+            });
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SweepSpec {
+        SweepSpec {
+            target: AsIndex::new(0),
+            target_asn: 1,
+            pool: vec![AsIndex::new(1), AsIndex::new(2)],
+            pool_asns: vec![2, 3],
+            defense: Defense::none(),
+            validator_asns: Vec::new(),
+            stub_defense: false,
+            defense_fp: 0,
+            cacheable: false,
+            pool_kind: "explicit",
+        }
+    }
+
+    #[test]
+    fn submit_pop_finish() {
+        let registry = JobRegistry::new(4);
+        let job = registry.submit(spec()).unwrap();
+        assert_eq!(job.wire_id(), "job-1");
+        assert_eq!(registry.counts().queued, 1);
+        let popped = registry.next_job().unwrap();
+        assert_eq!(popped.id, job.id);
+        popped.transition(JobState::Running);
+        assert_eq!(registry.counts().running, 1);
+        popped.transition(JobState::Done(JobOutput {
+            counts: vec![1, 2],
+            cache: "bypass",
+            wall_ms: 3,
+        }));
+        assert_eq!(registry.counts().done, 1);
+        assert!(registry.get(1).unwrap().with_state(JobState::is_terminal));
+        assert!(registry.get(99).is_none());
+    }
+
+    #[test]
+    fn queue_bound_enforced() {
+        let registry = JobRegistry::new(2);
+        registry.submit(spec()).unwrap();
+        registry.submit(spec()).unwrap();
+        assert_eq!(registry.submit(spec()).unwrap_err(), "job queue is full");
+    }
+
+    #[test]
+    fn cancel_queued_job_skips_execution() {
+        let registry = JobRegistry::new(4);
+        let a = registry.submit(spec()).unwrap();
+        let b = registry.submit(spec()).unwrap();
+        let cancelled = registry.cancel(a.id).unwrap();
+        assert_eq!(cancelled.with_state(JobState::name), "cancelled");
+        // The executor's next pop skips the cancelled job entirely.
+        let popped = registry.next_job().unwrap();
+        assert_eq!(popped.id, b.id);
+    }
+
+    #[test]
+    fn cancelled_jobs_stay_cancelled() {
+        let registry = JobRegistry::new(4);
+        let job = registry.submit(spec()).unwrap();
+        registry.cancel(job.id).unwrap();
+        job.transition(JobState::Done(JobOutput {
+            counts: Vec::new(),
+            cache: "bypass",
+            wall_ms: 0,
+        }));
+        assert_eq!(job.with_state(JobState::name), "cancelled");
+    }
+
+    #[test]
+    fn close_drains_and_fails_queued() {
+        let registry = JobRegistry::new(4);
+        let job = registry.submit(spec()).unwrap();
+        registry.close();
+        assert!(registry.next_job().is_none());
+        assert_eq!(job.with_state(JobState::name), "failed");
+        assert!(registry.submit(spec()).is_err());
+    }
+}

@@ -1,0 +1,417 @@
+//! `bgpsim-server`: the what-if query service.
+//!
+//! The CLI and experiment runners answer questions batch-style: generate
+//! the Internet, run the sweep, print the figures, exit. This crate turns
+//! the same lab into a *long-running* service: the topology is generated
+//! once at startup, and operators then ask incremental questions over a
+//! small HTTP/1.1 JSON API — "what if AS X hijacked AS Y under this
+//! deployment?" ([`POST /v1/attacks`]), "re-run the §IV sweep against
+//! this defense" (`POST /v1/sweeps`, asynchronous with progress and
+//! cancellation), with Prometheus metrics and health introspection on
+//! the side.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  accept loop (nonblocking, polls shutdown flag)
+//!      │  bounded sync_channel (503 when full)
+//!      ▼
+//!  HTTP workers (std::thread::scope; keep-alive; per-worker Workspace)
+//!      │ POST /v1/sweeps                      │ POST /v1/attacks
+//!      ▼                                      ▼
+//!  JobRegistry ──► sweep executor ──►  BaselineCache (LRU, single-flight)
+//!                  (one at a time;           │
+//!                   rayon inside)            ▼
+//!                                      Simulator (borrows the Lab)
+//! ```
+//!
+//! Everything is `std`: the no-new-dependencies policy means no tokio, no
+//! hyper, no serde — framing is hand-rolled ([`crate::http`]) and JSON is
+//! the manifest crate's bidirectional [`bgpsim_core::manifest::Json`].
+//! Threads are scoped so workers can borrow the `Simulator` (which
+//! borrows the topology) without `Arc` gymnastics; the scope guarantees
+//! the lab outlives every worker.
+//!
+//! The load-bearing middle layer is the [`cache::BaselineCache`]: repeat
+//! queries against a warm (target, defense) baseline skip the honest
+//! convergence entirely and replay in microseconds. See `DESIGN.md` §13.
+//!
+//! [`POST /v1/attacks`]: crate::api
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cache;
+pub mod http;
+pub mod jobs;
+pub mod metrics;
+
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use bgpsim_core::{ExperimentConfig, Lab};
+use bgpsim_hijack::{Simulator, SweepMonitor, SweepProgress, SweepTelemetry};
+use bgpsim_routing::{Announcement, Baseline, DeltaWorkspace, Workspace};
+
+use cache::{BaselineCache, BaselineKey};
+use http::{HttpConn, ReadOutcome, Response};
+use jobs::{JobOutput, JobRegistry, JobState, ETA_UNKNOWN};
+use metrics::ServerMetrics;
+
+/// How long the accept loop sleeps between polls when no connection is
+/// pending — bounds shutdown latency.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Everything `serve` needs to boot.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Lab configuration (scale, seed, engine, policy).
+    pub experiment: ExperimentConfig,
+    /// Human-readable scale label for `/v1/healthz` (`"quick"`,
+    /// `"standard"`, `"paper"`, or `"custom"`).
+    pub scale_name: String,
+    /// Bind address, e.g. `127.0.0.1:8080` (port 0 picks a free port —
+    /// the tests' default).
+    pub addr: String,
+    /// HTTP worker threads.
+    pub http_workers: usize,
+    /// Accepted connections waiting for a worker before new ones get 503.
+    pub queue_capacity: usize,
+    /// Sweep jobs waiting for the executor before new ones get 429.
+    pub max_queued_jobs: usize,
+    /// Baselines the LRU cache retains.
+    pub cache_capacity: usize,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Idle keep-alive read timeout per connection.
+    pub read_timeout: Duration,
+}
+
+impl ServerConfig {
+    /// Defaults for `experiment`, binding `127.0.0.1:8080`.
+    pub fn new(experiment: ExperimentConfig, scale_name: impl Into<String>) -> ServerConfig {
+        ServerConfig {
+            experiment,
+            scale_name: scale_name.into(),
+            addr: "127.0.0.1:8080".to_string(),
+            http_workers: 4,
+            queue_capacity: 64,
+            max_queued_jobs: 16,
+            cache_capacity: 32,
+            max_body_bytes: 1 << 20,
+            read_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Shared server state: one per `serve` call, borrowed by every worker.
+pub(crate) struct ServerState<'t> {
+    pub(crate) sim: Simulator<'t>,
+    pub(crate) lab: &'t Lab,
+    pub(crate) config: &'t ServerConfig,
+    pub(crate) cache: BaselineCache,
+    pub(crate) jobs: JobRegistry,
+    pub(crate) metrics: ServerMetrics,
+    pub(crate) telemetry: SweepTelemetry,
+    pub(crate) shutdown: &'t AtomicBool,
+}
+
+/// Per-worker reusable simulation scratch space.
+pub(crate) struct WorkerCtx {
+    pub(crate) ws: Workspace,
+    pub(crate) dws: DeltaWorkspace,
+}
+
+impl WorkerCtx {
+    fn new() -> WorkerCtx {
+        WorkerCtx {
+            ws: Workspace::new(),
+            dws: DeltaWorkspace::new(),
+        }
+    }
+}
+
+/// Runs the server until `shutdown` becomes true (a `POST /v1/shutdown`
+/// sets it too), then drains: in-flight requests finish, queued and
+/// running sweep jobs are cancelled, worker threads join.
+///
+/// `on_ready` fires once the listener is bound, with the actual local
+/// address — the CLI logs it, tests use it to find the ephemeral port.
+///
+/// # Errors
+///
+/// Returns the bind error if the address cannot be bound; accept-time
+/// errors are counted and survived.
+pub fn serve(
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+    on_ready: impl FnOnce(SocketAddr),
+) -> io::Result<()> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    // Generating the Internet can take seconds at standard scale; bind
+    // first so `on_ready` subscribers see the port, but only report ready
+    // once the lab can actually answer.
+    let lab = Lab::new(config.experiment.clone());
+    let state = ServerState {
+        sim: lab.simulator(),
+        lab: &lab,
+        config,
+        cache: BaselineCache::new(config.cache_capacity),
+        jobs: JobRegistry::new(config.max_queued_jobs),
+        metrics: ServerMetrics::new(),
+        telemetry: SweepTelemetry::new(),
+        shutdown,
+    };
+    on_ready(addr);
+    let (tx, rx) = mpsc::sync_channel::<std::net::TcpStream>(config.queue_capacity.max(1));
+    let rx = Mutex::new(rx);
+    thread::scope(|scope| {
+        for _ in 0..config.http_workers.max(1) {
+            scope.spawn(|| http_worker(&state, &rx));
+        }
+        scope.spawn(|| sweep_executor(&state));
+        accept_loop(&state, &listener, &tx);
+        // Drain: close the job registry (cancels queued + running sweeps,
+        // wakes the executor) and drop the sender so workers exit after
+        // finishing the connections already queued.
+        state.jobs.close();
+        drop(tx);
+    });
+    Ok(())
+}
+
+fn accept_loop(
+    state: &ServerState<'_>,
+    listener: &TcpListener,
+    tx: &SyncSender<std::net::TcpStream>,
+) {
+    while !state.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                state.metrics.connection_accepted();
+                match tx.try_send(stream) {
+                    Ok(()) => state.metrics.queue_changed(1),
+                    Err(TrySendError::Full(stream)) => {
+                        state.metrics.connection_rejected();
+                        reject_overloaded(stream);
+                    }
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            // Transient accept errors (EMFILE, ECONNABORTED): back off and
+            // keep serving.
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Answers 503 on a connection no worker will ever see.
+fn reject_overloaded(stream: std::net::TcpStream) {
+    let mut stream = stream;
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let body = "{\"error\":\"server overloaded: connection queue full\"}\n";
+    let _ = http::write_response_to(&mut stream, &Response::json(503, body.to_string()), true);
+}
+
+fn http_worker(state: &ServerState<'_>, rx: &Mutex<Receiver<std::net::TcpStream>>) {
+    let mut ctx = WorkerCtx::new();
+    loop {
+        // Hold the receiver lock only while popping, not while handling.
+        let stream = {
+            let rx = rx.lock().unwrap();
+            rx.recv_timeout(Duration::from_millis(100))
+        };
+        match stream {
+            Ok(stream) => {
+                state.metrics.queue_changed(-1);
+                handle_connection(state, stream, &mut ctx);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                // Shutdown latency bound: check the flag between pops even
+                // if the sender is still alive.
+                if state.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn handle_connection(state: &ServerState<'_>, stream: std::net::TcpStream, ctx: &mut WorkerCtx) {
+    let mut conn = HttpConn::new(stream, state.config.read_timeout);
+    loop {
+        match conn.read_request(state.config.max_body_bytes) {
+            ReadOutcome::Closed => return,
+            ReadOutcome::Malformed { status, reason } => {
+                state.metrics.malformed_request();
+                let body = format!("{{\"error\":{:?}}}\n", reason);
+                let _ = conn.write_response(&Response::json(status, body), true);
+                return;
+            }
+            ReadOutcome::Request(request) => {
+                let _guard = state.metrics.begin_request();
+                let started = Instant::now();
+                let (endpoint, response) = api::dispatch(state, &request, ctx);
+                state
+                    .metrics
+                    .observe(endpoint, response.status, started.elapsed());
+                // Close after the response when the client asked for it
+                // or the server is draining.
+                let close = request.wants_close() || state.shutdown.load(Ordering::Relaxed);
+                if conn.write_response(&response, close).is_err() || close {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// The sweep executor: pops jobs in submission order and runs each sweep
+/// on the rayon pool. One job at a time — a sweep already parallelizes
+/// across every core, so interleaving jobs would only thrash.
+fn sweep_executor(state: &ServerState<'_>) {
+    while let Some(job) = state.jobs.next_job() {
+        job.transition(JobState::Running);
+        let spec = &job.spec;
+        let started = Instant::now();
+        let progress = |p: SweepProgress| {
+            job.completed.store(p.completed, Ordering::Relaxed);
+            job.elapsed_ms
+                .store(p.elapsed.as_millis() as u64, Ordering::Relaxed);
+            job.eta_ms.store(
+                p.eta.map_or(ETA_UNKNOWN, |eta| eta.as_millis() as u64),
+                Ordering::Relaxed,
+            );
+        };
+        let monitor = SweepMonitor::none()
+            .with_telemetry(&state.telemetry)
+            .with_progress(&progress)
+            .with_cancel(&job.cancel);
+        let (counts, cache_name) = if spec.cacheable {
+            let key = BaselineKey {
+                target: spec.target.raw(),
+                defense_fp: spec.defense_fp,
+            };
+            let (baseline, outcome) = state.cache.get_or_build(key, || {
+                state.telemetry.record_baseline();
+                Baseline::build(
+                    state.sim.net(),
+                    &[Announcement::honest(spec.target)],
+                    &spec.defense.context_for(spec.target),
+                    state.sim.policy(),
+                    &mut Workspace::new(),
+                )
+            });
+            let counts = state.sim.sweep_attackers_baseline_monitored(
+                spec.target,
+                &spec.pool,
+                &spec.defense,
+                None,
+                &baseline,
+                &monitor,
+            );
+            (counts, outcome.name())
+        } else {
+            let counts = state.sim.sweep_attackers_monitored(
+                spec.target,
+                &spec.pool,
+                &spec.defense,
+                None,
+                &monitor,
+            );
+            (counts, "bypass")
+        };
+        if job.cancel.load(Ordering::Relaxed) {
+            // A cancelled sweep returns zero rows for skipped attackers —
+            // not real results, so they are discarded.
+            job.transition(JobState::Cancelled);
+        } else {
+            job.transition(JobState::Done(JobOutput {
+                counts,
+                cache: cache_name,
+                wall_ms: u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX),
+            }));
+        }
+    }
+}
+
+/// Handle to a server running on a background thread (tests and the
+/// `examples/loadgen` harness use this; the CLI runs [`serve`] directly
+/// on the main thread).
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    join: thread::JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared shutdown flag.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Requests shutdown and joins the server thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server's exit error, mapping a panicked server
+    /// thread to [`io::ErrorKind::Other`].
+    pub fn stop(self) -> io::Result<()> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        match self.join.join() {
+            Ok(result) => result,
+            Err(_) => Err(io::Error::other("server thread panicked")),
+        }
+    }
+}
+
+/// Boots a server on a background thread and waits until it is ready to
+/// answer requests.
+///
+/// # Errors
+///
+/// Returns the boot error (typically a failed bind) if the server exits
+/// before reporting ready.
+pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (ready_tx, ready_rx) = mpsc::channel::<SocketAddr>();
+    let thread_shutdown = Arc::clone(&shutdown);
+    let join = thread::Builder::new()
+        .name("bgpsim-server".to_string())
+        .spawn(move || {
+            serve(&config, &thread_shutdown, move |addr| {
+                let _ = ready_tx.send(addr);
+            })
+        })?;
+    match ready_rx.recv() {
+        Ok(addr) => Ok(ServerHandle {
+            addr,
+            shutdown,
+            join,
+        }),
+        Err(_) => {
+            // The server exited before signalling ready: surface its error.
+            match join.join() {
+                Ok(Ok(())) => Err(io::Error::other("server exited before becoming ready")),
+                Ok(Err(e)) => Err(e),
+                Err(_) => Err(io::Error::other("server thread panicked during boot")),
+            }
+        }
+    }
+}

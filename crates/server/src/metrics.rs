@@ -1,0 +1,569 @@
+//! Server-side counters and the Prometheus text exposition.
+//!
+//! Two counter banks feed `GET /v1/metrics`:
+//!
+//! * [`ServerMetrics`] (this module): HTTP-layer counters — requests and
+//!   status classes per endpoint, per-endpoint latency histograms,
+//!   connection accounting, queue depth.
+//! * [`bgpsim_hijack::SweepTelemetry`] (shared with the CLI): simulation
+//!   counters — dispatch per engine, messages, cones, per-attack wall
+//!   times.
+//!
+//! Latency histograms reuse the sweep telemetry's log₂ bucketing
+//! ([`wall_bucket`], microseconds) so client-observed and engine-observed
+//! latencies line up bucket-for-bucket; the exposition converts the bank
+//! to Prometheus' cumulative `le` form.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use bgpsim_hijack::{wall_bucket, TelemetrySnapshot, WALL_HIST_BUCKETS};
+
+use crate::cache::CacheStats;
+use crate::jobs::JobCounts;
+
+/// The routable endpoints, for per-endpoint labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/attacks`.
+    Attacks,
+    /// `POST /v1/sweeps`.
+    Sweeps,
+    /// `GET|DELETE /v1/jobs/:id`.
+    Jobs,
+    /// `GET /v1/results/:id`.
+    Results,
+    /// `GET /v1/healthz`.
+    Healthz,
+    /// `GET /v1/metrics`.
+    Metrics,
+    /// `POST /v1/shutdown`.
+    Shutdown,
+    /// Anything else (404s, bad methods, parse failures).
+    Other,
+}
+
+impl Endpoint {
+    /// Every endpoint, exposition order.
+    pub const ALL: [Endpoint; 8] = [
+        Endpoint::Attacks,
+        Endpoint::Sweeps,
+        Endpoint::Jobs,
+        Endpoint::Results,
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Shutdown,
+        Endpoint::Other,
+    ];
+
+    /// Prometheus label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Attacks => "attacks",
+            Endpoint::Sweeps => "sweeps",
+            Endpoint::Jobs => "jobs",
+            Endpoint::Results => "results",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Shutdown => "shutdown",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Attacks => 0,
+            Endpoint::Sweeps => 1,
+            Endpoint::Jobs => 2,
+            Endpoint::Results => 3,
+            Endpoint::Healthz => 4,
+            Endpoint::Metrics => 5,
+            Endpoint::Shutdown => 6,
+            Endpoint::Other => 7,
+        }
+    }
+}
+
+/// Per-endpoint request accounting.
+#[derive(Debug, Default)]
+struct EndpointStats {
+    requests: AtomicU64,
+    status_2xx: AtomicU64,
+    status_4xx: AtomicU64,
+    status_5xx: AtomicU64,
+    latency_hist: [AtomicU64; WALL_HIST_BUCKETS],
+    latency_sum_us: AtomicU64,
+}
+
+/// HTTP-layer counter bank, shared read-mostly across worker threads.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    endpoints: [EndpointStats; 8],
+    connections: AtomicU64,
+    rejected_connections: AtomicU64,
+    malformed_requests: AtomicU64,
+    in_flight: AtomicU64,
+    queue_depth: AtomicU64,
+    started: Instant,
+}
+
+impl ServerMetrics {
+    /// A zeroed bank; `started` anchors the uptime gauge.
+    pub fn new() -> ServerMetrics {
+        ServerMetrics {
+            endpoints: Default::default(),
+            connections: AtomicU64::new(0),
+            rejected_connections: AtomicU64::new(0),
+            malformed_requests: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Counts one accepted connection.
+    pub fn connection_accepted(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one connection turned away with 503 (queue full).
+    pub fn connection_rejected(&self) {
+        self.rejected_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one unframable request (parse error, oversized head/body).
+    pub fn malformed_request(&self) {
+        self.malformed_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adjusts the accepted-but-unclaimed connection gauge.
+    pub fn queue_changed(&self, delta: i64) {
+        if delta >= 0 {
+            self.queue_depth.fetch_add(delta as u64, Ordering::Relaxed);
+        } else {
+            self.queue_depth
+                .fetch_sub(delta.unsigned_abs(), Ordering::Relaxed);
+        }
+    }
+
+    /// Marks a request entering a handler; the guard decrements on drop.
+    pub fn begin_request(&self) -> InFlightGuard<'_> {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlightGuard { metrics: self }
+    }
+
+    /// Records one handled request.
+    pub fn observe(&self, endpoint: Endpoint, status: u16, wall: Duration) {
+        let stats = &self.endpoints[endpoint.index()];
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        let class = match status {
+            200..=299 => &stats.status_2xx,
+            400..=499 => &stats.status_4xx,
+            _ => &stats.status_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+        let us = u64::try_from(wall.as_micros()).unwrap_or(u64::MAX);
+        stats.latency_hist[wall_bucket(us)].fetch_add(1, Ordering::Relaxed);
+        stats.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Seconds since the bank was created (server start).
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics::new()
+    }
+}
+
+/// Decrements the in-flight gauge when a handler exits (however it
+/// exits).
+pub struct InFlightGuard<'a> {
+    metrics: &'a ServerMetrics,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Renders the full Prometheus text exposition: HTTP counters, baseline
+/// cache, job states, and the shared simulation telemetry.
+pub fn render_prometheus(
+    metrics: &ServerMetrics,
+    cache: &CacheStats,
+    jobs: &JobCounts,
+    telemetry: &TelemetrySnapshot,
+) -> String {
+    let mut out = String::with_capacity(8 * 1024);
+    let line = |out: &mut String, name: &str, labels: &str, value: u64| {
+        if labels.is_empty() {
+            out.push_str(&format!("{name} {value}\n"));
+        } else {
+            out.push_str(&format!("{name}{{{labels}}} {value}\n"));
+        }
+    };
+    let header = |out: &mut String, name: &str, kind: &str, help: &str| {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+    };
+
+    // -- HTTP layer ------------------------------------------------------
+    header(
+        &mut out,
+        "bgpsim_http_requests_total",
+        "counter",
+        "Handled requests by endpoint and status class.",
+    );
+    for endpoint in Endpoint::ALL {
+        let stats = &metrics.endpoints[endpoint.index()];
+        if stats.requests.load(Ordering::Relaxed) == 0 {
+            continue;
+        }
+        for (class, counter) in [
+            ("2xx", &stats.status_2xx),
+            ("4xx", &stats.status_4xx),
+            ("5xx", &stats.status_5xx),
+        ] {
+            let value = counter.load(Ordering::Relaxed);
+            if value > 0 {
+                line(
+                    &mut out,
+                    "bgpsim_http_requests_total",
+                    &format!("endpoint=\"{}\",code=\"{class}\"", endpoint.label()),
+                    value,
+                );
+            }
+        }
+    }
+    header(
+        &mut out,
+        "bgpsim_http_request_duration_us",
+        "histogram",
+        "Request handling latency by endpoint, log2 buckets (microseconds).",
+    );
+    for endpoint in Endpoint::ALL {
+        let stats = &metrics.endpoints[endpoint.index()];
+        let count = stats.requests.load(Ordering::Relaxed);
+        if count == 0 {
+            continue;
+        }
+        let ep = endpoint.label();
+        let mut cumulative = 0u64;
+        for (i, bucket) in stats.latency_hist.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            // Bucket i counts requests below 2^i µs, so le="2^i".
+            if i + 1 < WALL_HIST_BUCKETS {
+                line(
+                    &mut out,
+                    "bgpsim_http_request_duration_us_bucket",
+                    &format!("endpoint=\"{ep}\",le=\"{}\"", 1u64 << i),
+                    cumulative,
+                );
+            }
+        }
+        line(
+            &mut out,
+            "bgpsim_http_request_duration_us_bucket",
+            &format!("endpoint=\"{ep}\",le=\"+Inf\""),
+            cumulative,
+        );
+        line(
+            &mut out,
+            "bgpsim_http_request_duration_us_sum",
+            &format!("endpoint=\"{ep}\""),
+            stats.latency_sum_us.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "bgpsim_http_request_duration_us_count",
+            &format!("endpoint=\"{ep}\""),
+            count,
+        );
+    }
+    for (name, help, value) in [
+        (
+            "bgpsim_http_connections_total",
+            "Connections accepted.",
+            metrics.connections.load(Ordering::Relaxed),
+        ),
+        (
+            "bgpsim_http_rejected_connections_total",
+            "Connections turned away with 503 (worker queue full).",
+            metrics.rejected_connections.load(Ordering::Relaxed),
+        ),
+        (
+            "bgpsim_http_malformed_requests_total",
+            "Requests that could not be framed.",
+            metrics.malformed_requests.load(Ordering::Relaxed),
+        ),
+    ] {
+        header(&mut out, name, "counter", help);
+        line(&mut out, name, "", value);
+    }
+    for (name, help, value) in [
+        (
+            "bgpsim_http_in_flight",
+            "Requests currently inside a handler.",
+            metrics.in_flight.load(Ordering::Relaxed),
+        ),
+        (
+            "bgpsim_http_queue_depth",
+            "Accepted connections waiting for a worker.",
+            metrics.queue_depth.load(Ordering::Relaxed),
+        ),
+        (
+            "bgpsim_uptime_seconds",
+            "Seconds since the server started.",
+            metrics.uptime().as_secs(),
+        ),
+    ] {
+        header(&mut out, name, "gauge", help);
+        line(&mut out, name, "", value);
+    }
+
+    // -- Baseline cache --------------------------------------------------
+    header(
+        &mut out,
+        "bgpsim_baseline_cache_lookups_total",
+        "counter",
+        "Baseline cache lookups by outcome (hit, miss, coalesced with an in-flight build).",
+    );
+    for (outcome, value) in [
+        ("hit", cache.hits),
+        ("miss", cache.misses),
+        ("coalesced", cache.coalesced),
+    ] {
+        line(
+            &mut out,
+            "bgpsim_baseline_cache_lookups_total",
+            &format!("outcome=\"{outcome}\""),
+            value,
+        );
+    }
+    header(
+        &mut out,
+        "bgpsim_baseline_cache_evictions_total",
+        "counter",
+        "Baselines evicted by the LRU bound.",
+    );
+    line(
+        &mut out,
+        "bgpsim_baseline_cache_evictions_total",
+        "",
+        cache.evictions,
+    );
+    header(
+        &mut out,
+        "bgpsim_baseline_cache_entries",
+        "gauge",
+        "Baselines currently resident (including in-flight builds).",
+    );
+    line(
+        &mut out,
+        "bgpsim_baseline_cache_entries",
+        "",
+        cache.entries as u64,
+    );
+
+    // -- Jobs ------------------------------------------------------------
+    header(
+        &mut out,
+        "bgpsim_jobs",
+        "gauge",
+        "Retained sweep jobs by state.",
+    );
+    for (state, value) in [
+        ("queued", jobs.queued),
+        ("running", jobs.running),
+        ("done", jobs.done),
+        ("cancelled", jobs.cancelled),
+        ("failed", jobs.failed),
+    ] {
+        line(
+            &mut out,
+            "bgpsim_jobs",
+            &format!("state=\"{state}\""),
+            value as u64,
+        );
+    }
+
+    // -- Simulation telemetry (shared bank with the CLI) -----------------
+    header(
+        &mut out,
+        "bgpsim_sim_dispatch_total",
+        "counter",
+        "Attacks dispatched, by engine.",
+    );
+    for (engine, value) in [
+        ("stable", telemetry.stable_dispatches),
+        ("race", telemetry.race_dispatches),
+        ("scratch", telemetry.scratch_dispatches),
+        ("delta", telemetry.delta_dispatches),
+    ] {
+        line(
+            &mut out,
+            "bgpsim_sim_dispatch_total",
+            &format!("engine=\"{engine}\""),
+            value,
+        );
+    }
+    for (name, help, value) in [
+        (
+            "bgpsim_sim_attacks_total",
+            "Attacks simulated.",
+            telemetry.attacks,
+        ),
+        (
+            "bgpsim_sim_attacks_skipped_total",
+            "Attacks skipped after a cancellation.",
+            telemetry.skipped,
+        ),
+        (
+            "bgpsim_sim_baselines_built_total",
+            "Shared target baselines constructed.",
+            telemetry.baselines_built,
+        ),
+        (
+            "bgpsim_sim_engine_runs_total",
+            "Engine re-convergences observed.",
+            telemetry.engine.runs,
+        ),
+        (
+            "bgpsim_sim_engine_messages_total",
+            "Route announcements processed.",
+            telemetry.engine.messages,
+        ),
+        (
+            "bgpsim_sim_cone_sum_total",
+            "Summed contamination-cone sizes over delta dispatches.",
+            telemetry.cone_sum,
+        ),
+    ] {
+        header(&mut out, name, "counter", help);
+        line(&mut out, name, "", value);
+    }
+    header(
+        &mut out,
+        "bgpsim_sim_cone_max",
+        "gauge",
+        "Largest contamination cone seen in a delta dispatch.",
+    );
+    line(&mut out, "bgpsim_sim_cone_max", "", telemetry.cone_max);
+    header(
+        &mut out,
+        "bgpsim_sim_attack_duration_us",
+        "histogram",
+        "Per-attack wall time, log2 buckets (microseconds).",
+    );
+    let mut cumulative = 0u64;
+    for (i, &bucket) in telemetry.wall_hist.iter().enumerate() {
+        cumulative += bucket;
+        if i + 1 < WALL_HIST_BUCKETS {
+            line(
+                &mut out,
+                "bgpsim_sim_attack_duration_us_bucket",
+                &format!("le=\"{}\"", 1u64 << i),
+                cumulative,
+            );
+        }
+    }
+    line(
+        &mut out,
+        "bgpsim_sim_attack_duration_us_bucket",
+        "le=\"+Inf\"",
+        cumulative,
+    );
+    line(
+        &mut out,
+        "bgpsim_sim_attack_duration_us_count",
+        "",
+        cumulative,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsim_hijack::SweepTelemetry;
+
+    #[test]
+    fn observe_classifies_and_buckets() {
+        let metrics = ServerMetrics::new();
+        metrics.observe(Endpoint::Attacks, 200, Duration::from_micros(3));
+        metrics.observe(Endpoint::Attacks, 422, Duration::from_micros(900));
+        metrics.observe(Endpoint::Other, 500, Duration::from_micros(1));
+        let stats = &metrics.endpoints[Endpoint::Attacks.index()];
+        assert_eq!(stats.requests.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.status_2xx.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.status_4xx.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.latency_sum_us.load(Ordering::Relaxed), 903);
+        assert_eq!(
+            stats.latency_hist[wall_bucket(3)].load(Ordering::Relaxed),
+            1
+        );
+    }
+
+    #[test]
+    fn in_flight_guard_balances() {
+        let metrics = ServerMetrics::new();
+        {
+            let _a = metrics.begin_request();
+            let _b = metrics.begin_request();
+            assert_eq!(metrics.in_flight.load(Ordering::Relaxed), 2);
+        }
+        assert_eq!(metrics.in_flight.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn exposition_is_wellformed() {
+        let metrics = ServerMetrics::new();
+        metrics.observe(Endpoint::Attacks, 200, Duration::from_micros(5));
+        metrics.connection_accepted();
+        let telemetry = SweepTelemetry::new();
+        telemetry.record_attack_wall(Duration::from_micros(5));
+        let text = render_prometheus(
+            &metrics,
+            &CacheStats {
+                hits: 2,
+                misses: 1,
+                coalesced: 3,
+                evictions: 0,
+                entries: 1,
+            },
+            &JobCounts::default(),
+            &telemetry.snapshot(),
+        );
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for l in text.lines() {
+            if l.starts_with('#') {
+                continue;
+            }
+            let (metric, value) = l.rsplit_once(' ').expect("metric line has a value");
+            assert!(!metric.is_empty());
+            assert!(
+                value.parse::<u64>().is_ok() || value == "+Inf",
+                "unparseable value in line {l:?}"
+            );
+        }
+        assert!(text.contains("bgpsim_http_requests_total{endpoint=\"attacks\",code=\"2xx\"} 1"));
+        assert!(text.contains("bgpsim_baseline_cache_lookups_total{outcome=\"coalesced\"} 3"));
+        assert!(text.contains(
+            "bgpsim_http_request_duration_us_bucket{endpoint=\"attacks\",le=\"+Inf\"} 1"
+        ));
+        assert!(text.contains("bgpsim_sim_attack_duration_us_count 1"));
+        // Cumulative le buckets are monotone.
+        let mut last = 0u64;
+        for l in text.lines() {
+            if l.starts_with("bgpsim_sim_attack_duration_us_bucket") {
+                let v: u64 = l.rsplit_once(' ').unwrap().1.parse().unwrap();
+                assert!(v >= last);
+                last = v;
+            }
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! End-to-end tests against a live `bgpsim-server` on an ephemeral port.
+//!
+//! Each test boots its own tiny (300-AS) lab so cache and job counters
+//! start from zero, talks real HTTP over a `TcpStream`, and — where the
+//! contract demands it — replays the same question against a direct
+//! `Simulator` built from the identical `ExperimentConfig` to pin the
+//! service's answers to the library's, value for value.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use bgpsim_core::manifest::Json;
+use bgpsim_core::{ExperimentConfig, Lab};
+use bgpsim_hijack::{Attack, Defense};
+use bgpsim_server::{spawn, ServerConfig, ServerHandle};
+use bgpsim_topology::gen::InternetParams;
+
+fn tiny_experiment() -> ExperimentConfig {
+    ExperimentConfig {
+        params: InternetParams::tiny(),
+        ..ExperimentConfig::quick()
+    }
+}
+
+fn tiny_server() -> ServerHandle {
+    let mut config = ServerConfig::new(tiny_experiment(), "custom");
+    config.addr = "127.0.0.1:0".to_string();
+    spawn(config).expect("server boots")
+}
+
+/// Blocking single-request HTTP client; opens a fresh connection each
+/// time so tests cannot accidentally depend on keep-alive state.
+fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let raw = String::from_utf8(raw).expect("utf-8 response");
+    let (head, response_body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    (status, response_body.to_string())
+}
+
+fn json(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
+    let (status, text) = http(addr, method, path, body);
+    let parsed = Json::parse(&text).unwrap_or_else(|e| panic!("bad JSON from {path}: {e}"));
+    (status, parsed)
+}
+
+fn get<'a>(json: &'a Json, key: &str) -> &'a Json {
+    match json {
+        Json::Obj(pairs) => pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("missing key {key:?}")),
+        other => panic!("expected object with {key:?}, got {other:?}"),
+    }
+}
+
+fn num(json: &Json) -> f64 {
+    match json {
+        Json::Num(n) => *n,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+fn str_of(json: &Json) -> &str {
+    match json {
+        Json::Str(s) => s,
+        other => panic!("expected string, got {other:?}"),
+    }
+}
+
+fn u32s(json: &Json) -> Vec<u32> {
+    match json {
+        Json::Arr(items) => items.iter().map(|v| num(v) as u32).collect(),
+        other => panic!("expected array, got {other:?}"),
+    }
+}
+
+/// Reads one counter value out of the Prometheus exposition.
+fn metric(addr: std::net::SocketAddr, name_and_labels: &str) -> u64 {
+    let (status, text) = http(addr, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200);
+    text.lines()
+        .find(|line| line.starts_with(name_and_labels))
+        .and_then(|line| line.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name_and_labels:?} not found"))
+}
+
+fn wait_done(addr: std::net::SocketAddr, job: &str) -> Json {
+    for _ in 0..600 {
+        let (status, body) = json(addr, "GET", &format!("/v1/jobs/{job}"), "");
+        assert_eq!(status, 200);
+        let state = str_of(get(&body, "state")).to_string();
+        if state == "done" {
+            return body;
+        }
+        assert!(
+            state == "queued" || state == "running",
+            "job {job} ended as {state:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("job {job} did not finish");
+}
+
+#[test]
+fn attack_matches_direct_simulator_and_warm_cache_is_faster() {
+    let server = tiny_server();
+    let addr = server.addr();
+    let (status, healthz) = json(addr, "GET", "/v1/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(str_of(get(&healthz, "status")), "ok");
+    let target = num(get(get(&healthz, "cast"), "vulnerable_stub")) as u32;
+    let aggressive = num(get(get(&healthz, "cast"), "aggressive_attacker")) as u32;
+    // A stub attacker under stub defense is filtered at its providers, so
+    // its delta replay is near-free and the cold/warm gap isolates the
+    // baseline build the cache exists to amortize.
+    let cheap_attacker = num(get(get(&healthz, "cast"), "resistant_stub")) as u32;
+    let cheap_body = format!(
+        "{{\"attacker\":{cheap_attacker},\"target\":{target},\"defense\":{{\"stub_defense\":true}}}}"
+    );
+
+    let (status, cold) = json(addr, "POST", "/v1/attacks", &cheap_body);
+    assert_eq!(status, 200, "cold attack failed: {cold:?}");
+    assert_eq!(str_of(get(get(&cold, "meta"), "cache")), "miss");
+    let cold_wall = num(get(get(&cold, "meta"), "wall_us"));
+
+    // Warm repeats hit the cache and skip the honest re-convergence.
+    let mut warm_walls = Vec::new();
+    for _ in 0..9 {
+        let (status, warm) = json(addr, "POST", "/v1/attacks", &cheap_body);
+        assert_eq!(status, 200);
+        assert_eq!(str_of(get(get(&warm, "meta"), "cache")), "hit");
+        assert_eq!(get(&warm, "result"), get(&cold, "result"));
+        warm_walls.push(num(get(get(&warm, "meta"), "wall_us")));
+    }
+    warm_walls.sort_by(f64::total_cmp);
+    let warm_p50 = warm_walls[warm_walls.len() / 2];
+    assert!(
+        cold_wall >= 2.0 * warm_p50,
+        "warm cache not faster: cold {cold_wall} µs vs warm p50 {warm_p50} µs"
+    );
+
+    // A different attacker against the same (target, defense) reuses the
+    // baseline, and the service's answer must be value-identical to the
+    // library's for both attacks.
+    let (status, big) = json(
+        addr,
+        "POST",
+        "/v1/attacks",
+        &format!(
+        "{{\"attacker\":{aggressive},\"target\":{target},\"defense\":{{\"stub_defense\":true}}}}"
+    ),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(str_of(get(get(&big, "meta"), "cache")), "hit");
+
+    let lab = Lab::new(tiny_experiment());
+    let sim = lab.simulator();
+    let topo = lab.topology();
+    let t = topo.index_of(bgpsim_topology::AsId::new(target)).unwrap();
+    let defense = Defense::none().with_stub_defense();
+    for (attacker, response) in [(cheap_attacker, &cold), (aggressive, &big)] {
+        let a = topo.index_of(bgpsim_topology::AsId::new(attacker)).unwrap();
+        let direct = sim.run(Attack::origin(a, t), &defense);
+        let result = get(response, "result");
+        assert_eq!(
+            num(get(result, "pollution_count")) as usize,
+            direct.pollution_count()
+        );
+        // `polluted` is index-sorted and the service renders it in the
+        // same order, so plain equality pins the full set.
+        let direct_polluted: Vec<u32> = direct
+            .polluted
+            .iter()
+            .map(|&ix| topo.id_of(ix).value())
+            .collect();
+        assert_eq!(u32s(get(result, "polluted")), direct_polluted);
+    }
+
+    assert_eq!(
+        metric(
+            addr,
+            "bgpsim_baseline_cache_lookups_total{outcome=\"miss\"}"
+        ),
+        1
+    );
+    assert_eq!(
+        metric(addr, "bgpsim_baseline_cache_lookups_total{outcome=\"hit\"}"),
+        10
+    );
+    server.stop().expect("clean shutdown");
+}
+
+#[test]
+fn concurrent_identical_sweeps_build_one_baseline_and_match_direct() {
+    let server = tiny_server();
+    let addr = server.addr();
+    let (_, healthz) = json(addr, "GET", "/v1/healthz", "");
+    let target = num(get(get(&healthz, "cast"), "vulnerable_stub")) as u32;
+    let body = format!(
+        "{{\"target\":{target},\"defense\":{{\"stub_defense\":true}},\"attackers\":\"transit\"}}"
+    );
+
+    // Submit two identical sweeps back-to-back before either runs.
+    let (status, first) = json(addr, "POST", "/v1/sweeps", &body);
+    assert_eq!(status, 202, "submit failed: {first:?}");
+    let (status, second) = json(addr, "POST", "/v1/sweeps", &body);
+    assert_eq!(status, 202, "submit failed: {second:?}");
+    let first_id = str_of(get(&first, "id")).to_string();
+    let second_id = str_of(get(&second, "id")).to_string();
+    wait_done(addr, &first_id);
+    wait_done(addr, &second_id);
+
+    // Exactly one baseline build; the second sweep reused it.
+    assert_eq!(metric(addr, "bgpsim_sim_baselines_built_total"), 1);
+    assert_eq!(
+        metric(
+            addr,
+            "bgpsim_baseline_cache_lookups_total{outcome=\"miss\"}"
+        ),
+        1
+    );
+
+    let (status, results) = json(addr, "GET", &format!("/v1/results/{first_id}"), "");
+    assert_eq!(status, 200);
+    let (status, results2) = json(addr, "GET", &format!("/v1/results/{second_id}"), "");
+    assert_eq!(status, 200);
+
+    // Identical question, identical answer — and both identical to a
+    // direct library sweep over the same pool.
+    let lab = Lab::new(tiny_experiment());
+    let sim = lab.simulator();
+    let topo = lab.topology();
+    let t = topo.index_of(bgpsim_topology::AsId::new(target)).unwrap();
+    let pool: Vec<_> = lab
+        .strided_transit_attackers()
+        .into_iter()
+        .filter(|&a| a != t)
+        .collect();
+    let direct = sim.sweep_attackers(t, &pool, &Defense::none().with_stub_defense());
+    let direct_attackers: Vec<u32> = pool.iter().map(|&ix| topo.id_of(ix).value()).collect();
+
+    for response in [&results, &results2] {
+        let result = get(response, "result");
+        assert_eq!(u32s(get(result, "attackers")), direct_attackers);
+        assert_eq!(u32s(get(result, "counts")), direct);
+    }
+    assert_eq!(str_of(get(get(&results, "meta"), "cache")), "miss");
+    assert_eq!(str_of(get(get(&results2, "meta"), "cache")), "hit");
+    server.stop().expect("clean shutdown");
+}
+
+#[test]
+fn full_queue_answers_429() {
+    let mut config = ServerConfig::new(tiny_experiment(), "custom");
+    config.addr = "127.0.0.1:0".to_string();
+    config.max_queued_jobs = 1;
+    let server = spawn(config).expect("server boots");
+    let addr = server.addr();
+    let (_, healthz) = json(addr, "GET", "/v1/healthz", "");
+    let target = num(get(get(&healthz, "cast"), "vulnerable_stub")) as u32;
+    // Undefended full-pool sweeps take the slow scratch path, so the
+    // single executor falls behind a burst of submissions and the
+    // one-deep queue must overflow. Submissions take ~µs, sweeps ~ms:
+    // absorbing all ten would need the executor to outrun the client.
+    let body = format!("{{\"target\":{target},\"attackers\":\"all\"}}");
+    let mut accepted = Vec::new();
+    let mut rejected = 0;
+    for _ in 0..10 {
+        let (status, response) = json(addr, "POST", "/v1/sweeps", &body);
+        match status {
+            202 => accepted.push(str_of(get(&response, "id")).to_string()),
+            429 => rejected += 1,
+            other => panic!("unexpected status {other}: {response:?}"),
+        }
+    }
+    assert!(
+        rejected > 0,
+        "ten instant submissions never overflowed the one-deep queue"
+    );
+    for id in &accepted {
+        wait_done(addr, id);
+    }
+    server.stop().expect("clean shutdown");
+}
+
+#[test]
+fn cancelled_job_reaches_a_terminal_state() {
+    let server = tiny_server();
+    let addr = server.addr();
+    let (_, healthz) = json(addr, "GET", "/v1/healthz", "");
+    let target = num(get(get(&healthz, "cast"), "vulnerable_stub")) as u32;
+    let body = format!("{{\"target\":{target}}}");
+    // Two submissions: the second is queued behind the first, so the
+    // DELETE usually lands before it starts (but a fast executor may
+    // legitimately finish it — both outcomes are valid).
+    let (_, first) = json(addr, "POST", "/v1/sweeps", &body);
+    let (_, second) = json(addr, "POST", "/v1/sweeps", &body);
+    let first_id = str_of(get(&first, "id")).to_string();
+    let second_id = str_of(get(&second, "id")).to_string();
+    let (status, cancelled) = json(addr, "DELETE", &format!("/v1/jobs/{second_id}"), "");
+    assert_eq!(status, 200, "cancel failed: {cancelled:?}");
+    wait_done(addr, &first_id);
+    let mut state = String::new();
+    for _ in 0..600 {
+        let (_, job) = json(addr, "GET", &format!("/v1/jobs/{second_id}"), "");
+        state = str_of(get(&job, "state")).to_string();
+        if state == "cancelled" || state == "done" {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        state == "cancelled" || state == "done",
+        "cancelled job stuck in {state:?}"
+    );
+    if state == "cancelled" {
+        // No results for a cancelled job — the conflict names the state.
+        let (status, body) = json(addr, "GET", &format!("/v1/results/{second_id}"), "");
+        assert_eq!(status, 409, "expected conflict, got: {body:?}");
+    }
+    server.stop().expect("clean shutdown");
+}
+
+#[test]
+fn error_paths() {
+    let mut config = ServerConfig::new(tiny_experiment(), "custom");
+    config.addr = "127.0.0.1:0".to_string();
+    config.max_body_bytes = 512;
+    let server = spawn(config).expect("server boots");
+    let addr = server.addr();
+    let (_, healthz) = json(addr, "GET", "/v1/healthz", "");
+    let target = num(get(get(&healthz, "cast"), "vulnerable_stub")) as u32;
+
+    let (status, _) = http(addr, "GET", "/v1/nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = http(addr, "GET", "/v1/attacks", "");
+    assert_eq!(status, 405);
+    let (status, _) = http(addr, "POST", "/v1/attacks", "{not json");
+    assert_eq!(status, 400);
+    let (status, _) = http(
+        addr,
+        "POST",
+        "/v1/attacks",
+        "{\"attacker\":999999,\"target\":1}",
+    );
+    assert_eq!(status, 422);
+    let (status, _) = http(
+        addr,
+        "POST",
+        "/v1/attacks",
+        &format!("{{\"attacker\":{target},\"target\":{target}}}"),
+    );
+    assert_eq!(status, 422);
+    let (status, _) = http(addr, "GET", "/v1/jobs/job-999", "");
+    assert_eq!(status, 404);
+    let (status, _) = http(addr, "GET", "/v1/jobs/banana", "");
+    assert_eq!(status, 404);
+    // Declare an over-cap body without sending it: the server rejects on
+    // the Content-Length alone, and not sending the payload avoids the
+    // TCP reset a close-with-unread-data would trigger.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(b"POST /v1/attacks HTTP/1.1\r\nHost: test\r\nContent-Length: 4096\r\n\r\n")
+        .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("413 response");
+    let raw = String::from_utf8_lossy(&raw);
+    assert!(raw.starts_with("HTTP/1.1 413"), "expected 413, got: {raw}");
+    // Framing errors are counted for /v1/metrics.
+    assert!(metric(addr, "bgpsim_http_malformed_requests_total") >= 1);
+    server.stop().expect("clean shutdown");
+}
+
+#[test]
+fn http_shutdown_drains_the_server() {
+    let server = tiny_server();
+    let addr = server.addr();
+    let (status, body) = json(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    assert_eq!(str_of(get(&body, "status")), "shutting down");
+    // The accept loop notices the flag and the whole scope drains;
+    // stop() then joins an already-exiting thread.
+    server.stop().expect("clean drain after HTTP shutdown");
+    assert!(
+        TcpStream::connect(addr).is_err() || {
+            // A listener backlog race can accept one last connection;
+            // what matters is that nothing answers.
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            s.write_all(b"GET /v1/healthz HTTP/1.1\r\n\r\n").ok();
+            let mut buf = [0u8; 1];
+            matches!(s.read(&mut buf), Ok(0) | Err(_))
+        }
+    );
+}

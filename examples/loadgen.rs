@@ -1,0 +1,358 @@
+//! Concurrent load generator for `bgpsim serve`.
+//!
+//! Bootstraps itself from `GET /v1/healthz` (the server advertises its
+//! cast ASNs and a sample attacker pool exactly so clients need no
+//! out-of-band knowledge of the generated topology), then hammers
+//! `POST /v1/attacks` from several keep-alive connections and prints a
+//! log₂ latency histogram — the same bucketing the server's own
+//! `/v1/metrics` histograms use, so the two are directly comparable.
+//!
+//! ```text
+//! bgpsim serve --scale quick &
+//! cargo run --release --example loadgen -- --threads 8 --requests 200
+//! ```
+//!
+//! The first requests are cold (the server builds the target's honest
+//! baseline); everything after hits the baseline cache, which is the
+//! point: the histogram shows the cold tail and the warm body in one
+//! picture, and the closing `/v1/metrics` excerpt shows the cache's
+//! hit/miss/coalesced ledger for the run.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use bgpsim::hijack::{wall_bucket, WALL_HIST_BUCKETS};
+use bgpsim::manifest::Json;
+
+struct Options {
+    addr: String,
+    threads: usize,
+    requests: usize,
+    defended: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        addr: "127.0.0.1:8080".to_string(),
+        threads: 4,
+        requests: 200,
+        defended: true,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads expects a number".to_string())?;
+            }
+            "--requests" => {
+                opts.requests = value("--requests")?
+                    .parse()
+                    .map_err(|_| "--requests expects a number".to_string())?;
+            }
+            // Undefended attacks bypass the baseline cache (the race
+            // solver is already closed-form); useful as a contrast run.
+            "--undefended" => opts.defended = false,
+            "--help" | "-h" => {
+                println!(
+                    "loadgen — hammer a bgpsim server\n\n\
+                     OPTIONS:\n    --addr HOST:PORT  [127.0.0.1:8080]\n    \
+                     --threads N       concurrent connections [4]\n    \
+                     --requests N      requests per thread [200]\n    \
+                     --undefended      send cache-bypassing undefended attacks"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if opts.threads == 0 || opts.requests == 0 {
+        return Err("--threads and --requests must be at least 1".to_string());
+    }
+    Ok(opts)
+}
+
+/// Minimal HTTP/1.1 keep-alive client over one `TcpStream`.
+struct Client {
+    addr: String,
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Client {
+            addr: addr.to_string(),
+            stream,
+        })
+    }
+
+    /// Sends one request and reads one response; reconnects once if the
+    /// server closed the keep-alive connection under us.
+    fn request(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        match self.request_once(method, path, body) {
+            Ok(ok) => Ok(ok),
+            Err(_) => {
+                self.stream = TcpStream::connect(&self.addr)?;
+                self.stream.set_nodelay(true)?;
+                self.stream
+                    .set_read_timeout(Some(Duration::from_secs(30)))?;
+                self.request_once(method, path, body)
+            }
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, String)> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        read_response(&mut self.stream)
+    }
+}
+
+/// Reads one HTTP response (status + Content-Length-delimited body).
+fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, String)> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let content_length: usize = head
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .unwrap_or(0);
+    let mut body = buf[head_end..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok((status, String::from_utf8_lossy(&body).to_string()))
+}
+
+fn get_u64(json: &Json, key: &str) -> Option<u64> {
+    match json {
+        Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).and_then(|(_, v)| {
+            if let Json::Num(n) = v {
+                Some(*n as u64)
+            } else {
+                None
+            }
+        }),
+        _ => None,
+    }
+}
+
+fn get<'a>(json: &'a Json, key: &str) -> Option<&'a Json> {
+    match json {
+        Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn main() -> std::process::ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return std::process::ExitCode::from(2);
+        }
+    };
+
+    // Bootstrap: ask the server who it is and whom it can attack.
+    let mut client = match Client::connect(&opts.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!(
+                "error: cannot connect to {}: {e} (is `bgpsim serve` up?)",
+                opts.addr
+            );
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let healthz = match client.request("GET", "/v1/healthz", "") {
+        Ok((200, body)) => match Json::parse(&body) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("error: /v1/healthz returned unparseable JSON: {e}");
+                return std::process::ExitCode::FAILURE;
+            }
+        },
+        Ok((status, body)) => {
+            eprintln!("error: /v1/healthz returned {status}: {body}");
+            return std::process::ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("error: /v1/healthz failed: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let target = get(&healthz, "cast")
+        .and_then(|cast| get_u64(cast, "vulnerable_stub"))
+        .expect("healthz advertises cast.vulnerable_stub");
+    let attackers: Vec<u64> = match get(&healthz, "sample_attackers") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .filter_map(|v| {
+                if let Json::Num(n) = v {
+                    Some(*n as u64)
+                } else {
+                    None
+                }
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
+    assert!(!attackers.is_empty(), "healthz advertises sample_attackers");
+    eprintln!(
+        "target AS{target}, {} candidate attackers, {} threads x {} requests ({})",
+        attackers.len(),
+        opts.threads,
+        opts.requests,
+        if opts.defended {
+            "defended, cacheable"
+        } else {
+            "undefended, cache bypass"
+        }
+    );
+
+    // Shared log2 histogram (µs), same bucketing as the server's.
+    let hist: Vec<AtomicU64> = (0..WALL_HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+    let sum_us = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..opts.threads {
+            let hist = &hist;
+            let sum_us = &sum_us;
+            let errors = &errors;
+            let attackers = &attackers;
+            let opts = &opts;
+            scope.spawn(move || {
+                let mut client = match Client::connect(&opts.addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        errors.fetch_add(opts.requests as u64, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                for i in 0..opts.requests {
+                    // Stagger workers across the pool so concurrent
+                    // requests exercise distinct attacks.
+                    let attacker = attackers[(worker + i * opts.threads) % attackers.len()];
+                    let defense = if opts.defended {
+                        ",\"defense\":{\"stub_defense\":true}"
+                    } else {
+                        ""
+                    };
+                    let body = format!("{{\"attacker\":{attacker},\"target\":{target}{defense}}}");
+                    let begin = Instant::now();
+                    match client.request("POST", "/v1/attacks", &body) {
+                        Ok((200, _)) => {
+                            let us = begin.elapsed().as_micros() as u64;
+                            hist[wall_bucket(us)].fetch_add(1, Ordering::Relaxed);
+                            sum_us.fetch_add(us, Ordering::Relaxed);
+                        }
+                        _ => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall = started.elapsed();
+
+    // Report: histogram + quantiles from bucket upper bounds.
+    let counts: Vec<u64> = hist.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+    let total: u64 = counts.iter().sum();
+    let errors = errors.load(Ordering::Relaxed);
+    println!(
+        "\n{total} ok, {errors} errors in {:.2}s ({:.0} req/s)",
+        wall.as_secs_f64(),
+        total as f64 / wall.as_secs_f64().max(1e-9)
+    );
+    if total == 0 {
+        return std::process::ExitCode::FAILURE;
+    }
+    println!("mean {} µs", sum_us.load(Ordering::Relaxed) / total);
+    for (q, label) in [(0.50, "p50"), (0.90, "p90"), (0.99, "p99")] {
+        let rank = ((total as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (bucket, &count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                println!("{label} < {} µs", 1u64 << bucket);
+                break;
+            }
+        }
+    }
+    println!("\nlatency histogram (log2 µs buckets):");
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    for (bucket, &count) in counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let bar = "#".repeat(((count * 40).div_ceil(peak)) as usize);
+        println!("  < {:>10} µs  {count:>7}  {bar}", 1u64 << bucket);
+    }
+
+    // Close with the server's own cache ledger for this run.
+    if let Ok((200, metrics)) = client.request("GET", "/v1/metrics", "") {
+        println!("\nserver baseline cache:");
+        for line in metrics.lines() {
+            if line.starts_with("bgpsim_baseline_cache") {
+                println!("  {line}");
+            }
+        }
+    }
+    std::process::ExitCode::SUCCESS
+}

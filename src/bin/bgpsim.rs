@@ -22,6 +22,7 @@ use bgpsim::hijack::{EngineChoice, SweepMonitor, SweepProgress, SweepTelemetry};
 use bgpsim::manifest::{append_json_record, FigureRecord, Json, RunManifest};
 use bgpsim::viz::ProgressLine;
 use bgpsim::{ExperimentConfig, Lab};
+use bgpsim_server::ServerConfig;
 
 /// Canonical run order; `--all` and `list` both use it.
 const FIGURES: &[(&str, &str)] = &[
@@ -41,6 +42,7 @@ bgpsim — reproduce the ICDCS 2014 BGP origin-hijack study
 
 USAGE:
     bgpsim run [FIGURE...] [OPTIONS]   run figures and write artifacts
+    bgpsim serve [OPTIONS]             expose the lab as an HTTP service
     bgpsim list                        list figure ids
     bgpsim --help | --version
 
@@ -57,7 +59,37 @@ RUN OPTIONS:
     --no-progress     suppress the stderr progress line
 
 Artifacts land in DIR together with run_manifest.json (see DESIGN.md
-for the schema) and an appended BENCH_sweep.json record.";
+for the schema) and an appended BENCH_sweep.json record.
+
+Run `bgpsim serve --help` for the service options.";
+
+const SERVE_USAGE: &str = "\
+bgpsim serve — expose one generated internet as an HTTP/1.1 JSON service
+
+USAGE:
+    bgpsim serve [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT  bind address [127.0.0.1:8080]; port 0 picks a free port
+    --scale NAME      scale preset: quick | standard | paper [standard]
+    --engine NAME     force the routing engine (see `bgpsim --help`) [auto]
+    --seed N          override the master seed
+    --jobs N          rayon worker threads for sweeps (0 = all cores) [0]
+    --http-workers N  HTTP worker threads [4]
+    --cache N         baselines kept in the LRU cache [32]
+    --queue N         sweep jobs allowed to wait before 429 [16]
+
+ENDPOINTS:
+    POST   /v1/attacks    run one attack           {\"attacker\":ASN,\"target\":ASN,...}
+    POST   /v1/sweeps     submit an async sweep    {\"target\":ASN,\"defense\":{...}}
+    GET    /v1/jobs/:id   job progress             DELETE cancels
+    GET    /v1/results/:id  finished sweep results
+    GET    /v1/healthz    liveness + lab facts (scale, cast ASNs)
+    GET    /v1/metrics    Prometheus text exposition
+    POST   /v1/shutdown   graceful drain and exit
+
+There is no signal handling (std-only build): stop the server with
+POST /v1/shutdown. See DESIGN.md §13 and the README quickstart.";
 
 struct RunOptions {
     figures: Vec<String>,
@@ -78,7 +110,14 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("--version") | Some("-V") => {
-            println!("bgpsim {}", env!("CARGO_PKG_VERSION"));
+            // The schema version travels with the binary so operators can
+            // match a run_manifest.json / API response to the tool that
+            // understands it without booting a lab.
+            println!(
+                "bgpsim {} (manifest schema v{})",
+                env!("CARGO_PKG_VERSION"),
+                bgpsim::manifest::SCHEMA_VERSION
+            );
             ExitCode::SUCCESS
         }
         Some("list") => {
@@ -90,6 +129,17 @@ fn main() -> ExitCode {
         Some("run") => match parse_run(&args[1..]) {
             Ok(opts) => run(&opts),
             Err(msg) => usage_error(&msg),
+        },
+        Some("serve") => match parse_serve(&args[1..]) {
+            Ok(Some(config)) => serve(config),
+            Ok(None) => {
+                println!("{SERVE_USAGE}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{SERVE_USAGE}");
+                ExitCode::from(2)
+            }
         },
         Some(other) => usage_error(&format!("unknown subcommand {other:?}")),
     }
@@ -173,6 +223,96 @@ fn parse_run(args: &[String]) -> Result<RunOptions, String> {
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
     s.parse()
         .map_err(|_| format!("{flag} expects a number, got {s:?}"))
+}
+
+/// Parses `serve` options into a ready [`ServerConfig`]; `Ok(None)`
+/// means `--help` was asked for.
+fn parse_serve(args: &[String]) -> Result<Option<ServerConfig>, String> {
+    let mut scale = "standard".to_string();
+    let mut engine = EngineChoice::Auto;
+    let mut seed: Option<u64> = None;
+    let mut jobs: usize = 0;
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut http_workers: usize = 4;
+    let mut cache_capacity: usize = 32;
+    let mut max_queued_jobs: usize = 16;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--addr" => addr = value("--addr")?,
+            "--scale" => scale = value("--scale")?,
+            "--engine" => engine = EngineChoice::parse(&value("--engine")?)?,
+            "--seed" => seed = Some(parse_num(&value("--seed")?, "--seed")?),
+            "--jobs" => jobs = parse_num(&value("--jobs")?, "--jobs")?,
+            "--http-workers" => {
+                http_workers = parse_num(&value("--http-workers")?, "--http-workers")?;
+                if http_workers == 0 {
+                    return Err("--http-workers must be at least 1".to_string());
+                }
+            }
+            "--cache" => cache_capacity = parse_num(&value("--cache")?, "--cache")?,
+            "--queue" => max_queued_jobs = parse_num(&value("--queue")?, "--queue")?,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    let mut experiment = ExperimentConfig::preset(&scale)?;
+    // Same up-front engine/policy validation as `run`: a bad combination
+    // must be a usage error, not a panic after topology generation.
+    if engine == EngineChoice::Stable && experiment.policy.tier1_shortest_path {
+        return Err(format!(
+            "--engine stable solves the strict Gao-Rexford policy only, but scale preset \
+             {scale:?} runs the paper policy (tier-1 shortest path); use --engine race instead"
+        ));
+    }
+    experiment.engine = engine;
+    if let Some(seed) = seed {
+        experiment.seed = seed;
+    }
+    if jobs > 0 {
+        std::env::set_var("RAYON_NUM_THREADS", jobs.to_string());
+    }
+    let mut config = ServerConfig::new(experiment, scale);
+    config.addr = addr;
+    config.http_workers = http_workers;
+    config.cache_capacity = cache_capacity;
+    config.max_queued_jobs = max_queued_jobs;
+    Ok(Some(config))
+}
+
+fn serve(config: ServerConfig) -> ExitCode {
+    eprintln!(
+        "generating {}-AS internet (scale {}, seed {})...",
+        config.experiment.params.num_ases, config.scale_name, config.experiment.seed
+    );
+    let started = Instant::now();
+    let shutdown = std::sync::atomic::AtomicBool::new(false);
+    let boot = Instant::now();
+    let result = bgpsim_server::serve(&config, &shutdown, |bound| {
+        eprintln!(
+            "topology ready in {:.1}s; listening on http://{bound}/v1 \
+             (healthz, metrics, attacks, sweeps; POST /v1/shutdown to stop)",
+            boot.elapsed().as_secs_f64()
+        );
+    });
+    match result {
+        Ok(()) => {
+            eprintln!(
+                "server drained after {:.1}s; goodbye",
+                started.elapsed().as_secs_f64()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn run(opts: &RunOptions) -> ExitCode {
