@@ -488,6 +488,48 @@ impl<'t> Simulator<'t> {
         self.sweep_delta_replay(target, attackers, &ctx, mask.as_deref(), baseline, monitor)
     }
 
+    /// Whether sweeps under `defense` route every attacker through a
+    /// shared honest baseline of the target (adaptive dispatch picks the
+    /// delta engine for localizing defenses, and a forced delta engine
+    /// always replays). This is the cacheability predicate serving layers
+    /// need: when it holds, build the baseline once and replay against it;
+    /// when it does not, no baseline is ever constructed and sweeps run
+    /// engine-per-attack from scratch.
+    pub fn uses_shared_baseline(&self, defense: &Defense) -> bool {
+        self.engine == EngineChoice::Delta
+            || (self.engine == EngineChoice::Auto && defense.localizes())
+    }
+
+    /// Runs one contiguous chunk of a larger sweep, for callers that
+    /// interleave several sweeps (the server's fair-share executor runs
+    /// jobs one attacker-chunk at a time so a long sweep cannot starve a
+    /// short one).
+    ///
+    /// Concatenating the rows of consecutive chunks is bit-identical to
+    /// one [`Simulator::sweep_attackers_monitored`] call over the whole
+    /// pool: every attacker row is independent — the sweep loop shares
+    /// only the read-only baseline.
+    ///
+    /// When [`Simulator::uses_shared_baseline`] holds for `defense` the
+    /// caller **must** pass the target's baseline (built once, or fetched
+    /// from a cache); passing `None` would rebuild it on every chunk and
+    /// turn an O(baseline + pool) sweep into O(chunks × baseline).
+    pub fn sweep_chunk_monitored(
+        &self,
+        target: AsIndex,
+        chunk: &[AsIndex],
+        defense: &Defense,
+        baseline: Option<&Baseline>,
+        monitor: &SweepMonitor<'_>,
+    ) -> Vec<u32> {
+        match baseline {
+            Some(baseline) => self.sweep_attackers_baseline_monitored(
+                target, chunk, defense, None, baseline, monitor,
+            ),
+            None => self.sweep_attackers_monitored(target, chunk, defense, None, monitor),
+        }
+    }
+
     /// The shared delta-replay sweep loop: one parallel pass over
     /// `attackers`, each re-converging from `baseline` in a per-thread
     /// workspace. `mask` (when given) restricts pollution counting to the
@@ -722,7 +764,7 @@ impl<'t> Simulator<'t> {
                                 .run_delta(attack, baseline, defense, dws, monitor, &mut obs);
                         }
                         if race_eligible(attack.kind) {
-                            return self.run_race(attack, defense, rws, ws, monitor, &mut obs);
+                            return self.run_race(attack, defense, rws, ws, monitor, &mut obs).0;
                         }
                         if let Some(t) = monitor.telemetry {
                             t.record_dispatch(Dispatch::Scratch);
@@ -732,6 +774,66 @@ impl<'t> Simulator<'t> {
                 },
             )
             .collect()
+    }
+
+    /// Simulates one attack through the engine-per-attack side of
+    /// adaptive dispatch — the same plan [`Simulator::run_batch_monitored`]
+    /// applies to attacks that take no shared baseline: the closed-form
+    /// stable solver under strict Gao-Rexford (honest-origin kinds), the
+    /// closed-form race solver with generation-engine fallback for
+    /// exact-prefix kinds when no defense localizes, and a from-scratch
+    /// generation run otherwise. Forged-origin attacks never take the
+    /// stable path (the solver cannot express a forged announcement), even
+    /// under the forced `stable` engine override — they fall through to
+    /// scratch instead of panicking, since serving layers feed this method
+    /// straight from request input.
+    ///
+    /// This is the serving-layer companion to
+    /// [`Simulator::run_with_baseline`]: a caller with a warm baseline
+    /// cache replays cacheable attacks there and routes everything else
+    /// here. Polluted sets are bit-identical to [`Simulator::run`] (the
+    /// routing crate's equivalence suites pin the engines); the returned
+    /// [`Dispatch`] names the engine that ran, and `generations`
+    /// bookkeeping depends on it.
+    pub fn run_unshared_monitored<O: Observer>(
+        &self,
+        attack: Attack,
+        defense: &Defense,
+        ws: &mut Workspace,
+        rws: &mut RaceWorkspace,
+        monitor: &SweepMonitor<'_>,
+        obs: &mut O,
+    ) -> (AttackOutcome, Dispatch) {
+        let stable = match self.engine {
+            EngineChoice::Stable => attack.kind != AttackKind::ForgedOriginHijack,
+            EngineChoice::Auto => {
+                !self.policy.tier1_shortest_path && attack.kind != AttackKind::ForgedOriginHijack
+            }
+            _ => false,
+        };
+        if stable {
+            if let Some(t) = monitor.telemetry {
+                t.record_dispatch(Dispatch::Stable);
+            }
+            return (self.run_stable(attack, defense, obs), Dispatch::Stable);
+        }
+        let race = match self.engine {
+            EngineChoice::Race => true,
+            EngineChoice::Auto => {
+                !defense_localizes(defense) && attack.kind != AttackKind::SubPrefixHijack
+            }
+            _ => false,
+        };
+        if race {
+            return self.run_race(attack, defense, rws, ws, monitor, obs);
+        }
+        if let Some(t) = monitor.telemetry {
+            t.record_dispatch(Dispatch::Scratch);
+        }
+        (
+            self.run_observed(attack, defense, ws, obs),
+            Dispatch::Scratch,
+        )
     }
 
     /// One attack through the closed-form stable solver (strict
@@ -763,7 +865,8 @@ impl<'t> Simulator<'t> {
     /// One attack through the closed-form race solver, deferring to the
     /// generation engine when the tier-1 fixed point does not settle
     /// within the configured round cap. `generations` reports fixed-point
-    /// rounds on the solver path, engine waves on the fallback path.
+    /// rounds on the solver path, engine waves on the fallback path. The
+    /// returned [`Dispatch`] names the engine that actually ran.
     fn run_race<O: Observer>(
         &self,
         attack: Attack,
@@ -772,7 +875,7 @@ impl<'t> Simulator<'t> {
         ws: &mut Workspace,
         monitor: &SweepMonitor<'_>,
         obs: &mut O,
-    ) -> AttackOutcome {
+    ) -> (AttackOutcome, Dispatch) {
         let ctx = defense.context_for(attack.target);
         let announcements: Vec<Announcement> = match attack.kind {
             AttackKind::OriginHijack => vec![
@@ -803,18 +906,22 @@ impl<'t> Simulator<'t> {
                 if let Some(t) = monitor.telemetry {
                     t.record_dispatch(Dispatch::Race);
                 }
-                AttackOutcome {
+                let outcome = AttackOutcome {
                     attack,
                     polluted: polluted_set(&p, attack),
                     generations: p.stats().generations,
                     truncated: false,
-                }
+                };
+                (outcome, Dispatch::Race)
             }
             None => {
                 if let Some(t) = monitor.telemetry {
                     t.record_dispatch(Dispatch::Scratch);
                 }
-                self.run_observed(attack, defense, ws, obs)
+                (
+                    self.run_observed(attack, defense, ws, obs),
+                    Dispatch::Scratch,
+                )
             }
         }
     }
@@ -1096,6 +1203,48 @@ mod tests {
     }
 
     #[test]
+    fn chunked_sweep_concatenation_matches_whole_sweep() {
+        let t = topo();
+        let sim = Simulator::new(&t, PolicyConfig::paper());
+        let target = ix(&t, 9);
+        let attackers: Vec<AsIndex> = t.indices().filter(|&a| a != target).collect();
+        let all: Vec<AsIndex> = t.indices().collect();
+        let defense = Defense::validators(&t, all).with_stub_defense();
+        assert!(sim.uses_shared_baseline(&defense));
+        assert!(!sim.uses_shared_baseline(&Defense::none()));
+        let whole = sim.sweep_attackers(target, &attackers, &defense);
+        // Defended path: one shared baseline, chunks replay against it.
+        let baseline = Baseline::build(
+            sim.net(),
+            &[Announcement::honest(target)],
+            &defense.context_for(target),
+            sim.policy(),
+            &mut Workspace::new(),
+        );
+        let monitor = SweepMonitor::none();
+        for chunk_size in [1, 2, attackers.len()] {
+            let mut rows = Vec::new();
+            for chunk in attackers.chunks(chunk_size) {
+                rows.extend(sim.sweep_chunk_monitored(
+                    target,
+                    chunk,
+                    &defense,
+                    Some(&baseline),
+                    &monitor,
+                ));
+            }
+            assert_eq!(rows, whole, "chunk_size {chunk_size} diverged");
+        }
+        // Undefended path: no baseline exists, chunks run from scratch.
+        let whole_open = sim.sweep_attackers(target, &attackers, &Defense::none());
+        let mut rows = Vec::new();
+        for chunk in attackers.chunks(2) {
+            rows.extend(sim.sweep_chunk_monitored(target, chunk, &Defense::none(), None, &monitor));
+        }
+        assert_eq!(rows, whole_open);
+    }
+
+    #[test]
     fn sweep_result_excludes_target_row() {
         let t = topo();
         let sim = Simulator::new(&t, PolicyConfig::paper());
@@ -1325,6 +1474,52 @@ mod tests {
         assert!(!Defense::none().localizes());
         assert!(Defense::stub_defense_only().localizes());
         assert!(Defense::validators(&t, vec![ix(&t, 1)]).localizes());
+    }
+
+    #[test]
+    fn unshared_dispatch_matches_scratch_oracle() {
+        let t = topo();
+        let sim = Simulator::new(&t, PolicyConfig::paper());
+        let all: Vec<AsIndex> = t.indices().collect();
+        let cases = [
+            // Undefended exact-prefix kinds (honest and forged origin)
+            // both take the race solver.
+            (Attack::origin(ix(&t, 8), ix(&t, 9)), Defense::none()),
+            (Attack::forged_origin(ix(&t, 8), ix(&t, 9)), Defense::none()),
+            // Sub-prefix: one-origin propagation, runs from scratch.
+            (Attack::sub_prefix(ix(&t, 8), ix(&t, 9)), Defense::none()),
+            // Localizing defense: the shared-baseline path would apply, but
+            // the unshared method must still answer correctly from scratch.
+            (
+                Attack::origin(ix(&t, 8), ix(&t, 9)),
+                Defense::validators(&t, all),
+            ),
+        ];
+        let telemetry = SweepTelemetry::new();
+        let monitor = SweepMonitor::none().with_telemetry(&telemetry);
+        for (attack, defense) in cases {
+            let oracle = sim.run(attack, &defense);
+            let (got, dispatch) = sim.run_unshared_monitored(
+                attack,
+                &defense,
+                &mut Workspace::new(),
+                &mut RaceWorkspace::new(),
+                &monitor,
+                &mut NullObserver,
+            );
+            assert_eq!(got.polluted, oracle.polluted, "kind {:?}", attack.kind);
+            if !defense.localizes() {
+                let expected = if attack.kind == AttackKind::SubPrefixHijack {
+                    Dispatch::Scratch
+                } else {
+                    Dispatch::Race
+                };
+                assert_eq!(dispatch, expected, "kind {:?}", attack.kind);
+            }
+        }
+        let snap = telemetry.snapshot();
+        assert!(snap.race_dispatches >= 2);
+        assert!(snap.scratch_dispatches >= 2);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! pure function of (topology, attack, defense) — engine choice and
 //! cache state only ever show up under `meta`.
 
+use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::time::Instant;
 
@@ -19,8 +20,11 @@ use bgpsim_core::manifest::{Json, SCHEMA_VERSION};
 use bgpsim_hijack::{
     Attack, AttackKind, AttackOutcome, Defense, Dispatch, SweepMonitor, SweepTelemetry,
 };
-use bgpsim_routing::{Announcement, Baseline, ConvergenceStats, Observer};
+use bgpsim_routing::{
+    Announcement, Baseline, ConvergenceStats, DeltaWorkspace, Observer, RaceWorkspace, Workspace,
+};
 use bgpsim_topology::{AsId, AsIndex, Topology};
+use rayon::prelude::*;
 
 use crate::cache::{defense_fingerprint, BaselineKey};
 use crate::http::{Request, Response};
@@ -30,6 +34,22 @@ use crate::{ServerState, WorkerCtx};
 
 /// Attacker ASNs advertised in `/v1/healthz` for load generators.
 const SAMPLE_ATTACKERS: usize = 64;
+
+/// Largest accepted `POST /v1/attacks:batch` batch. Big enough for a
+/// whole transit-pool what-if in one request, small enough that a single
+/// request cannot pin the rayon pool for minutes.
+pub const MAX_BATCH_ATTACKS: usize = 4096;
+
+/// Largest integer JSON can carry without silent precision loss
+/// (IEEE-754 doubles are exact up to 2^53).
+const JSON_SAFE_MAX: u64 = 1 << 53;
+
+/// A `u64` as a JSON number, clamped to the JSON-safe integer range so
+/// large values degrade to a saturated bound instead of silently rounding
+/// to a nearby representable double.
+fn json_u64(value: u64) -> Json {
+    Json::Num(value.min(JSON_SAFE_MAX) as f64)
+}
 
 /// An error response in the making.
 #[derive(Debug)]
@@ -80,6 +100,12 @@ pub(crate) fn dispatch(
         ["v1", "attacks"] => (
             Endpoint::Attacks,
             expect_method(method, "POST").and_then(|()| handle_attack(state, request, ctx)),
+        ),
+        // One path segment: ':' is not a separator, so the whole
+        // `attacks:batch` token arrives intact.
+        ["v1", "attacks:batch"] => (
+            Endpoint::AttacksBatch,
+            expect_method(method, "POST").and_then(|()| handle_attack_batch(state, request)),
         ),
         ["v1", "sweeps"] => (
             Endpoint::Sweeps,
@@ -354,13 +380,11 @@ fn handle_attack(
         target,
         kind,
     };
-    let engine = state.sim.engine();
     // The baseline cache pays off exactly when replay is the dispatch
     // choice: exact-prefix kinds under a localizing defense (or a forced
     // delta engine). Everything else runs from scratch.
-    let use_baseline = kind != AttackKind::SubPrefixHijack
-        && (engine == bgpsim_hijack::EngineChoice::Delta
-            || (engine == bgpsim_hijack::EngineChoice::Auto && parsed.defense.localizes()));
+    let use_baseline =
+        kind != AttackKind::SubPrefixHijack && state.sim.uses_shared_baseline(&parsed.defense);
     let monitor = SweepMonitor::none().with_telemetry(&state.telemetry);
     let started = Instant::now();
     let (outcome, engine_name, cache_name) = if use_baseline {
@@ -404,7 +428,218 @@ fn handle_attack(
             Json::obj([
                 ("engine", Json::str(engine_name)),
                 ("cache", Json::str(cache_name)),
-                ("wall_us", Json::Num(wall_us as f64)),
+                ("wall_us", json_u64(wall_us)),
+            ]),
+        ),
+    ]);
+    Ok(json_response(200, &response))
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/attacks:batch
+
+/// One parsed batch entry: the attack plus its own defense (when the
+/// entry carried a `defense` key) or `None` for the batch default.
+struct BatchEntry {
+    attack: Attack,
+    defense: Option<ParsedDefense>,
+}
+
+/// Evaluates N attack specs in one request.
+///
+/// Envelope problems (missing/empty/oversized `attacks` array, an
+/// unparseable batch-level `defense`) fail the whole request; a bad
+/// *entry* only fails that entry — its slot in `results` carries an
+/// `error`/`status` object and every other entry still evaluates. Valid
+/// entries are grouped by (target, defense) so each group fetches its
+/// shared baseline exactly once, then all entries run across the rayon
+/// pool with per-worker workspaces. Entries outside a baseline group get
+/// sweep-grade adaptive dispatch ([`Simulator::run_unshared_monitored`])
+/// — notably the closed-form race solver for undefended exact-prefix
+/// attacks — so a batch answers at bulk-path speed, not N single-request
+/// scratch runs.
+///
+/// [`Simulator::run_unshared_monitored`]: bgpsim_hijack::Simulator::run_unshared_monitored
+fn handle_attack_batch(state: &ServerState<'_>, request: &Request) -> Result<Response, ApiError> {
+    let body = parse_body(request)?;
+    let topo = state.sim.topology();
+    let items = match get(&body, "attacks") {
+        Some(Json::Arr(items)) => items,
+        Some(_) => return Err(ApiError::new(422, "field \"attacks\" must be an array")),
+        None => return Err(ApiError::new(422, "missing required field \"attacks\"")),
+    };
+    if items.is_empty() {
+        return Err(ApiError::new(422, "field \"attacks\" is empty"));
+    }
+    if items.len() > MAX_BATCH_ATTACKS {
+        return Err(ApiError::new(
+            413,
+            format!(
+                "batch of {} attacks exceeds the {MAX_BATCH_ATTACKS}-attack limit",
+                items.len()
+            ),
+        ));
+    }
+    // The batch-level default defense is part of the envelope: if it does
+    // not parse, no entry has well-defined semantics.
+    let default_defense = parse_defense(topo, &body)?;
+    let started = Instant::now();
+    let entries: Vec<Result<BatchEntry, ApiError>> = items
+        .iter()
+        .map(|item| {
+            if !matches!(item, Json::Obj(_)) {
+                return Err(ApiError::new(
+                    422,
+                    "each \"attacks\" entry must be an object",
+                ));
+            }
+            let attacker = resolve(topo, require_asn(item, "attacker")?)?;
+            let target = resolve(topo, require_asn(item, "target")?)?;
+            if attacker == target {
+                return Err(ApiError::new(422, "attacker and target must differ"));
+            }
+            let kind = parse_kind(item)?;
+            let defense = match get(item, "defense") {
+                None => None,
+                Some(_) => Some(parse_defense(topo, item)?),
+            };
+            Ok(BatchEntry {
+                attack: Attack {
+                    attacker,
+                    target,
+                    kind,
+                },
+                defense,
+            })
+        })
+        .collect();
+    // One baseline fetch per distinct (target, defense) group. Groups
+    // build in parallel; the cache's single-flight layer coalesces any
+    // group already being built by another request.
+    let mut groups: Vec<(BaselineKey, AsIndex, &ParsedDefense)> = Vec::new();
+    for entry in entries.iter().flatten() {
+        let parsed = entry.defense.as_ref().unwrap_or(&default_defense);
+        if entry.attack.kind == AttackKind::SubPrefixHijack
+            || !state.sim.uses_shared_baseline(&parsed.defense)
+        {
+            continue;
+        }
+        let key = BaselineKey {
+            target: entry.attack.target.raw(),
+            defense_fp: parsed.fingerprint,
+        };
+        if !groups.iter().any(|(k, _, _)| *k == key) {
+            groups.push((key, entry.attack.target, parsed));
+        }
+    }
+    let baselines: HashMap<BaselineKey, (std::sync::Arc<Baseline>, &'static str)> = groups
+        .par_iter()
+        .map(|&(key, target, parsed)| {
+            let (baseline, outcome) = state.cache.get_or_build(key, || {
+                state.telemetry.record_baseline();
+                Baseline::build(
+                    state.sim.net(),
+                    &[Announcement::honest(target)],
+                    &parsed.defense.context_for(target),
+                    state.sim.policy(),
+                    &mut Workspace::new(),
+                )
+            });
+            (key, (baseline, outcome.name()))
+        })
+        .collect();
+    // Evaluate every valid entry across the pool; error entries render in
+    // place so `results[i]` always answers `attacks[i]`.
+    let mut ok = 0usize;
+    let mut failed = 0usize;
+    let results: Vec<Json> = entries
+        .par_iter()
+        .map_init(
+            || {
+                (
+                    Workspace::new(),
+                    DeltaWorkspace::new(),
+                    RaceWorkspace::new(),
+                )
+            },
+            |(ws, dws, rws), entry| match entry {
+                Err(e) => Json::obj([
+                    ("error", Json::str(e.message.clone())),
+                    ("status", Json::Num(f64::from(e.status))),
+                ]),
+                Ok(entry) => {
+                    let parsed = entry.defense.as_ref().unwrap_or(&default_defense);
+                    let use_baseline = entry.attack.kind != AttackKind::SubPrefixHijack
+                        && state.sim.uses_shared_baseline(&parsed.defense);
+                    let monitor = SweepMonitor::none().with_telemetry(&state.telemetry);
+                    let item_started = Instant::now();
+                    let (outcome, engine_name, cache_name) = if use_baseline {
+                        let key = BaselineKey {
+                            target: entry.attack.target.raw(),
+                            defense_fp: parsed.fingerprint,
+                        };
+                        let (baseline, cache_name) = &baselines[&key];
+                        let outcome = state.sim.run_with_baseline(
+                            entry.attack,
+                            baseline,
+                            &parsed.defense,
+                            dws,
+                            &monitor,
+                        );
+                        (outcome, "delta", *cache_name)
+                    } else {
+                        // Grouped attacks get sweep-grade adaptive
+                        // dispatch: undefended exact-prefix items race
+                        // both origins closed-form instead of paying a
+                        // full from-scratch propagation each.
+                        let (outcome, dispatch) = state.sim.run_unshared_monitored(
+                            entry.attack,
+                            &parsed.defense,
+                            ws,
+                            rws,
+                            &monitor,
+                            &mut TelemetrySink(&state.telemetry),
+                        );
+                        let engine_name = match dispatch {
+                            Dispatch::Stable => "stable",
+                            Dispatch::Race => "race",
+                            Dispatch::Delta => "delta",
+                            Dispatch::Scratch => "generation",
+                        };
+                        (outcome, engine_name, "bypass")
+                    };
+                    state.telemetry.record_attack_wall(item_started.elapsed());
+                    Json::obj([
+                        ("result", outcome_json(topo, &outcome)),
+                        (
+                            "meta",
+                            Json::obj([
+                                ("engine", Json::str(engine_name)),
+                                ("cache", Json::str(cache_name)),
+                            ]),
+                        ),
+                    ])
+                }
+            },
+        )
+        .collect();
+    for entry in &entries {
+        match entry {
+            Ok(_) => ok += 1,
+            Err(_) => failed += 1,
+        }
+    }
+    let wall_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let response = Json::obj([
+        ("results", Json::Arr(results)),
+        (
+            "meta",
+            Json::obj([
+                ("items", Json::Num((ok + failed) as f64)),
+                ("ok", Json::Num(ok as f64)),
+                ("failed", Json::Num(failed as f64)),
+                ("baseline_groups", Json::Num(groups.len() as f64)),
+                ("wall_us", json_u64(wall_us)),
             ]),
         ),
     ]);
@@ -459,9 +694,7 @@ fn handle_sweep_submit(state: &ServerState<'_>, request: &Request) -> Result<Res
         return Err(ApiError::new(422, "attacker pool is empty"));
     }
     let pool_asns: Vec<u32> = pool.iter().map(|&ix| topo.id_of(ix).value()).collect();
-    let engine = state.sim.engine();
-    let cacheable = engine == bgpsim_hijack::EngineChoice::Delta
-        || (engine == bgpsim_hijack::EngineChoice::Auto && parsed.defense.localizes());
+    let cacheable = state.sim.uses_shared_baseline(&parsed.defense);
     let spec = SweepSpec {
         target,
         target_asn: topo.id_of(target).value(),
@@ -502,6 +735,7 @@ fn parse_job_id(wire: &str) -> Result<u64, ApiError> {
 
 fn job_json(job: &crate::jobs::Job) -> Json {
     let eta = job.eta_ms.load(Ordering::Relaxed);
+    let terminal = job.with_state(JobState::is_terminal);
     let mut pairs = vec![
         ("id".to_string(), Json::str(job.wire_id())),
         (
@@ -523,14 +757,19 @@ fn job_json(job: &crate::jobs::Job) -> Json {
         ),
         (
             "elapsed_ms".to_string(),
-            Json::Num(job.elapsed_ms.load(Ordering::Relaxed) as f64),
+            json_u64(job.elapsed_ms.load(Ordering::Relaxed)),
         ),
         (
             "eta_ms".to_string(),
-            if eta == ETA_UNKNOWN {
+            // A terminal job has no remaining work: whatever estimate the
+            // last progress tick left behind is stale, so report null
+            // rather than freeze a misleading number. Live estimates clamp
+            // to the 2^53 JSON-safe range — `u64 as f64` above that rounds
+            // to a value that silently changes on a parse/render trip.
+            if terminal || eta == ETA_UNKNOWN {
                 Json::Null
             } else {
-                Json::Num(eta as f64)
+                json_u64(eta)
             },
         ),
     ];
@@ -712,6 +951,7 @@ fn handle_metrics(state: &ServerState<'_>) -> Response {
         &state.metrics,
         &state.cache.stats(),
         &state.jobs.counts(),
+        &state.jobs.scheduler_stats(),
         &state.telemetry.snapshot(),
     );
     Response::text(200, text)
@@ -741,6 +981,21 @@ mod tests {
         assert_eq!(as_u32(&Json::Num(-1.0)), None);
         assert_eq!(as_u32(&Json::str("7")), None);
         assert_eq!(as_u32(&Json::Num(f64::from(u32::MAX))), Some(u32::MAX));
+    }
+
+    #[test]
+    fn u64_rendering_stays_json_safe() {
+        // Values inside the 2^53 window pass through exactly...
+        assert_eq!(json_u64(0), Json::Num(0.0));
+        assert_eq!(
+            json_u64(JSON_SAFE_MAX - 1),
+            Json::Num((JSON_SAFE_MAX - 1) as f64)
+        );
+        // ...and anything above saturates at the bound instead of rounding
+        // to whichever double happens to be nearest (u64::MAX as f64 is
+        // 2^64, off by over 6k billion).
+        assert_eq!(json_u64(u64::MAX), Json::Num(JSON_SAFE_MAX as f64));
+        assert_eq!(json_u64(JSON_SAFE_MAX + 1), Json::Num(JSON_SAFE_MAX as f64));
     }
 
     #[test]

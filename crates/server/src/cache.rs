@@ -20,9 +20,11 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 use bgpsim_routing::Baseline;
+
+use crate::jobs::lock_recover;
 
 /// Cache key: the attacked target plus a fingerprint of the defense
 /// deployment. The topology is fixed for a server's lifetime, so it is
@@ -141,7 +143,9 @@ struct BuildGuard<'a> {
 impl Drop for BuildGuard<'_> {
     fn drop(&mut self) {
         if self.armed {
-            let mut inner = self.cache.inner.lock().unwrap();
+            // This drop runs *during* the build panic's unwind — locking
+            // with a plain unwrap here could double-panic and abort.
+            let mut inner = lock_recover(&self.cache.inner);
             inner.entries.remove(&self.key);
             self.cache.ready.notify_all();
         }
@@ -175,7 +179,10 @@ impl BaselineCache {
         build: impl FnOnce() -> Baseline,
     ) -> (Arc<Baseline>, CacheOutcome) {
         let mut waited = false;
-        let mut inner = self.inner.lock().unwrap();
+        // Poison recovery throughout: the build closure runs *outside*
+        // the lock and the BuildGuard un-publishes a panicked build, so a
+        // poisoned mutex only ever guards structurally-consistent state.
+        let mut inner = lock_recover(&self.inner);
         loop {
             // Resolve the entry's state without holding a borrow across
             // the bookkeeping below.
@@ -203,7 +210,10 @@ impl BaselineCache {
                 }
                 Some(None) => {
                     waited = true;
-                    inner = self.ready.wait(inner).unwrap();
+                    inner = self
+                        .ready
+                        .wait(inner)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
                 None => {
                     inner.tick += 1;
@@ -223,7 +233,7 @@ impl BaselineCache {
                     };
                     let baseline = Arc::new(build());
                     guard.armed = false;
-                    let mut inner = self.inner.lock().unwrap();
+                    let mut inner = lock_recover(&self.inner);
                     if let Some(entry) = inner.entries.get_mut(&key) {
                         entry.slot = Slot::Ready(Arc::clone(&baseline));
                     }
@@ -272,7 +282,7 @@ impl BaselineCache {
             misses: self.misses.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.inner.lock().unwrap().entries.len(),
+            entries: lock_recover(&self.inner).entries.len(),
         }
     }
 }

@@ -47,12 +47,27 @@ impl Request {
     /// Whether the client asked to close the connection after this
     /// exchange (explicit `Connection: close`, or HTTP/1.0 without
     /// `keep-alive`).
+    ///
+    /// The Connection header is a comma-separated token list
+    /// (`Connection: close` but also `Connection: keep-alive, TE`), so
+    /// the check walks tokens instead of comparing the whole value — a
+    /// proxy-normalized `close, te` must still close.
     pub fn wants_close(&self) -> bool {
-        match self.header("connection") {
-            Some(v) if v.eq_ignore_ascii_case("close") => true,
-            Some(v) if v.eq_ignore_ascii_case("keep-alive") => false,
-            _ => self.http10,
+        let tokens = self
+            .headers
+            .iter()
+            .filter(|(n, _)| n == "connection")
+            .flat_map(|(_, v)| v.split(','))
+            .map(str::trim);
+        for token in tokens {
+            if token.eq_ignore_ascii_case("close") {
+                return true;
+            }
+            if token.eq_ignore_ascii_case("keep-alive") && self.http10 {
+                return false;
+            }
         }
+        self.http10
     }
 }
 
@@ -149,17 +164,14 @@ impl HttpConn {
                 }
             }
         };
-        let body_len = match request.header("content-length") {
-            None => 0,
-            Some(v) => match v.parse::<usize>() {
-                Ok(n) => n,
-                Err(_) => {
-                    return ReadOutcome::Malformed {
-                        status: 400,
-                        reason: format!("unparseable Content-Length {v:?}"),
-                    }
+        let body_len = match body_length(&request) {
+            Ok(n) => n,
+            Err(reason) => {
+                return ReadOutcome::Malformed {
+                    status: 400,
+                    reason,
                 }
-            },
+            }
         };
         if body_len > max_body_bytes {
             return ReadOutcome::Malformed {
@@ -231,6 +243,37 @@ fn find_head_end(buf: &[u8]) -> Option<HeadEnd> {
         i += 1;
     }
     None
+}
+
+/// The declared body length, from however many `Content-Length` headers
+/// (and folded `5, 5` list members) the request carried. Every
+/// declaration must agree: two conflicting lengths are a
+/// request-smuggling vector — this parser and an upstream intermediary
+/// could frame the body differently — so they are rejected rather than
+/// arbitrating by position. Identical duplicates (a common proxy
+/// artifact) are accepted.
+fn body_length(request: &Request) -> Result<usize, String> {
+    let mut body_len = 0usize;
+    let mut seen_length = false;
+    for value in request
+        .headers
+        .iter()
+        .filter(|(n, _)| n == "content-length")
+        .flat_map(|(_, v)| v.split(','))
+        .map(str::trim)
+    {
+        let n = value
+            .parse::<usize>()
+            .map_err(|_| format!("unparseable Content-Length {value:?}"))?;
+        if seen_length && n != body_len {
+            return Err(format!(
+                "conflicting Content-Length headers ({body_len} vs {n})"
+            ));
+        }
+        body_len = n;
+        seen_length = true;
+    }
+    Ok(body_len)
 }
 
 fn parse_head(head: &str) -> Result<Request, String> {
@@ -382,6 +425,48 @@ mod tests {
         assert!(!req.wants_close());
         let req = parse_head("GET / HTTP/1.1\r\nConnection: close\r\n").unwrap();
         assert!(req.wants_close());
+    }
+
+    #[test]
+    fn connection_header_is_a_token_list() {
+        // `close` buried in a token list still closes...
+        let req = parse_head("GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n").unwrap();
+        assert!(req.wants_close());
+        let req = parse_head("GET / HTTP/1.1\r\nConnection: TE , close\r\n").unwrap();
+        assert!(req.wants_close());
+        // ...and `keep-alive` in a list keeps an HTTP/1.0 connection open.
+        let req = parse_head("GET / HTTP/1.0\r\nConnection: Keep-Alive, TE\r\n").unwrap();
+        assert!(!req.wants_close());
+        // Unrelated tokens fall back to the version default.
+        let req = parse_head("GET / HTTP/1.1\r\nConnection: upgrade\r\n").unwrap();
+        assert!(!req.wants_close());
+        let req = parse_head("GET / HTTP/1.0\r\nConnection: upgrade\r\n").unwrap();
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn content_length_agreement() {
+        let parse = |head: &str| body_length(&parse_head(head).unwrap());
+        assert_eq!(parse("POST / HTTP/1.1\r\n").unwrap(), 0);
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 7\r\n").unwrap(),
+            7
+        );
+        // Identical duplicates (proxy artifact) are tolerated, both as
+        // repeated headers and as a folded list.
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 7\r\n").unwrap(),
+            7
+        );
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 7, 7\r\n").unwrap(),
+            7
+        );
+        // Conflicting declarations are a smuggling vector: reject.
+        assert!(parse("POST / HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 8\r\n").is_err());
+        assert!(parse("POST / HTTP/1.1\r\nContent-Length: 7, 8\r\n").is_err());
+        assert!(parse("POST / HTTP/1.1\r\nContent-Length: x\r\n").is_err());
+        assert!(parse("POST / HTTP/1.1\r\nContent-Length: -1\r\n").is_err());
     }
 
     #[test]

@@ -1,24 +1,52 @@
-//! Asynchronous sweep jobs: a bounded FIFO queue with progress,
-//! cancellation, and bounded result retention.
+//! Asynchronous sweep jobs: a fair-share chunk scheduler with progress,
+//! cancellation, bounded retention, and terminal-state persistence.
 //!
-//! `POST /v1/sweeps` enqueues a [`Job`] and returns immediately; a
-//! dedicated executor thread pops jobs in submission order and runs each
-//! sweep on the rayon pool (one sweep at a time — a sweep already
-//! saturates every core, so concurrent sweeps would only fight for
-//! workers). Progress lands in relaxed atomics that `GET /v1/jobs/:id`
-//! reads lock-free; `DELETE` flips the job's cancellation flag, which the
-//! sweep engine polls per attack ([`bgpsim_hijack::SweepMonitor`]).
+//! `POST /v1/sweeps` enqueues a [`Job`] and returns immediately. Jobs are
+//! not handed to executors whole: the registry slices each job's attacker
+//! pool into fixed-size chunks and deals chunks round-robin across every
+//! runnable job ([`JobRegistry::next_chunk`]), so a paper-scale sweep
+//! shares the executor pool with a three-attacker quickie instead of
+//! starving it. Each chunk still runs on the rayon pool internally —
+//! fairness is scheduled *between* jobs, parallelism happens *inside*
+//! chunks.
+//!
+//! Progress lands in relaxed atomics that `GET /v1/jobs/:id` reads
+//! lock-free; `DELETE` flips the job's cancellation flag, which the sweep
+//! engine polls per attack ([`bgpsim_hijack::SweepMonitor`]).
+//!
+//! Every lock acquisition recovers from poisoning
+//! (`unwrap_or_else(PoisonError::into_inner)`): a panicking executor must
+//! never take `/v1/jobs` down with it. The executor reports panics
+//! through [`JobRegistry::fail_chunk`], which marks the in-flight job
+//! `failed` and keeps scheduling everyone else.
+//!
+//! When the registry is built with a state directory, terminal jobs
+//! (done, cancelled, failed) are serialized through
+//! [`bgpsim_core::manifest::Json`] to `job-<id>.json` and reloaded on the
+//! next boot, so `GET /v1/results/:id` survives a restart. Unreadable
+//! state files are quarantined (moved aside), never fatal.
 //!
 //! Retention is bounded: once more than [`JobRegistry::MAX_RETAINED`]
 //! jobs exist, the oldest *finished* jobs are forgotten (their ids then
 //! answer 404). Queued and running jobs are never evicted.
 
 use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
 
+use bgpsim_core::manifest::{Json, SCHEMA_VERSION};
 use bgpsim_hijack::Defense;
 use bgpsim_topology::AsIndex;
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+/// Registry state stays consistent under poisoning because every terminal
+/// transition is idempotent and every counter is monotonic — serving
+/// slightly stale data beats poisoning every future request.
+pub(crate) fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Everything the executor needs to run one sweep, resolved and
 /// validated at submission time so a queued job cannot fail on bad input.
@@ -55,24 +83,24 @@ pub struct JobOutput {
     /// One pollution count per pool attacker, in pool order.
     pub counts: Vec<u32>,
     /// How the baseline cache served this sweep (`"bypass"` when the
-    /// sweep did not use it).
+    /// sweep did not use it; the coldest outcome across chunks otherwise).
     pub cache: &'static str,
-    /// Executor wall time for the sweep.
+    /// Wall time from first chunk dispatched to last chunk finished.
     pub wall_ms: u64,
 }
 
 /// Lifecycle of a job.
 #[derive(Debug)]
 pub enum JobState {
-    /// Waiting in the executor queue.
+    /// Waiting for its first chunk to be dispatched.
     Queued,
-    /// Currently sweeping.
+    /// At least one chunk dispatched; sweeping.
     Running,
     /// Finished; results available on `/v1/results/:id`.
     Done(JobOutput),
     /// Cancelled before or during the sweep; no results retained.
     Cancelled,
-    /// The server shut down before the job could run.
+    /// The sweep failed (executor panic) or the server shut down first.
     Failed(String),
 }
 
@@ -100,6 +128,27 @@ impl JobState {
 /// Sentinel for "ETA unknown" in [`Job::eta_ms`].
 pub const ETA_UNKNOWN: u64 = u64::MAX;
 
+/// Chunk-assembled sweep rows, plus the coldest cache outcome seen and
+/// the first failure (if any).
+#[derive(Debug)]
+struct Partial {
+    counts: Vec<u32>,
+    cache: &'static str,
+    failure: Option<String>,
+}
+
+/// Orders cache outcomes coldest-last so a job's overall `meta.cache`
+/// reports the most expensive thing that happened to it: one missed chunk
+/// makes the whole sweep a `"miss"` even though later chunks hit.
+fn cache_rank(name: &str) -> u8 {
+    match name {
+        "miss" => 3,
+        "coalesced" => 2,
+        "hit" => 1,
+        _ => 0, // bypass
+    }
+}
+
 /// One submitted sweep.
 #[derive(Debug)]
 pub struct Job {
@@ -119,6 +168,20 @@ pub struct Job {
     /// Estimated remaining time, milliseconds ([`ETA_UNKNOWN`] until the
     /// first attack completes).
     pub eta_ms: AtomicU64,
+    /// True for jobs reloaded from the state directory at boot; they are
+    /// terminal forever and never scheduled.
+    pub restored: bool,
+    /// First pool index not yet dealt to an executor. Mutated only under
+    /// the registry lock.
+    next_attacker: AtomicUsize,
+    /// Chunks dealt out but not yet reported back. Mutated only under the
+    /// registry lock.
+    chunks_in_flight: AtomicUsize,
+    /// When the first chunk was dispatched.
+    started: Mutex<Option<Instant>>,
+    partial: Mutex<Partial>,
+    /// Guards the one-shot terminal-state write to the state directory.
+    persisted: AtomicBool,
 }
 
 impl Job {
@@ -126,6 +189,11 @@ impl Job {
         let total = spec.pool.len();
         Job {
             id,
+            partial: Mutex::new(Partial {
+                counts: vec![0; total],
+                cache: "bypass",
+                failure: None,
+            }),
             spec,
             state: Mutex::new(JobState::Queued),
             cancel: AtomicBool::new(false),
@@ -133,6 +201,11 @@ impl Job {
             total: AtomicUsize::new(total),
             elapsed_ms: AtomicU64::new(0),
             eta_ms: AtomicU64::new(ETA_UNKNOWN),
+            restored: false,
+            next_attacker: AtomicUsize::new(0),
+            chunks_in_flight: AtomicUsize::new(0),
+            started: Mutex::new(None),
+            persisted: AtomicBool::new(false),
         }
     }
 
@@ -143,40 +216,94 @@ impl Job {
 
     /// Runs `f` against the current state.
     pub fn with_state<R>(&self, f: impl FnOnce(&JobState) -> R) -> R {
-        f(&self.state.lock().unwrap())
+        f(&lock_recover(&self.state))
     }
 
     /// Transitions to `next` unless already terminal (a cancelled job
     /// stays cancelled even if the executor later reports completion).
     pub fn transition(&self, next: JobState) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_recover(&self.state);
         if !state.is_terminal() {
             *state = next;
         }
+    }
+
+    /// When the first chunk of this job was dispatched (`None` while
+    /// queued). The executor derives job-level elapsed/ETA from this.
+    pub fn started_at(&self) -> Option<Instant> {
+        *lock_recover(&self.started)
+    }
+}
+
+/// One unit of executor work: run `job.spec.pool[start..end]`.
+#[derive(Debug)]
+pub struct Chunk {
+    /// The job this chunk belongs to.
+    pub job: Arc<Job>,
+    /// First pool index of the chunk (inclusive).
+    pub start: usize,
+    /// Last pool index of the chunk (exclusive).
+    pub end: usize,
+}
+
+impl Chunk {
+    /// The chunk's slice of the job's attacker pool.
+    pub fn attackers(&self) -> &[AsIndex] {
+        &self.job.spec.pool[self.start..self.end]
     }
 }
 
 struct RegistryInner {
     /// Every retained job, oldest first.
     jobs: VecDeque<Arc<Job>>,
-    /// Jobs awaiting the executor, submission order.
-    queue: VecDeque<Arc<Job>>,
+    /// Round-robin ring of jobs with undealt chunks. A job appears at
+    /// most once; it is pushed to the back after each chunk is dealt and
+    /// drops out once fully dealt (or terminal).
+    ring: VecDeque<Arc<Job>>,
     next_id: u64,
     closed: bool,
 }
 
-/// Owns every job and the executor hand-off queue.
+/// Counters for `/v1/metrics`: scheduler and persistence activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Chunks finished (successfully or not) by the executor pool.
+    pub chunks_executed: u64,
+    /// Terminal job records written to the state directory.
+    pub jobs_persisted: u64,
+    /// Terminal jobs reloaded from the state directory at boot.
+    pub jobs_restored: u64,
+    /// Unreadable state files moved to quarantine at boot.
+    pub files_quarantined: u64,
+}
+
+/// What [`JobRegistry::with_state_dir`] found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestoreReport {
+    /// Terminal jobs reloaded into the registry.
+    pub restored: usize,
+    /// Unreadable files moved to `<state-dir>/quarantine/`.
+    pub quarantined: usize,
+}
+
+/// Owns every job, the fair-share chunk ring, and the state directory.
 pub struct JobRegistry {
     inner: Mutex<RegistryInner>,
-    /// Signals the executor: queue non-empty or registry closed.
+    /// Signals executors: ring non-empty or registry closed.
     pending: Condvar,
     max_queued: usize,
+    chunk_size: usize,
+    state_dir: Option<PathBuf>,
+    chunks_executed: AtomicU64,
+    jobs_persisted: AtomicU64,
+    jobs_restored: u64,
+    files_quarantined: u64,
 }
 
 /// Per-state job counts for `/v1/healthz` and `/v1/metrics`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct JobCounts {
-    /// Jobs waiting for the executor.
+    /// Jobs waiting for their first chunk.
     pub queued: usize,
     /// Jobs currently sweeping.
     pub running: usize,
@@ -200,36 +327,102 @@ impl JobRegistry {
     /// Finished jobs retained before the oldest are forgotten.
     pub const MAX_RETAINED: usize = 256;
 
-    /// A registry accepting at most `max_queued` unstarted jobs.
+    /// Attackers per scheduling chunk: small enough that a short job
+    /// never waits behind more than one chunk of a long one, large enough
+    /// that per-chunk overhead (cache lookup, dispatch) stays negligible
+    /// against the rayon fan-out inside the chunk.
+    pub const CHUNK_ATTACKERS: usize = 64;
+
+    /// A registry accepting at most `max_queued` unstarted jobs, with no
+    /// persistence.
     pub fn new(max_queued: usize) -> JobRegistry {
-        JobRegistry {
+        JobRegistry::with_state_dir(max_queued, None).0
+    }
+
+    /// A registry that persists terminal jobs to `state_dir` (when given)
+    /// and reloads the ones already there, quarantining unreadable files
+    /// instead of failing the boot.
+    pub fn with_state_dir(
+        max_queued: usize,
+        state_dir: Option<PathBuf>,
+    ) -> (JobRegistry, RestoreReport) {
+        let mut report = RestoreReport::default();
+        let mut jobs = VecDeque::new();
+        let mut next_id = 1;
+        if let Some(dir) = &state_dir {
+            let (restored, quarantined) = restore_jobs(dir);
+            report.restored = restored.len();
+            report.quarantined = quarantined;
+            for job in restored {
+                next_id = next_id.max(job.id + 1);
+                jobs.push_back(job);
+            }
+        }
+        let registry = JobRegistry {
             inner: Mutex::new(RegistryInner {
-                jobs: VecDeque::new(),
-                queue: VecDeque::new(),
-                next_id: 1,
+                jobs,
+                ring: VecDeque::new(),
+                next_id,
                 closed: false,
             }),
             pending: Condvar::new(),
             max_queued: max_queued.max(1),
+            chunk_size: JobRegistry::CHUNK_ATTACKERS,
+            state_dir,
+            chunks_executed: AtomicU64::new(0),
+            jobs_persisted: AtomicU64::new(0),
+            jobs_restored: report.restored as u64,
+            files_quarantined: report.quarantined as u64,
+        };
+        (registry, report)
+    }
+
+    /// Overrides the scheduling chunk size (tests use 1 to force
+    /// fine-grained interleaving).
+    #[must_use]
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> JobRegistry {
+        self.chunk_size = chunk_size.max(1);
+        self
+    }
+
+    /// Scheduler/persistence counter snapshot.
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            chunks_executed: self.chunks_executed.load(Ordering::Relaxed),
+            jobs_persisted: self.jobs_persisted.load(Ordering::Relaxed),
+            jobs_restored: self.jobs_restored,
+            files_quarantined: self.files_quarantined,
         }
     }
 
     /// Enqueues a sweep, returning the job handle, or an error message
     /// when the queue is full (HTTP 429) or the server is draining
     /// (HTTP 503).
+    ///
+    /// The admission bound counts every *unfinished* job (queued or
+    /// running), not just queued ones: under fair-share scheduling a
+    /// job's first chunk is dealt almost immediately, so a queued-only
+    /// bound would admit an unbounded backlog of jobs all nominally
+    /// "running". Restored jobs are terminal by construction and never
+    /// count.
     pub fn submit(&self, spec: SweepSpec) -> Result<Arc<Job>, &'static str> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recover(&self.inner);
         if inner.closed {
             return Err("server is shutting down");
         }
-        if inner.queue.len() >= self.max_queued {
+        let active = inner
+            .jobs
+            .iter()
+            .filter(|j| j.with_state(|s| !s.is_terminal()))
+            .count();
+        if active >= self.max_queued {
             return Err("job queue is full");
         }
         let id = inner.next_id;
         inner.next_id += 1;
         let job = Arc::new(Job::new(id, spec));
         inner.jobs.push_back(Arc::clone(&job));
-        inner.queue.push_back(Arc::clone(&job));
+        inner.ring.push_back(Arc::clone(&job));
         // Forget the oldest finished jobs beyond the retention bound.
         while inner.jobs.len() > JobRegistry::MAX_RETAINED {
             let Some(pos) = inner
@@ -248,70 +441,180 @@ impl JobRegistry {
 
     /// Looks up a retained job by numeric id.
     pub fn get(&self, id: u64) -> Option<Arc<Job>> {
-        self.inner
-            .lock()
-            .unwrap()
+        lock_recover(&self.inner)
             .jobs
             .iter()
             .find(|j| j.id == id)
             .cloned()
     }
 
-    /// Blocks until a job is available (skipping ones already cancelled
-    /// while queued) or the registry closes; `None` means shut down.
-    pub fn next_job(&self) -> Option<Arc<Job>> {
-        let mut inner = self.inner.lock().unwrap();
+    /// Blocks until a chunk of work is available or the registry closes
+    /// (`None` means shut down). Chunks are dealt round-robin across every
+    /// job with undealt attackers: after a chunk is taken from the front
+    /// job, that job goes to the back of the ring, so N concurrent jobs
+    /// each receive ~every Nth chunk regardless of pool size.
+    pub fn next_chunk(&self) -> Option<Chunk> {
+        let mut inner = lock_recover(&self.inner);
         loop {
-            while let Some(job) = inner.queue.pop_front() {
-                if job.cancel.load(Ordering::Relaxed) {
-                    job.transition(JobState::Cancelled);
+            while let Some(job) = inner.ring.pop_front() {
+                if job.with_state(JobState::is_terminal) {
                     continue;
                 }
-                return Some(job);
+                if job.cancel.load(Ordering::Relaxed) {
+                    // Reap a cancelled job with nothing in flight; one
+                    // with chunks still out finalizes when they drain.
+                    if job.chunks_in_flight.load(Ordering::Relaxed) == 0 {
+                        job.transition(JobState::Cancelled);
+                        self.persist_terminal(&job);
+                    }
+                    continue;
+                }
+                let total = job.spec.pool.len();
+                let start = job.next_attacker.load(Ordering::Relaxed);
+                if start >= total {
+                    continue; // fully dealt; finish_chunk finalizes
+                }
+                let end = (start + self.chunk_size).min(total);
+                job.next_attacker.store(end, Ordering::Relaxed);
+                job.chunks_in_flight.fetch_add(1, Ordering::Relaxed);
+                if start == 0 {
+                    job.transition(JobState::Running);
+                    *lock_recover(&job.started) = Some(Instant::now());
+                }
+                if end < total {
+                    inner.ring.push_back(Arc::clone(&job));
+                    // Cascade: there is more work than this executor is
+                    // about to take, so wake another one.
+                    self.pending.notify_one();
+                }
+                return Some(Chunk { job, start, end });
             }
             if inner.closed {
                 return None;
             }
-            inner = self.pending.wait(inner).unwrap();
+            inner = self
+                .pending
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
-    /// Requests cancellation of a job. Queued jobs become `cancelled`
-    /// immediately; a running job's sweep notices the flag per attack and
-    /// the executor marks it `cancelled` when the sweep returns. Returns
-    /// the job, or `None` if the id is unknown.
-    pub fn cancel(&self, id: u64) -> Option<Arc<Job>> {
-        let job = self.get(id)?;
-        job.cancel.store(true, Ordering::Relaxed);
-        // Transition queued jobs right away so the DELETE response is
-        // immediately truthful; the executor also skips them when popped.
-        let queued = job.with_state(|s| matches!(s, JobState::Queued));
-        if queued {
-            job.transition(JobState::Cancelled);
+    /// Reports a chunk's rows back. When this was the job's last
+    /// outstanding chunk, assembles the output and finalizes the job.
+    pub fn finish_chunk(&self, chunk: &Chunk, rows: &[u32], cache: &'static str) {
+        debug_assert_eq!(rows.len(), chunk.end - chunk.start);
+        {
+            let mut partial = lock_recover(&chunk.job.partial);
+            let n = rows.len().min(chunk.end - chunk.start);
+            partial.counts[chunk.start..chunk.start + n].copy_from_slice(&rows[..n]);
+            if cache_rank(cache) > cache_rank(partial.cache) {
+                partial.cache = cache;
+            }
         }
+        self.chunk_done(&chunk.job, None);
+    }
+
+    /// Reports a chunk that died (executor panic). The job stops being
+    /// scheduled and finalizes as `failed` once in-flight chunks drain;
+    /// every other job keeps running.
+    pub fn fail_chunk(&self, chunk: &Chunk, message: impl Into<String>) {
+        self.chunk_done(&chunk.job, Some(message.into()));
+    }
+
+    fn chunk_done(&self, job: &Arc<Job>, failure: Option<String>) {
+        self.chunks_executed.fetch_add(1, Ordering::Relaxed);
+        let mut terminal: Option<JobState> = None;
+        {
+            let _inner = lock_recover(&self.inner);
+            if let Some(message) = failure {
+                let mut partial = lock_recover(&job.partial);
+                partial.failure.get_or_insert(message);
+                drop(partial);
+                // Stop dealing the rest of the pool and hasten in-flight
+                // chunks to bail (the sweep engine polls the flag).
+                job.next_attacker
+                    .store(job.spec.pool.len(), Ordering::Relaxed);
+                job.cancel.store(true, Ordering::Relaxed);
+            }
+            let in_flight = job.chunks_in_flight.fetch_sub(1, Ordering::Relaxed) - 1;
+            let fully_dealt = job.next_attacker.load(Ordering::Relaxed) >= job.spec.pool.len();
+            if in_flight == 0 && fully_dealt {
+                let mut partial = lock_recover(&job.partial);
+                terminal = Some(if let Some(message) = partial.failure.take() {
+                    JobState::Failed(message)
+                } else if job.cancel.load(Ordering::Relaxed) {
+                    // A cancelled sweep returns zero rows for skipped
+                    // attackers — not real results, so they are discarded.
+                    JobState::Cancelled
+                } else {
+                    let wall = job
+                        .started_at()
+                        .map_or(0, |t| t.elapsed().as_millis() as u64);
+                    JobState::Done(JobOutput {
+                        counts: std::mem::take(&mut partial.counts),
+                        cache: partial.cache,
+                        wall_ms: wall,
+                    })
+                });
+            }
+        }
+        if let Some(next) = terminal {
+            job.transition(next);
+            self.persist_terminal(job);
+        }
+    }
+
+    /// Requests cancellation of a job. Jobs with no chunk in flight
+    /// (queued, or running between chunks) become `cancelled`
+    /// immediately; a running chunk notices the flag per attack and the
+    /// job finalizes when its chunks drain. Returns the job, or `None` if
+    /// the id is unknown.
+    pub fn cancel(&self, id: u64) -> Option<Arc<Job>> {
+        let job = {
+            let inner = lock_recover(&self.inner);
+            let job = inner.jobs.iter().find(|j| j.id == id).cloned()?;
+            job.cancel.store(true, Ordering::Relaxed);
+            if job.chunks_in_flight.load(Ordering::Relaxed) == 0 {
+                // Between chunks (or never started): nothing will report
+                // back, so finalize here; the ring skips terminal jobs.
+                job.transition(JobState::Cancelled);
+            }
+            job
+        };
+        self.persist_terminal(&job);
         Some(job)
     }
 
     /// Closes the registry: refuses new submissions, cancels every
-    /// not-yet-terminal job, and wakes the executor so it can exit.
+    /// not-yet-terminal job, and wakes the executors so they can exit.
     pub fn close(&self) {
-        let mut inner = self.inner.lock().unwrap();
-        inner.closed = true;
-        for job in &inner.jobs {
-            job.cancel.store(true, Ordering::Relaxed);
-            let queued = job.with_state(|s| matches!(s, JobState::Queued));
-            if queued {
-                job.transition(JobState::Failed("server shut down".to_string()));
+        let mut to_persist = Vec::new();
+        {
+            let mut inner = lock_recover(&self.inner);
+            inner.closed = true;
+            for job in &inner.jobs {
+                job.cancel.store(true, Ordering::Relaxed);
+                let queued = job.with_state(|s| matches!(s, JobState::Queued));
+                if queued {
+                    job.transition(JobState::Failed("server shut down".to_string()));
+                    to_persist.push(Arc::clone(job));
+                } else if job.chunks_in_flight.load(Ordering::Relaxed) == 0 {
+                    // Running but between chunks: nothing will report back.
+                    job.transition(JobState::Cancelled);
+                    to_persist.push(Arc::clone(job));
+                }
             }
+            inner.ring.clear();
         }
-        inner.queue.clear();
-        drop(inner);
         self.pending.notify_all();
+        for job in to_persist {
+            self.persist_terminal(&job);
+        }
     }
 
     /// Per-state counts over retained jobs.
     pub fn counts(&self) -> JobCounts {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock_recover(&self.inner);
         let mut counts = JobCounts::default();
         for job in &inner.jobs {
             job.with_state(|state| match state {
@@ -324,6 +627,288 @@ impl JobRegistry {
         }
         counts
     }
+
+    // -----------------------------------------------------------------
+    // Persistence
+
+    /// Writes a terminal job's record to the state directory, once.
+    /// Failures are swallowed: persistence is best-effort durability, not
+    /// a correctness dependency of the running server.
+    fn persist_terminal(&self, job: &Arc<Job>) {
+        let Some(dir) = &self.state_dir else { return };
+        if !job.with_state(JobState::is_terminal) {
+            return;
+        }
+        if job.persisted.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        let doc = job_to_doc(job);
+        let path = dir.join(format!("job-{}.json", job.id));
+        let tmp = dir.join(format!("job-{}.json.tmp", job.id));
+        let mut text = doc.render_compact();
+        text.push('\n');
+        // Write-then-rename so a crash mid-write leaves a quarantinable
+        // .tmp, never a torn job-<id>.json.
+        if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+            self.jobs_persisted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Serializes a terminal job to its on-disk record.
+fn job_to_doc(job: &Job) -> Json {
+    let mut pairs = vec![
+        (
+            "schema_version".to_string(),
+            Json::Num(SCHEMA_VERSION as f64),
+        ),
+        ("id".to_string(), Json::Num(job.id as f64)),
+        (
+            "state".to_string(),
+            Json::str(job.with_state(JobState::name)),
+        ),
+        (
+            "target".to_string(),
+            Json::Num(f64::from(job.spec.target_asn)),
+        ),
+        ("pool".to_string(), Json::str(job.spec.pool_kind)),
+        (
+            "attackers".to_string(),
+            Json::Arr(
+                job.spec
+                    .pool_asns
+                    .iter()
+                    .map(|&asn| Json::Num(f64::from(asn)))
+                    .collect(),
+            ),
+        ),
+        (
+            "validators".to_string(),
+            Json::Arr(
+                job.spec
+                    .validator_asns
+                    .iter()
+                    .map(|&asn| Json::Num(f64::from(asn)))
+                    .collect(),
+            ),
+        ),
+        (
+            "stub_defense".to_string(),
+            Json::Bool(job.spec.stub_defense),
+        ),
+        (
+            "total".to_string(),
+            Json::Num(job.total.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "completed".to_string(),
+            Json::Num(job.completed.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "elapsed_ms".to_string(),
+            Json::Num(job.elapsed_ms.load(Ordering::Relaxed) as f64),
+        ),
+    ];
+    job.with_state(|state| match state {
+        JobState::Done(output) => {
+            pairs.push((
+                "output".to_string(),
+                Json::obj([
+                    (
+                        "counts",
+                        Json::Arr(
+                            output
+                                .counts
+                                .iter()
+                                .map(|&c| Json::Num(f64::from(c)))
+                                .collect(),
+                        ),
+                    ),
+                    ("cache", Json::str(output.cache)),
+                    ("wall_ms", Json::Num(output.wall_ms as f64)),
+                ]),
+            ));
+        }
+        JobState::Failed(message) => {
+            pairs.push(("error".to_string(), Json::str(message.clone())));
+        }
+        _ => {}
+    });
+    Json::Obj(pairs)
+}
+
+fn doc_get<'a>(doc: &'a Json, key: &str) -> Option<&'a Json> {
+    match doc {
+        Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn doc_u64(doc: &Json, key: &str) -> Option<u64> {
+    match doc_get(doc, key)? {
+        Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+fn doc_u32s(doc: &Json, key: &str) -> Option<Vec<u32>> {
+    match doc_get(doc, key)? {
+        Json::Arr(items) => items
+            .iter()
+            .map(|item| match item {
+                Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= f64::from(u32::MAX) => {
+                    Some(*n as u32)
+                }
+                _ => None,
+            })
+            .collect(),
+        _ => None,
+    }
+}
+
+/// Deserializes one state-directory record; `None` means the file is
+/// corrupt (and should be quarantined).
+fn job_from_doc(doc: &Json) -> Option<Arc<Job>> {
+    let id = doc_u64(doc, "id")?;
+    let target_asn = u32::try_from(doc_u64(doc, "target")?).ok()?;
+    let pool_asns = doc_u32s(doc, "attackers")?;
+    let validator_asns = doc_u32s(doc, "validators")?;
+    let stub_defense = matches!(doc_get(doc, "stub_defense"), Some(Json::Bool(true)));
+    let pool_kind = match doc_get(doc, "pool")? {
+        Json::Str(s) => match s.as_str() {
+            "all" => "all",
+            "transit" => "transit",
+            "explicit" => "explicit",
+            _ => return None,
+        },
+        _ => return None,
+    };
+    let total = doc_u64(doc, "total").unwrap_or(pool_asns.len() as u64) as usize;
+    let completed = doc_u64(doc, "completed").unwrap_or(0) as usize;
+    let elapsed_ms = doc_u64(doc, "elapsed_ms").unwrap_or(0);
+    let state = match doc_get(doc, "state")? {
+        Json::Str(s) => match s.as_str() {
+            "done" => {
+                let output = doc_get(doc, "output")?;
+                let counts = doc_u32s(output, "counts")?;
+                if counts.len() != pool_asns.len() {
+                    return None;
+                }
+                let cache = match doc_get(output, "cache")? {
+                    Json::Str(s) => match s.as_str() {
+                        "hit" => "hit",
+                        "miss" => "miss",
+                        "coalesced" => "coalesced",
+                        "bypass" => "bypass",
+                        _ => return None,
+                    },
+                    _ => return None,
+                };
+                let wall_ms = doc_u64(output, "wall_ms")?;
+                JobState::Done(JobOutput {
+                    counts,
+                    cache,
+                    wall_ms,
+                })
+            }
+            "cancelled" => JobState::Cancelled,
+            "failed" => {
+                let message = match doc_get(doc, "error") {
+                    Some(Json::Str(s)) => s.clone(),
+                    _ => "unknown failure (restored)".to_string(),
+                };
+                JobState::Failed(message)
+            }
+            // A non-terminal state on disk is a corrupt record: the
+            // registry only ever persists terminal jobs.
+            _ => return None,
+        },
+        _ => return None,
+    };
+    let pool_len = pool_asns.len();
+    Some(Arc::new(Job {
+        id,
+        spec: SweepSpec {
+            // Runtime fields are placeholders: restored jobs are terminal
+            // and never scheduled, so only the echoed document fields
+            // (ASNs, pool kind, defense description) matter.
+            target: AsIndex::new(0),
+            target_asn,
+            pool: Vec::new(),
+            pool_asns,
+            defense: Defense::none(),
+            validator_asns,
+            stub_defense,
+            defense_fp: 0,
+            cacheable: false,
+            pool_kind,
+        },
+        state: Mutex::new(state),
+        cancel: AtomicBool::new(false),
+        completed: AtomicUsize::new(completed),
+        total: AtomicUsize::new(total),
+        elapsed_ms: AtomicU64::new(elapsed_ms),
+        eta_ms: AtomicU64::new(ETA_UNKNOWN),
+        restored: true,
+        next_attacker: AtomicUsize::new(pool_len),
+        chunks_in_flight: AtomicUsize::new(0),
+        started: Mutex::new(None),
+        partial: Mutex::new(Partial {
+            counts: Vec::new(),
+            cache: "bypass",
+            failure: None,
+        }),
+        // Already on disk: never rewrite.
+        persisted: AtomicBool::new(true),
+    }))
+}
+
+/// Scans `dir` for `job-*.json` records, quarantining unreadable ones.
+/// Returns the restored jobs (oldest first, newest [`JobRegistry::MAX_RETAINED`]
+/// only) and the number of files quarantined.
+fn restore_jobs(dir: &Path) -> (Vec<Arc<Job>>, usize) {
+    let _ = std::fs::create_dir_all(dir);
+    let mut restored: Vec<Arc<Job>> = Vec::new();
+    let mut quarantined = 0;
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return (restored, quarantined);
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if !name.starts_with("job-") || !name.ends_with(".json") {
+            continue;
+        }
+        let job = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| Json::parse(&text).ok())
+            .and_then(|doc| job_from_doc(&doc));
+        match job {
+            Some(job) => restored.push(job),
+            None => {
+                quarantine(dir, &path);
+                quarantined += 1;
+            }
+        }
+    }
+    restored.sort_by_key(|j| j.id);
+    if restored.len() > JobRegistry::MAX_RETAINED {
+        let drop_n = restored.len() - JobRegistry::MAX_RETAINED;
+        restored.drain(..drop_n);
+    }
+    (restored, quarantined)
+}
+
+/// Moves an unreadable state file into `<dir>/quarantine/` so the
+/// operator can inspect it and the next boot does not trip over it again.
+fn quarantine(dir: &Path, path: &Path) {
+    let quarantine_dir = dir.join("quarantine");
+    let _ = std::fs::create_dir_all(&quarantine_dir);
+    if let Some(name) = path.file_name() {
+        let _ = std::fs::rename(path, quarantine_dir.join(name));
+    }
 }
 
 #[cfg(test)]
@@ -331,11 +916,15 @@ mod tests {
     use super::*;
 
     fn spec() -> SweepSpec {
+        spec_with_pool(2)
+    }
+
+    fn spec_with_pool(n: u32) -> SweepSpec {
         SweepSpec {
             target: AsIndex::new(0),
             target_asn: 1,
-            pool: vec![AsIndex::new(1), AsIndex::new(2)],
-            pool_asns: vec![2, 3],
+            pool: (1..=n).map(AsIndex::new).collect(),
+            pool_asns: (2..=n + 1).collect(),
             defense: Defense::none(),
             validator_asns: Vec::new(),
             stub_defense: false,
@@ -345,32 +934,97 @@ mod tests {
         }
     }
 
+    /// A unique per-test scratch directory (std-only; no tempfile crate).
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "bgpsim-jobs-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
-    fn submit_pop_finish() {
+    fn submit_chunk_finish() {
         let registry = JobRegistry::new(4);
         let job = registry.submit(spec()).unwrap();
         assert_eq!(job.wire_id(), "job-1");
         assert_eq!(registry.counts().queued, 1);
-        let popped = registry.next_job().unwrap();
-        assert_eq!(popped.id, job.id);
-        popped.transition(JobState::Running);
+        let chunk = registry.next_chunk().unwrap();
+        assert_eq!(chunk.job.id, job.id);
+        assert_eq!((chunk.start, chunk.end), (0, 2));
         assert_eq!(registry.counts().running, 1);
-        popped.transition(JobState::Done(JobOutput {
-            counts: vec![1, 2],
-            cache: "bypass",
-            wall_ms: 3,
-        }));
+        registry.finish_chunk(&chunk, &[1, 2], "bypass");
         assert_eq!(registry.counts().done, 1);
-        assert!(registry.get(1).unwrap().with_state(JobState::is_terminal));
+        let done = registry.get(1).unwrap();
+        done.with_state(|s| match s {
+            JobState::Done(output) => assert_eq!(output.counts, vec![1, 2]),
+            other => panic!("expected done, got {}", other.name()),
+        });
         assert!(registry.get(99).is_none());
+        assert_eq!(registry.scheduler_stats().chunks_executed, 1);
+    }
+
+    #[test]
+    fn chunks_round_robin_across_jobs() {
+        let registry = JobRegistry::new(4).with_chunk_size(1);
+        let a = registry.submit(spec_with_pool(2)).unwrap();
+        let b = registry.submit(spec_with_pool(2)).unwrap();
+        // Fair share: A, B, A, B — not A, A, B, B.
+        let order: Vec<(u64, usize)> = (0..4)
+            .map(|_| {
+                let chunk = registry.next_chunk().unwrap();
+                let key = (chunk.job.id, chunk.start);
+                registry.finish_chunk(&chunk, &[0], "bypass");
+                key
+            })
+            .collect();
+        assert_eq!(order, vec![(a.id, 0), (b.id, 0), (a.id, 1), (b.id, 1)]);
+        assert_eq!(registry.counts().done, 2);
+    }
+
+    #[test]
+    fn interleaved_chunks_assemble_in_pool_order() {
+        let registry = JobRegistry::new(4).with_chunk_size(2);
+        registry.submit(spec_with_pool(5)).unwrap();
+        let c1 = registry.next_chunk().unwrap();
+        let c2 = registry.next_chunk().unwrap();
+        let c3 = registry.next_chunk().unwrap();
+        assert_eq!((c1.start, c2.start, c3.start), (0, 2, 4));
+        // Finish out of order; assembly is positional.
+        registry.finish_chunk(&c3, &[50], "hit");
+        registry.finish_chunk(&c1, &[10, 20], "miss");
+        assert_eq!(registry.counts().running, 1, "still one chunk out");
+        registry.finish_chunk(&c2, &[30, 40], "hit");
+        registry.get(1).unwrap().with_state(|s| match s {
+            JobState::Done(output) => {
+                assert_eq!(output.counts, vec![10, 20, 30, 40, 50]);
+                // One missed chunk makes the whole sweep a miss.
+                assert_eq!(output.cache, "miss");
+            }
+            other => panic!("expected done, got {}", other.name()),
+        });
     }
 
     #[test]
     fn queue_bound_enforced() {
         let registry = JobRegistry::new(2);
-        registry.submit(spec()).unwrap();
+        let a = registry.submit(spec()).unwrap();
         registry.submit(spec()).unwrap();
         assert_eq!(registry.submit(spec()).unwrap_err(), "job queue is full");
+        // Dealing a chunk moves the job to `running`; it still occupies
+        // its admission slot — only finishing frees one.
+        let chunk = registry.next_chunk().unwrap();
+        assert_eq!(chunk.job.id, a.id);
+        assert_eq!(registry.submit(spec()).unwrap_err(), "job queue is full");
+        // The default chunk width covers spec()'s whole 2-attacker pool,
+        // so this one completion makes the job terminal and frees a slot.
+        registry.finish_chunk(&chunk, &[1, 1], "bypass");
+        assert!(a.with_state(JobState::is_terminal));
+        registry.submit(spec()).unwrap();
     }
 
     #[test]
@@ -380,9 +1034,9 @@ mod tests {
         let b = registry.submit(spec()).unwrap();
         let cancelled = registry.cancel(a.id).unwrap();
         assert_eq!(cancelled.with_state(JobState::name), "cancelled");
-        // The executor's next pop skips the cancelled job entirely.
-        let popped = registry.next_job().unwrap();
-        assert_eq!(popped.id, b.id);
+        // The scheduler's next deal skips the cancelled job entirely.
+        let chunk = registry.next_chunk().unwrap();
+        assert_eq!(chunk.job.id, b.id);
     }
 
     #[test]
@@ -399,12 +1053,121 @@ mod tests {
     }
 
     #[test]
+    fn failed_chunk_fails_job_but_not_registry() {
+        let registry = JobRegistry::new(4).with_chunk_size(1);
+        let doomed = registry.submit(spec_with_pool(3)).unwrap();
+        let chunk = registry.next_chunk().unwrap();
+        registry.fail_chunk(&chunk, "executor panicked");
+        assert_eq!(doomed.with_state(JobState::name), "failed");
+        doomed.with_state(|s| match s {
+            JobState::Failed(message) => assert!(message.contains("panicked")),
+            other => panic!("expected failed, got {}", other.name()),
+        });
+        // The remaining pool is never dealt, and new jobs still run.
+        let healthy = registry.submit(spec()).unwrap();
+        let chunk = registry.next_chunk().unwrap();
+        assert_eq!(chunk.job.id, healthy.id);
+    }
+
+    #[test]
+    fn poisoned_job_state_recovers() {
+        // Regression: a panic while holding the state lock used to poison
+        // it, turning every later `/v1/jobs` request into a panic.
+        let registry = JobRegistry::new(4);
+        let job = registry.submit(spec()).unwrap();
+        let poisoned = Arc::clone(&job);
+        let _ = std::thread::spawn(move || {
+            poisoned.with_state(|_| panic!("induced executor panic"));
+        })
+        .join();
+        // Every state-touching path still answers.
+        assert_eq!(job.with_state(JobState::name), "queued");
+        assert_eq!(registry.counts().queued, 1);
+        let after = registry.submit(spec()).unwrap();
+        assert_eq!(after.id, job.id + 1);
+        let chunk = registry.next_chunk().unwrap();
+        registry.finish_chunk(&chunk, &[1, 2], "bypass");
+    }
+
+    #[test]
     fn close_drains_and_fails_queued() {
         let registry = JobRegistry::new(4);
         let job = registry.submit(spec()).unwrap();
         registry.close();
-        assert!(registry.next_job().is_none());
+        assert!(registry.next_chunk().is_none());
         assert_eq!(job.with_state(JobState::name), "failed");
         assert!(registry.submit(spec()).is_err());
+    }
+
+    #[test]
+    fn terminal_jobs_survive_restart() {
+        let dir = scratch_dir("restart");
+        let counts;
+        {
+            let (registry, report) = JobRegistry::with_state_dir(4, Some(dir.clone()));
+            assert_eq!(report, RestoreReport::default());
+            registry.submit(spec()).unwrap();
+            let chunk = registry.next_chunk().unwrap();
+            registry.finish_chunk(&chunk, &[7, 9], "miss");
+            counts = vec![7, 9];
+            assert_eq!(registry.scheduler_stats().jobs_persisted, 1);
+        }
+        let (registry, report) = JobRegistry::with_state_dir(4, Some(dir.clone()));
+        assert_eq!(report.restored, 1);
+        assert_eq!(report.quarantined, 0);
+        let job = registry.get(1).expect("restored job answers by id");
+        assert!(job.restored);
+        job.with_state(|s| match s {
+            JobState::Done(output) => {
+                assert_eq!(output.counts, counts);
+                assert_eq!(output.cache, "miss");
+            }
+            other => panic!("expected done, got {}", other.name()),
+        });
+        // Ids keep growing past the restored ones.
+        let fresh = registry.submit(spec()).unwrap();
+        assert_eq!(fresh.id, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_state_files_are_quarantined() {
+        let dir = scratch_dir("quarantine");
+        std::fs::write(dir.join("job-3.json"), "{not json at all").unwrap();
+        std::fs::write(dir.join("job-4.json"), "{\"id\":4,\"state\":\"running\"}").unwrap();
+        let (registry, report) = JobRegistry::with_state_dir(4, Some(dir.clone()));
+        assert_eq!(report.restored, 0);
+        assert_eq!(report.quarantined, 2);
+        assert!(registry.get(3).is_none());
+        assert!(dir.join("quarantine/job-3.json").exists());
+        assert!(dir.join("quarantine/job-4.json").exists());
+        assert!(!dir.join("job-3.json").exists());
+        // The registry still works — corrupt files cost nothing but a move.
+        registry.submit(spec()).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancelled_and_failed_jobs_persist_too() {
+        let dir = scratch_dir("terminal");
+        {
+            let (registry, _) = JobRegistry::with_state_dir(4, Some(dir.clone()));
+            let a = registry.submit(spec()).unwrap();
+            registry.cancel(a.id).unwrap();
+            registry.submit(spec()).unwrap();
+            let chunk = registry.next_chunk().unwrap();
+            registry.fail_chunk(&chunk, "induced");
+        }
+        let (registry, report) = JobRegistry::with_state_dir(4, Some(dir.clone()));
+        assert_eq!(report.restored, 2);
+        assert_eq!(
+            registry.get(1).unwrap().with_state(JobState::name),
+            "cancelled"
+        );
+        registry.get(2).unwrap().with_state(|s| match s {
+            JobState::Failed(message) => assert_eq!(message, "induced"),
+            other => panic!("expected failed, got {}", other.name()),
+        });
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -17,12 +17,15 @@
 //!      │  bounded sync_channel (503 when full)
 //!      ▼
 //!  HTTP workers (std::thread::scope; keep-alive; per-worker Workspace)
-//!      │ POST /v1/sweeps                      │ POST /v1/attacks
-//!      ▼                                      ▼
-//!  JobRegistry ──► sweep executor ──►  BaselineCache (LRU, single-flight)
-//!                  (one at a time;           │
-//!                   rayon inside)            ▼
-//!                                      Simulator (borrows the Lab)
+//!      │ POST /v1/sweeps        │ POST /v1/attacks, /v1/attacks:batch
+//!      ▼                        ▼
+//!  JobRegistry ══► executor pool ──►  BaselineCache (LRU, single-flight)
+//!   (fair-share    (attacker-chunks,        │
+//!    chunk ring)    rayon inside, panic     ▼
+//!      │            isolation per chunk)  Simulator (borrows the Lab)
+//!      ▼
+//!  --state-dir (terminal jobs persisted as manifest JSON,
+//!               reloaded on boot, corrupt files quarantined)
 //! ```
 //!
 //! Everything is `std`: the no-new-dependencies policy means no tokio, no
@@ -49,6 +52,8 @@ pub mod metrics;
 
 use std::io;
 use std::net::{SocketAddr, TcpListener};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
@@ -61,7 +66,7 @@ use bgpsim_routing::{Announcement, Baseline, DeltaWorkspace, Workspace};
 
 use cache::{BaselineCache, BaselineKey};
 use http::{HttpConn, ReadOutcome, Response};
-use jobs::{JobOutput, JobRegistry, JobState, ETA_UNKNOWN};
+use jobs::{Chunk, JobRegistry, ETA_UNKNOWN};
 use metrics::ServerMetrics;
 
 /// How long the accept loop sleeps between polls when no connection is
@@ -83,7 +88,8 @@ pub struct ServerConfig {
     pub http_workers: usize,
     /// Accepted connections waiting for a worker before new ones get 503.
     pub queue_capacity: usize,
-    /// Sweep jobs waiting for the executor before new ones get 429.
+    /// Unfinished sweep jobs (queued or running) the registry admits
+    /// before new submissions get 429.
     pub max_queued_jobs: usize,
     /// Baselines the LRU cache retains.
     pub cache_capacity: usize,
@@ -91,6 +97,14 @@ pub struct ServerConfig {
     pub max_body_bytes: usize,
     /// Idle keep-alive read timeout per connection.
     pub read_timeout: Duration,
+    /// Sweep executor threads. Each runs one attacker-chunk at a time
+    /// (rayon-parallel inside), so this bounds how many jobs make
+    /// *simultaneous* progress; fair-share chunk scheduling keeps jobs
+    /// from starving each other even at 1.
+    pub sweep_workers: usize,
+    /// Directory for terminal job/result records (persisted as manifest
+    /// JSON, reloaded on boot). `None` disables persistence.
+    pub state_dir: Option<PathBuf>,
 }
 
 impl ServerConfig {
@@ -106,6 +120,8 @@ impl ServerConfig {
             cache_capacity: 32,
             max_body_bytes: 1 << 20,
             read_timeout: Duration::from_secs(2),
+            sweep_workers: 2,
+            state_dir: None,
         }
     }
 }
@@ -160,12 +176,14 @@ pub fn serve(
     // first so `on_ready` subscribers see the port, but only report ready
     // once the lab can actually answer.
     let lab = Lab::new(config.experiment.clone());
+    let (jobs, _restore) =
+        JobRegistry::with_state_dir(config.max_queued_jobs, config.state_dir.clone());
     let state = ServerState {
         sim: lab.simulator(),
         lab: &lab,
         config,
         cache: BaselineCache::new(config.cache_capacity),
-        jobs: JobRegistry::new(config.max_queued_jobs),
+        jobs,
         metrics: ServerMetrics::new(),
         telemetry: SweepTelemetry::new(),
         shutdown,
@@ -177,7 +195,9 @@ pub fn serve(
         for _ in 0..config.http_workers.max(1) {
             scope.spawn(|| http_worker(&state, &rx));
         }
-        scope.spawn(|| sweep_executor(&state));
+        for _ in 0..config.sweep_workers.max(1) {
+            scope.spawn(|| sweep_executor(&state));
+        }
         accept_loop(&state, &listener, &tx);
         // Drain: close the job registry (cancels queued + running sweeps,
         // wakes the executor) and drop the sender so workers exit after
@@ -276,72 +296,94 @@ fn handle_connection(state: &ServerState<'_>, stream: std::net::TcpStream, ctx: 
     }
 }
 
-/// The sweep executor: pops jobs in submission order and runs each sweep
-/// on the rayon pool. One job at a time — a sweep already parallelizes
-/// across every core, so interleaving jobs would only thrash.
+/// One sweep executor: pulls attacker-chunks from the fair-share ring and
+/// runs each on the rayon pool. The pool has `config.sweep_workers` of
+/// these, so several jobs progress simultaneously; the registry's
+/// round-robin deal keeps any one job from monopolizing them.
+///
+/// Each chunk runs under `catch_unwind`: a panicking sweep marks *that
+/// job* failed ([`JobRegistry::fail_chunk`]) and the executor keeps
+/// serving everyone else — combined with the registry's poison-recovering
+/// locks, one bad job cannot take the job layer down.
 fn sweep_executor(state: &ServerState<'_>) {
-    while let Some(job) = state.jobs.next_job() {
-        job.transition(JobState::Running);
-        let spec = &job.spec;
-        let started = Instant::now();
-        let progress = |p: SweepProgress| {
-            job.completed.store(p.completed, Ordering::Relaxed);
-            job.elapsed_ms
-                .store(p.elapsed.as_millis() as u64, Ordering::Relaxed);
-            job.eta_ms.store(
-                p.eta.map_or(ETA_UNKNOWN, |eta| eta.as_millis() as u64),
-                Ordering::Relaxed,
-            );
-        };
-        let monitor = SweepMonitor::none()
-            .with_telemetry(&state.telemetry)
-            .with_progress(&progress)
-            .with_cancel(&job.cancel);
-        let (counts, cache_name) = if spec.cacheable {
-            let key = BaselineKey {
-                target: spec.target.raw(),
-                defense_fp: spec.defense_fp,
-            };
-            let (baseline, outcome) = state.cache.get_or_build(key, || {
-                state.telemetry.record_baseline();
-                Baseline::build(
-                    state.sim.net(),
-                    &[Announcement::honest(spec.target)],
-                    &spec.defense.context_for(spec.target),
-                    state.sim.policy(),
-                    &mut Workspace::new(),
-                )
-            });
-            let counts = state.sim.sweep_attackers_baseline_monitored(
-                spec.target,
-                &spec.pool,
-                &spec.defense,
-                None,
-                &baseline,
-                &monitor,
-            );
-            (counts, outcome.name())
-        } else {
-            let counts = state.sim.sweep_attackers_monitored(
-                spec.target,
-                &spec.pool,
-                &spec.defense,
-                None,
-                &monitor,
-            );
-            (counts, "bypass")
-        };
-        if job.cancel.load(Ordering::Relaxed) {
-            // A cancelled sweep returns zero rows for skipped attackers —
-            // not real results, so they are discarded.
-            job.transition(JobState::Cancelled);
-        } else {
-            job.transition(JobState::Done(JobOutput {
-                counts,
-                cache: cache_name,
-                wall_ms: u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX),
-            }));
+    while let Some(chunk) = state.jobs.next_chunk() {
+        match catch_unwind(AssertUnwindSafe(|| run_chunk(state, &chunk))) {
+            Ok((rows, cache_name)) => state.jobs.finish_chunk(&chunk, &rows, cache_name),
+            Err(panic) => {
+                let detail = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_string());
+                state
+                    .jobs
+                    .fail_chunk(&chunk, format!("sweep executor panicked: {detail}"));
+            }
         }
+    }
+}
+
+/// Runs one chunk of a job's sweep, updating the job's progress atomics
+/// per attack. Cacheable jobs fetch the shared baseline per chunk — after
+/// the first chunk that is always a cache hit, and the job's reported
+/// outcome keeps the coldest chunk's answer.
+fn run_chunk(state: &ServerState<'_>, chunk: &Chunk) -> (Vec<u32>, &'static str) {
+    let job = &chunk.job;
+    let spec = &job.spec;
+    let started_at = job.started_at();
+    let total = job.total.load(Ordering::Relaxed);
+    let progress = |_p: SweepProgress| {
+        // Job-level progress, not chunk-level: several chunks of this job
+        // may tick concurrently from different executors.
+        let done = job.completed.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(started) = started_at {
+            let elapsed = started.elapsed();
+            let elapsed_ms = u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX);
+            job.elapsed_ms.store(elapsed_ms, Ordering::Relaxed);
+            let eta_ms = if done == 0 || done > total {
+                ETA_UNKNOWN
+            } else {
+                elapsed_ms.saturating_mul((total - done) as u64) / done as u64
+            };
+            job.eta_ms.store(eta_ms, Ordering::Relaxed);
+        }
+    };
+    let monitor = SweepMonitor::none()
+        .with_telemetry(&state.telemetry)
+        .with_progress(&progress)
+        .with_cancel(&job.cancel);
+    if spec.cacheable {
+        let key = BaselineKey {
+            target: spec.target.raw(),
+            defense_fp: spec.defense_fp,
+        };
+        let (baseline, outcome) = state.cache.get_or_build(key, || {
+            state.telemetry.record_baseline();
+            Baseline::build(
+                state.sim.net(),
+                &[Announcement::honest(spec.target)],
+                &spec.defense.context_for(spec.target),
+                state.sim.policy(),
+                &mut Workspace::new(),
+            )
+        });
+        let rows = state.sim.sweep_chunk_monitored(
+            spec.target,
+            chunk.attackers(),
+            &spec.defense,
+            Some(&baseline),
+            &monitor,
+        );
+        (rows, outcome.name())
+    } else {
+        let rows = state.sim.sweep_chunk_monitored(
+            spec.target,
+            chunk.attackers(),
+            &spec.defense,
+            None,
+            &monitor,
+        );
+        (rows, "bypass")
     }
 }
 

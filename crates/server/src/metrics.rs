@@ -14,19 +14,21 @@
 //! latencies line up bucket-for-bucket; the exposition converts the bank
 //! to Prometheus' cumulative `le` form.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use bgpsim_hijack::{wall_bucket, TelemetrySnapshot, WALL_HIST_BUCKETS};
 
 use crate::cache::CacheStats;
-use crate::jobs::JobCounts;
+use crate::jobs::{JobCounts, SchedulerStats};
 
 /// The routable endpoints, for per-endpoint labels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Endpoint {
     /// `POST /v1/attacks`.
     Attacks,
+    /// `POST /v1/attacks:batch`.
+    AttacksBatch,
     /// `POST /v1/sweeps`.
     Sweeps,
     /// `GET|DELETE /v1/jobs/:id`.
@@ -45,8 +47,9 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// Every endpoint, exposition order.
-    pub const ALL: [Endpoint; 8] = [
+    pub const ALL: [Endpoint; 9] = [
         Endpoint::Attacks,
+        Endpoint::AttacksBatch,
         Endpoint::Sweeps,
         Endpoint::Jobs,
         Endpoint::Results,
@@ -60,6 +63,7 @@ impl Endpoint {
     pub fn label(self) -> &'static str {
         match self {
             Endpoint::Attacks => "attacks",
+            Endpoint::AttacksBatch => "attacks_batch",
             Endpoint::Sweeps => "sweeps",
             Endpoint::Jobs => "jobs",
             Endpoint::Results => "results",
@@ -73,13 +77,14 @@ impl Endpoint {
     fn index(self) -> usize {
         match self {
             Endpoint::Attacks => 0,
-            Endpoint::Sweeps => 1,
-            Endpoint::Jobs => 2,
-            Endpoint::Results => 3,
-            Endpoint::Healthz => 4,
-            Endpoint::Metrics => 5,
-            Endpoint::Shutdown => 6,
-            Endpoint::Other => 7,
+            Endpoint::AttacksBatch => 1,
+            Endpoint::Sweeps => 2,
+            Endpoint::Jobs => 3,
+            Endpoint::Results => 4,
+            Endpoint::Healthz => 5,
+            Endpoint::Metrics => 6,
+            Endpoint::Shutdown => 7,
+            Endpoint::Other => 8,
         }
     }
 }
@@ -98,12 +103,15 @@ struct EndpointStats {
 /// HTTP-layer counter bank, shared read-mostly across worker threads.
 #[derive(Debug)]
 pub struct ServerMetrics {
-    endpoints: [EndpointStats; 8],
+    endpoints: [EndpointStats; 9],
     connections: AtomicU64,
     rejected_connections: AtomicU64,
     malformed_requests: AtomicU64,
     in_flight: AtomicU64,
-    queue_depth: AtomicU64,
+    // Signed: the increment (acceptor thread) and decrement (worker
+    // claiming the connection) race, so the raw value can transiently dip
+    // below zero. An unsigned gauge would wrap to ~2^64 at that moment.
+    queue_depth: AtomicI64,
     started: Instant,
 }
 
@@ -116,7 +124,7 @@ impl ServerMetrics {
             rejected_connections: AtomicU64::new(0),
             malformed_requests: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
-            queue_depth: AtomicU64::new(0),
+            queue_depth: AtomicI64::new(0),
             started: Instant::now(),
         }
     }
@@ -138,12 +146,13 @@ impl ServerMetrics {
 
     /// Adjusts the accepted-but-unclaimed connection gauge.
     pub fn queue_changed(&self, delta: i64) {
-        if delta >= 0 {
-            self.queue_depth.fetch_add(delta as u64, Ordering::Relaxed);
-        } else {
-            self.queue_depth
-                .fetch_sub(delta.unsigned_abs(), Ordering::Relaxed);
-        }
+        self.queue_depth.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current queue depth, clamped at zero: a decrement racing ahead of
+    /// its increment reads as empty, never as ~2^64 pending connections.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed).max(0) as u64
     }
 
     /// Marks a request entering a handler; the guard decrements on drop.
@@ -197,6 +206,7 @@ pub fn render_prometheus(
     metrics: &ServerMetrics,
     cache: &CacheStats,
     jobs: &JobCounts,
+    scheduler: &SchedulerStats,
     telemetry: &TelemetrySnapshot,
 ) -> String {
     let mut out = String::with_capacity(8 * 1024);
@@ -313,7 +323,7 @@ pub fn render_prometheus(
         (
             "bgpsim_http_queue_depth",
             "Accepted connections waiting for a worker.",
-            metrics.queue_depth.load(Ordering::Relaxed),
+            metrics.queue_depth(),
         ),
         (
             "bgpsim_uptime_seconds",
@@ -389,6 +399,31 @@ pub fn render_prometheus(
             &format!("state=\"{state}\""),
             value as u64,
         );
+    }
+    for (name, help, value) in [
+        (
+            "bgpsim_jobs_chunks_total",
+            "Sweep chunks executed by the fair-share scheduler.",
+            scheduler.chunks_executed,
+        ),
+        (
+            "bgpsim_jobs_persisted_total",
+            "Terminal job records written to the state directory.",
+            scheduler.jobs_persisted,
+        ),
+        (
+            "bgpsim_jobs_restored_total",
+            "Job records reloaded from the state directory at boot.",
+            scheduler.jobs_restored,
+        ),
+        (
+            "bgpsim_state_files_quarantined_total",
+            "Unreadable state files moved to quarantine/ at boot.",
+            scheduler.files_quarantined,
+        ),
+    ] {
+        header(&mut out, name, "counter", help);
+        line(&mut out, name, "", value);
     }
 
     // -- Simulation telemetry (shared bank with the CLI) -----------------
@@ -509,6 +544,22 @@ mod tests {
     }
 
     #[test]
+    fn queue_gauge_never_underflows() {
+        let metrics = ServerMetrics::new();
+        // A decrement observed before its matching increment (the acceptor
+        // and worker threads race) must read as empty, not ~2^64.
+        metrics.queue_changed(-1);
+        assert_eq!(metrics.queue_depth(), 0);
+        // The raw value is still -1, so the late increment rebalances to
+        // exactly zero instead of sticking at a phantom +1.
+        metrics.queue_changed(1);
+        assert_eq!(metrics.queue_depth(), 0);
+        metrics.queue_changed(3);
+        metrics.queue_changed(-1);
+        assert_eq!(metrics.queue_depth(), 2);
+    }
+
+    #[test]
     fn in_flight_guard_balances() {
         let metrics = ServerMetrics::new();
         {
@@ -536,6 +587,12 @@ mod tests {
                 entries: 1,
             },
             &JobCounts::default(),
+            &SchedulerStats {
+                chunks_executed: 4,
+                jobs_persisted: 2,
+                jobs_restored: 1,
+                files_quarantined: 0,
+            },
             &telemetry.snapshot(),
         );
         // Every non-comment line is `name{labels} value` or `name value`.
@@ -556,6 +613,8 @@ mod tests {
             "bgpsim_http_request_duration_us_bucket{endpoint=\"attacks\",le=\"+Inf\"} 1"
         ));
         assert!(text.contains("bgpsim_sim_attack_duration_us_count 1"));
+        assert!(text.contains("bgpsim_jobs_chunks_total 4"));
+        assert!(text.contains("bgpsim_jobs_restored_total 1"));
         // Cumulative le buckets are monotone.
         let mut last = 0u64;
         for l in text.lines() {

@@ -8,6 +8,8 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use bgpsim_core::manifest::Json;
@@ -15,6 +17,19 @@ use bgpsim_core::{ExperimentConfig, Lab};
 use bgpsim_hijack::{Attack, Defense};
 use bgpsim_server::{spawn, ServerConfig, ServerHandle};
 use bgpsim_topology::gen::InternetParams;
+
+/// A unique per-test scratch directory (std-only; no tempfile crate).
+fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "bgpsim-service-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
 
 fn tiny_experiment() -> ExperimentConfig {
     ExperimentConfig {
@@ -392,6 +407,252 @@ fn error_paths() {
     // Framing errors are counted for /v1/metrics.
     assert!(metric(addr, "bgpsim_http_malformed_requests_total") >= 1);
     server.stop().expect("clean shutdown");
+}
+
+#[test]
+fn batch_attacks_match_singles_with_per_item_errors() {
+    let server = tiny_server();
+    let addr = server.addr();
+    let (_, healthz) = json(addr, "GET", "/v1/healthz", "");
+    let target = num(get(get(&healthz, "cast"), "vulnerable_stub")) as u32;
+    let stub = num(get(get(&healthz, "cast"), "resistant_stub")) as u32;
+    let aggressive = num(get(get(&healthz, "cast"), "aggressive_attacker")) as u32;
+
+    // The same two questions, asked one at a time...
+    let single = |attacker: u32, defense: &str| {
+        let (status, response) = json(
+            addr,
+            "POST",
+            "/v1/attacks",
+            &format!("{{\"attacker\":{attacker},\"target\":{target},\"defense\":{defense}}}"),
+        );
+        assert_eq!(status, 200, "single attack failed: {response:?}");
+        response
+    };
+    let single_defended = single(stub, "{\"stub_defense\":true}");
+    let single_undefended = single(aggressive, "null");
+
+    // ...then as one batch, with two broken entries mixed in. The batch
+    // default defense covers entry 0; entry 1 overrides it to none.
+    let batch_body = format!(
+        "{{\"defense\":{{\"stub_defense\":true}},\"attacks\":[\
+         {{\"attacker\":{stub},\"target\":{target}}},\
+         {{\"attacker\":{aggressive},\"target\":{target},\"defense\":null}},\
+         {{\"attacker\":999999,\"target\":{target}}},\
+         {{\"attacker\":{target},\"target\":{target}}}]}}"
+    );
+    let (status, batch) = json(addr, "POST", "/v1/attacks:batch", &batch_body);
+    assert_eq!(status, 200, "batch failed: {batch:?}");
+    let results = match get(&batch, "results") {
+        Json::Arr(items) => items.clone(),
+        other => panic!("results must be an array, got {other:?}"),
+    };
+    assert_eq!(results.len(), 4, "one result slot per input entry");
+
+    // Valid slots carry byte-identical `result` objects to the single
+    // endpoint's answers for the same questions.
+    assert_eq!(get(&results[0], "result"), get(&single_defended, "result"));
+    assert_eq!(
+        str_of(get(get(&results[0], "meta"), "engine")),
+        str_of(get(get(&single_defended, "meta"), "engine"))
+    );
+    assert_eq!(
+        get(&results[1], "result"),
+        get(&single_undefended, "result")
+    );
+    // Broken slots answer in place without sinking the batch.
+    assert_eq!(num(get(&results[2], "status")) as u16, 422);
+    assert!(str_of(get(&results[2], "error")).contains("unknown ASN"));
+    assert_eq!(num(get(&results[3], "status")) as u16, 422);
+
+    let meta = get(&batch, "meta");
+    assert_eq!(num(get(meta, "items")) as usize, 4);
+    assert_eq!(num(get(meta, "ok")) as usize, 2);
+    assert_eq!(num(get(meta, "failed")) as usize, 2);
+    // Entry 0 is the only baseline-eligible entry (entry 1 is
+    // undefended on the Auto engine → scratch path).
+    assert_eq!(num(get(meta, "baseline_groups")) as usize, 1);
+
+    // Envelope-level problems fail the whole request.
+    let (status, _) = http(addr, "POST", "/v1/attacks:batch", "{\"attacks\":[]}");
+    assert_eq!(status, 422);
+    let (status, _) = http(addr, "POST", "/v1/attacks:batch", "{\"attacks\":7}");
+    assert_eq!(status, 422);
+    let (status, _) = http(addr, "POST", "/v1/attacks:batch", "{}");
+    assert_eq!(status, 422);
+
+    // The endpoint has its own metrics label.
+    assert_eq!(
+        metric(
+            addr,
+            "bgpsim_http_requests_total{endpoint=\"attacks_batch\",code=\"2xx\"}"
+        ),
+        1
+    );
+    server.stop().expect("clean shutdown");
+}
+
+#[test]
+fn concurrent_sweeps_make_joint_progress_under_fair_share() {
+    // A 1000-AS lab (vs the usual 300) makes each scratch attack slow
+    // enough that three full-pool sweeps visibly outlast the short job's
+    // poll loop on any machine.
+    let experiment = ExperimentConfig {
+        params: InternetParams::sized(1000),
+        ..ExperimentConfig::quick()
+    };
+    let mut config = ServerConfig::new(experiment, "custom");
+    config.addr = "127.0.0.1:0".to_string();
+    // One executor makes the fairness property sharp: without chunked
+    // round-robin dealing, a single worker would run the whole long job
+    // before touching the short one.
+    config.sweep_workers = 1;
+    let server = spawn(config).expect("server boots");
+    let addr = server.addr();
+    let (_, healthz) = json(addr, "GET", "/v1/healthz", "");
+    let target = num(get(get(&healthz, "cast"), "vulnerable_stub")) as u32;
+    let attackers = u32s(get(&healthz, "sample_attackers"));
+    let short_pool: Vec<String> = attackers.iter().take(3).map(u32::to_string).collect();
+
+    // Three paper-shaped long jobs (every AS attacks, scratch path)
+    // followed by a three-attacker quick check. Under FIFO whole-job
+    // scheduling the single worker would drain all three long sweeps
+    // before touching the short one; under fair-share the short job's one
+    // chunk is dealt in the first round-robin lap.
+    let long_body = format!("{{\"target\":{target},\"attackers\":\"all\"}}");
+    let mut long_ids = Vec::new();
+    let mut long_total = 0u64;
+    for _ in 0..3 {
+        let (status, long) = json(addr, "POST", "/v1/sweeps", &long_body);
+        assert_eq!(status, 202, "long submit failed: {long:?}");
+        long_ids.push(str_of(get(&long, "id")).to_string());
+        long_total = num(get(&long, "total")) as u64;
+    }
+    assert!(
+        long_total > 128,
+        "long job too small ({long_total} attackers) to span multiple chunks"
+    );
+    let (status, short) = json(
+        addr,
+        "POST",
+        "/v1/sweeps",
+        &format!(
+            "{{\"target\":{target},\"attackers\":[{}]}}",
+            short_pool.join(",")
+        ),
+    );
+    assert_eq!(status, 202, "short submit failed: {short:?}");
+    let short_id = str_of(get(&short, "id")).to_string();
+
+    // The short job finishes while the long backlog is still going.
+    wait_done(addr, &short_id);
+    let unfinished = long_ids
+        .iter()
+        .filter(|id| {
+            let (_, job) = json(addr, "GET", &format!("/v1/jobs/{id}"), "");
+            str_of(get(&job, "state")) != "done"
+        })
+        .count();
+    assert!(
+        unfinished > 0,
+        "all three long sweeps finished before the short one — \
+         fair-share never interleaved them"
+    );
+    for id in &long_ids {
+        wait_done(addr, id);
+    }
+
+    // Every job answered correctly despite the interleaving.
+    let (status, short_results) = json(addr, "GET", &format!("/v1/results/{short_id}"), "");
+    assert_eq!(status, 200);
+    assert_eq!(u32s(get(get(&short_results, "result"), "counts")).len(), 3);
+    for id in &long_ids {
+        let (status, long_results) = json(addr, "GET", &format!("/v1/results/{id}"), "");
+        assert_eq!(status, 200);
+        assert_eq!(
+            u32s(get(get(&long_results, "result"), "counts")).len() as u64,
+            long_total
+        );
+    }
+    // The scheduler telemetry shows the chunked dealing: the long job
+    // alone spans multiple 64-attacker chunks.
+    assert!(
+        metric(addr, "bgpsim_jobs_chunks_total") >= 4,
+        "expected several chunks, scheduler reported {}",
+        metric(addr, "bgpsim_jobs_chunks_total")
+    );
+    server.stop().expect("clean shutdown");
+}
+
+#[test]
+fn results_survive_a_restart_byte_identically() {
+    let state_dir = scratch_dir("restart");
+    let mut config = ServerConfig::new(tiny_experiment(), "custom");
+    config.addr = "127.0.0.1:0".to_string();
+    config.state_dir = Some(state_dir.clone());
+    let server = spawn(config.clone()).expect("server boots");
+    let addr = server.addr();
+    let (_, healthz) = json(addr, "GET", "/v1/healthz", "");
+    let target = num(get(get(&healthz, "cast"), "vulnerable_stub")) as u32;
+    let attackers = u32s(get(&healthz, "sample_attackers"));
+    let pool: Vec<String> = attackers.iter().take(4).map(u32::to_string).collect();
+    let (status, submitted) = json(
+        addr,
+        "POST",
+        "/v1/sweeps",
+        &format!(
+            "{{\"target\":{target},\"defense\":{{\"stub_defense\":true}},\
+             \"attackers\":[{}]}}",
+            pool.join(",")
+        ),
+    );
+    assert_eq!(status, 202, "submit failed: {submitted:?}");
+    let id = str_of(get(&submitted, "id")).to_string();
+    wait_done(addr, &id);
+    let (status, before) = http(addr, "GET", &format!("/v1/results/{id}"), "");
+    assert_eq!(status, 200);
+    server.stop().expect("clean shutdown");
+
+    // Same state dir, fresh process state: the terminal record reloads
+    // and the results body is byte-identical.
+    let server = spawn(config).expect("restarted server boots");
+    let addr = server.addr();
+    let (status, after) = http(addr, "GET", &format!("/v1/results/{id}"), "");
+    assert_eq!(status, 200, "results lost across restart: {after}");
+    assert_eq!(before, after, "results changed across restart");
+    let (_, job) = json(addr, "GET", &format!("/v1/jobs/{id}"), "");
+    assert_eq!(str_of(get(&job, "state")), "done");
+    // Terminal jobs never report a stale ETA.
+    assert_eq!(get(&job, "eta_ms"), &Json::Null);
+    assert_eq!(metric(addr, "bgpsim_jobs_restored_total"), 1);
+    // A restored record is retained, not rescheduled: nothing ran here.
+    assert_eq!(metric(addr, "bgpsim_jobs_chunks_total"), 0);
+    server.stop().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
+
+#[test]
+fn corrupt_state_files_quarantine_instead_of_failing_boot() {
+    let state_dir = scratch_dir("quarantine");
+    std::fs::write(state_dir.join("job-7.json"), b"{definitely not json").unwrap();
+    let mut config = ServerConfig::new(tiny_experiment(), "custom");
+    config.addr = "127.0.0.1:0".to_string();
+    config.state_dir = Some(state_dir.clone());
+    let server = spawn(config).expect("server boots despite corrupt state");
+    let addr = server.addr();
+    let (status, healthz) = json(addr, "GET", "/v1/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(str_of(get(&healthz, "status")), "ok");
+    // The unreadable file moved aside rather than being deleted or
+    // crashing the boot; nothing was restored from it.
+    assert!(!state_dir.join("job-7.json").exists());
+    assert!(state_dir.join("quarantine").join("job-7.json").exists());
+    assert_eq!(metric(addr, "bgpsim_state_files_quarantined_total"), 1);
+    assert_eq!(metric(addr, "bgpsim_jobs_restored_total"), 0);
+    let (status, _) = http(addr, "GET", "/v1/results/job-7", "");
+    assert_eq!(status, 404);
+    server.stop().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&state_dir);
 }
 
 #[test]

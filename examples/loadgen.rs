@@ -31,6 +31,11 @@ struct Options {
     threads: usize,
     requests: usize,
     defended: bool,
+    /// Attacks per request: 0 sends one `POST /v1/attacks` per request,
+    /// N > 0 sends N-attack `POST /v1/attacks:batch` envelopes.
+    batch: usize,
+    /// Also run async sweeps concurrently with the attack load.
+    mix: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -39,6 +44,8 @@ fn parse_args() -> Result<Options, String> {
         threads: 4,
         requests: 200,
         defended: true,
+        batch: 0,
+        mix: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -63,12 +70,21 @@ fn parse_args() -> Result<Options, String> {
             // Undefended attacks bypass the baseline cache (the race
             // solver is already closed-form); useful as a contrast run.
             "--undefended" => opts.defended = false,
+            "--batch" => {
+                opts.batch = value("--batch")?
+                    .parse()
+                    .map_err(|_| "--batch expects a number".to_string())?;
+            }
+            "--mix" => opts.mix = true,
             "--help" | "-h" => {
                 println!(
                     "loadgen — hammer a bgpsim server\n\n\
                      OPTIONS:\n    --addr HOST:PORT  [127.0.0.1:8080]\n    \
                      --threads N       concurrent connections [4]\n    \
                      --requests N      requests per thread [200]\n    \
+                     --batch N         pack N attacks into each request\n    \
+                     \u{20}                 (POST /v1/attacks:batch) [0 = one per request]\n    \
+                     --mix             run async sweeps concurrently with the attacks\n    \
                      --undefended      send cache-bypassing undefended attacks"
                 );
                 std::process::exit(0);
@@ -198,6 +214,28 @@ fn get<'a>(json: &'a Json, key: &str) -> Option<&'a Json> {
     }
 }
 
+fn get_str<'a>(json: &'a Json, key: &str) -> Option<&'a str> {
+    match get(json, key) {
+        Some(Json::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Pulls `meta.ok` out of a batch response without parsing the whole
+/// body — a quick-scale batch answer carries thousands of polluted ASNs
+/// per item, and a full client-side parse would bill the server's own
+/// CPU for work no load generator needs.
+fn batch_ok_count(response: &str) -> Option<u64> {
+    let meta = &response[response.rfind("\"meta\"")?..];
+    let after = &meta[meta.find("\"ok\":")? + 5..];
+    let digits: String = after
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
 fn main() -> std::process::ExitCode {
     let opts = match parse_args() {
         Ok(opts) => opts,
@@ -252,57 +290,144 @@ fn main() -> std::process::ExitCode {
         _ => Vec::new(),
     };
     assert!(!attackers.is_empty(), "healthz advertises sample_attackers");
+    let per_request = opts.batch.max(1);
     eprintln!(
-        "target AS{target}, {} candidate attackers, {} threads x {} requests ({})",
+        "target AS{target}, {} candidate attackers, {} threads x {} requests x {} attack(s) ({}{})",
         attackers.len(),
         opts.threads,
         opts.requests,
+        per_request,
         if opts.defended {
             "defended, cacheable"
         } else {
             "undefended, cache bypass"
+        },
+        if opts.mix {
+            ", sweeps running alongside"
+        } else {
+            ""
         }
     );
 
-    // Shared log2 histogram (µs), same bucketing as the server's.
+    // Shared log2 histogram (µs) of per-REQUEST latency, same bucketing
+    // as the server's; `attacks_ok` counts individual attacks for the
+    // throughput line (requests × batch size in batch mode).
     let hist: Vec<AtomicU64> = (0..WALL_HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect();
     let sum_us = AtomicU64::new(0);
     let errors = AtomicU64::new(0);
+    let attacks_ok = AtomicU64::new(0);
+    let sweeps_done = AtomicU64::new(0);
     let started = Instant::now();
     std::thread::scope(|scope| {
         for worker in 0..opts.threads {
             let hist = &hist;
             let sum_us = &sum_us;
             let errors = &errors;
+            let attacks_ok = &attacks_ok;
             let attackers = &attackers;
             let opts = &opts;
             scope.spawn(move || {
                 let mut client = match Client::connect(&opts.addr) {
                     Ok(c) => c,
                     Err(_) => {
-                        errors.fetch_add(opts.requests as u64, Ordering::Relaxed);
+                        errors.fetch_add((opts.requests * per_request) as u64, Ordering::Relaxed);
                         return;
                     }
                 };
                 for i in 0..opts.requests {
                     // Stagger workers across the pool so concurrent
                     // requests exercise distinct attacks.
-                    let attacker = attackers[(worker + i * opts.threads) % attackers.len()];
+                    let pick = |j: usize| {
+                        attackers[(worker + (i * per_request + j) * opts.threads) % attackers.len()]
+                    };
                     let defense = if opts.defended {
-                        ",\"defense\":{\"stub_defense\":true}"
+                        "\"defense\":{\"stub_defense\":true},"
                     } else {
                         ""
                     };
-                    let body = format!("{{\"attacker\":{attacker},\"target\":{target}{defense}}}");
+                    let (path, body) = if opts.batch > 0 {
+                        let mut items = String::new();
+                        for j in 0..opts.batch {
+                            if j > 0 {
+                                items.push(',');
+                            }
+                            items.push_str(&format!(
+                                "{{\"attacker\":{},\"target\":{target}}}",
+                                pick(j)
+                            ));
+                        }
+                        (
+                            "/v1/attacks:batch",
+                            format!("{{{defense}\"attacks\":[{items}]}}"),
+                        )
+                    } else {
+                        (
+                            "/v1/attacks",
+                            format!("{{{defense}\"attacker\":{},\"target\":{target}}}", pick(0)),
+                        )
+                    };
                     let begin = Instant::now();
-                    match client.request("POST", "/v1/attacks", &body) {
-                        Ok((200, _)) => {
+                    match client.request("POST", path, &body) {
+                        Ok((200, response)) => {
                             let us = begin.elapsed().as_micros() as u64;
                             hist[wall_bucket(us)].fetch_add(1, Ordering::Relaxed);
                             sum_us.fetch_add(us, Ordering::Relaxed);
+                            let ok = if opts.batch > 0 {
+                                // The batch answers per item; count what
+                                // actually succeeded.
+                                batch_ok_count(&response).unwrap_or(0)
+                            } else {
+                                1
+                            };
+                            attacks_ok.fetch_add(ok, Ordering::Relaxed);
+                            errors.fetch_add(per_request as u64 - ok, Ordering::Relaxed);
                         }
                         _ => {
-                            errors.fetch_add(1, Ordering::Relaxed);
+                            errors.fetch_add(per_request as u64, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+        if opts.mix {
+            // One extra connection keeps async sweeps in flight while the
+            // attack threads hammer, exercising the executor pool and the
+            // HTTP workers at once.
+            let sweeps_done = &sweeps_done;
+            let opts = &opts;
+            scope.spawn(move || {
+                let mut client = match Client::connect(&opts.addr) {
+                    Ok(c) => c,
+                    Err(_) => return,
+                };
+                for _ in 0..2 {
+                    let body = format!("{{\"target\":{target},\"attackers\":\"transit\"}}");
+                    let id = match client.request("POST", "/v1/sweeps", &body) {
+                        Ok((202, response)) => match Json::parse(&response)
+                            .ok()
+                            .and_then(|json| get_str(&json, "id").map(str::to_string))
+                        {
+                            Some(id) => id,
+                            None => return,
+                        },
+                        _ => return,
+                    };
+                    loop {
+                        let state = match client.request("GET", &format!("/v1/jobs/{id}"), "") {
+                            Ok((200, response)) => Json::parse(&response)
+                                .ok()
+                                .and_then(|json| get_str(&json, "state").map(str::to_string)),
+                            _ => return,
+                        };
+                        match state.as_deref() {
+                            Some("done") => {
+                                sweeps_done.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            Some("queued") | Some("running") => {
+                                std::thread::sleep(Duration::from_millis(20));
+                            }
+                            _ => return,
                         }
                     }
                 }
@@ -320,7 +445,17 @@ fn main() -> std::process::ExitCode {
         wall.as_secs_f64(),
         total as f64 / wall.as_secs_f64().max(1e-9)
     );
-    if total == 0 {
+    // Machine-parseable line: attacks/sec regardless of envelope shape,
+    // so batch and single runs compare on the same axis.
+    let attacks_ok = attacks_ok.load(Ordering::Relaxed);
+    println!(
+        "throughput: {:.0} attacks/s ({attacks_ok} attacks)",
+        attacks_ok as f64 / wall.as_secs_f64().max(1e-9)
+    );
+    if opts.mix {
+        println!("sweeps completed: {}", sweeps_done.load(Ordering::Relaxed));
+    }
+    if total == 0 || attacks_ok == 0 {
         return std::process::ExitCode::FAILURE;
     }
     println!("mean {} µs", sum_us.load(Ordering::Relaxed) / total);

@@ -76,11 +76,14 @@ OPTIONS:
     --seed N          override the master seed
     --jobs N          rayon worker threads for sweeps (0 = all cores) [0]
     --http-workers N  HTTP worker threads [4]
+    --sweep-workers N sweep executor threads (fair-share chunk scheduling) [2]
     --cache N         baselines kept in the LRU cache [32]
-    --queue N         sweep jobs allowed to wait before 429 [16]
+    --queue N         unfinished sweep jobs admitted before 429 [16]
+    --state-dir DIR   persist finished jobs; results survive a restart [off]
 
 ENDPOINTS:
-    POST   /v1/attacks    run one attack           {\"attacker\":ASN,\"target\":ASN,...}
+    POST   /v1/attacks        run one attack       {\"attacker\":ASN,\"target\":ASN,...}
+    POST   /v1/attacks:batch  run many attacks     {\"attacks\":[{...},...]}
     POST   /v1/sweeps     submit an async sweep    {\"target\":ASN,\"defense\":{...}}
     GET    /v1/jobs/:id   job progress             DELETE cancels
     GET    /v1/results/:id  finished sweep results
@@ -234,8 +237,10 @@ fn parse_serve(args: &[String]) -> Result<Option<ServerConfig>, String> {
     let mut jobs: usize = 0;
     let mut addr = "127.0.0.1:8080".to_string();
     let mut http_workers: usize = 4;
+    let mut sweep_workers: usize = 2;
     let mut cache_capacity: usize = 32;
     let mut max_queued_jobs: usize = 16;
+    let mut state_dir: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -256,8 +261,15 @@ fn parse_serve(args: &[String]) -> Result<Option<ServerConfig>, String> {
                     return Err("--http-workers must be at least 1".to_string());
                 }
             }
+            "--sweep-workers" => {
+                sweep_workers = parse_num(&value("--sweep-workers")?, "--sweep-workers")?;
+                if sweep_workers == 0 {
+                    return Err("--sweep-workers must be at least 1".to_string());
+                }
+            }
             "--cache" => cache_capacity = parse_num(&value("--cache")?, "--cache")?,
             "--queue" => max_queued_jobs = parse_num(&value("--queue")?, "--queue")?,
+            "--state-dir" => state_dir = Some(PathBuf::from(value("--state-dir")?)),
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -280,8 +292,10 @@ fn parse_serve(args: &[String]) -> Result<Option<ServerConfig>, String> {
     let mut config = ServerConfig::new(experiment, scale);
     config.addr = addr;
     config.http_workers = http_workers;
+    config.sweep_workers = sweep_workers;
     config.cache_capacity = cache_capacity;
     config.max_queued_jobs = max_queued_jobs;
+    config.state_dir = state_dir;
     Ok(Some(config))
 }
 
