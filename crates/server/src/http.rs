@@ -6,8 +6,9 @@
 //! error responses. So the framing layer is hand-rolled and deliberately
 //! small: one buffered connection type, one request parser, one response
 //! writer. No chunked transfer encoding (requests carrying a body must
-//! send `Content-Length`; responses always do), no `Expect: continue`, no
-//! trailers, no TLS.
+//! send `Content-Length`; anything carrying `Transfer-Encoding` is
+//! rejected with 400; responses always send `Content-Length`), no
+//! `Expect: continue`, no trailers, no TLS.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -52,6 +53,8 @@ impl Request {
     /// (`Connection: close` but also `Connection: keep-alive, TE`), so
     /// the check walks tokens instead of comparing the whole value — a
     /// proxy-normalized `close, te` must still close.
+    /// `close` wins over `keep-alive` regardless of token order, so the
+    /// whole list is scanned before `keep-alive` is honored.
     pub fn wants_close(&self) -> bool {
         let tokens = self
             .headers
@@ -59,15 +62,16 @@ impl Request {
             .filter(|(n, _)| n == "connection")
             .flat_map(|(_, v)| v.split(','))
             .map(str::trim);
+        let mut keep_alive = false;
         for token in tokens {
             if token.eq_ignore_ascii_case("close") {
                 return true;
             }
-            if token.eq_ignore_ascii_case("keep-alive") && self.http10 {
-                return false;
+            if token.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
             }
         }
-        self.http10
+        self.http10 && !keep_alive
     }
 }
 
@@ -253,6 +257,13 @@ fn find_head_end(buf: &[u8]) -> Option<HeadEnd> {
 /// arbitrating by position. Identical duplicates (a common proxy
 /// artifact) are accepted.
 fn body_length(request: &Request) -> Result<usize, String> {
+    // This parser implements no chunked framing, so a Transfer-Encoding
+    // request would be framed as zero-length and its payload parsed as
+    // the next pipelined request — the same smuggling class the
+    // Content-Length agreement check below closes. Reject outright.
+    if request.headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err("Transfer-Encoding is not supported".to_string());
+    }
     let mut body_len = 0usize;
     let mut seen_length = false;
     for value in request
@@ -442,6 +453,29 @@ mod tests {
         assert!(!req.wants_close());
         let req = parse_head("GET / HTTP/1.0\r\nConnection: upgrade\r\n").unwrap();
         assert!(req.wants_close());
+        // `close` beats `keep-alive` regardless of token order, even on
+        // HTTP/1.0 where `keep-alive` appears first.
+        let req = parse_head("GET / HTTP/1.0\r\nConnection: keep-alive, close\r\n").unwrap();
+        assert!(req.wants_close());
+        let req =
+            parse_head("GET / HTTP/1.0\r\nConnection: keep-alive\r\nConnection: close\r\n")
+                .unwrap();
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn transfer_encoding_is_rejected() {
+        // No chunked framing here: a Transfer-Encoding body would be
+        // framed as zero-length and smuggled as the next request.
+        let parse = |head: &str| body_length(&parse_head(head).unwrap());
+        assert!(parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n").is_err());
+        assert!(parse("POST / HTTP/1.1\r\nTransfer-Encoding: identity\r\n").is_err());
+        // Even alongside an agreeing Content-Length: the intermediary may
+        // frame by the encoding while this parser frames by the length.
+        assert!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 5\r\nTransfer-Encoding: chunked\r\n")
+                .is_err()
+        );
     }
 
     #[test]

@@ -538,7 +538,11 @@ impl JobRegistry {
             }
             let in_flight = job.chunks_in_flight.fetch_sub(1, Ordering::Relaxed) - 1;
             let fully_dealt = job.next_attacker.load(Ordering::Relaxed) >= job.spec.pool.len();
-            if in_flight == 0 && fully_dealt {
+            // A cancelled job never becomes fully dealt (the scheduler
+            // stops dealing it), so the cancel flag alone must finalize it
+            // once its in-flight chunks drain — otherwise it is stuck
+            // `running` forever and leaks an admission slot.
+            if in_flight == 0 && (fully_dealt || job.cancel.load(Ordering::Relaxed)) {
                 let mut partial = lock_recover(&job.partial);
                 terminal = Some(if let Some(message) = partial.failure.take() {
                     JobState::Failed(message)
@@ -1037,6 +1041,35 @@ mod tests {
         // The scheduler's next deal skips the cancelled job entirely.
         let chunk = registry.next_chunk().unwrap();
         assert_eq!(chunk.job.id, b.id);
+    }
+
+    #[test]
+    fn cancel_with_chunk_in_flight_finalizes_when_it_drains() {
+        // Regression: the scheduler drops a cancelled job with an
+        // in-flight chunk off the ring without finalizing it, and the
+        // job's pool is never fully dealt — it used to stay `running`
+        // forever, permanently occupying an admission slot.
+        let registry = JobRegistry::new(2).with_chunk_size(1);
+        let doomed = registry.submit(spec_with_pool(3)).unwrap();
+        let in_flight = registry.next_chunk().unwrap();
+        registry.cancel(doomed.id).unwrap();
+        assert_eq!(
+            doomed.with_state(JobState::name),
+            "running",
+            "a chunk is still out; cancellation is deferred"
+        );
+        // The scheduler pops the cancelled job off the ring (and must not
+        // deal it); a second job gives it something else to return.
+        let other = registry.submit(spec()).unwrap();
+        let chunk = registry.next_chunk().unwrap();
+        assert_eq!(chunk.job.id, other.id);
+        // The in-flight chunk drains — the job must finalize even though
+        // its pool was never fully dealt.
+        registry.finish_chunk(&in_flight, &[0], "bypass");
+        assert_eq!(doomed.with_state(JobState::name), "cancelled");
+        // And its admission slot is free again.
+        registry.finish_chunk(&chunk, &[0], "bypass");
+        registry.submit(spec()).unwrap();
     }
 
     #[test]
