@@ -79,7 +79,12 @@ impl DetectionResult {
                     r.name().to_string(),
                     k.to_string(),
                     count.to_string(),
-                    format!("{mean:.1}"),
+                    // Empty bins stay blank — "no attacks in this bin" is
+                    // not a 0.0 mean.
+                    match mean {
+                        Some(mean) => format!("{mean:.1}"),
+                        None => String::new(),
+                    },
                 ]);
             }
         }
@@ -94,6 +99,14 @@ impl DetectionResult {
     pub fn write_artifacts(&self, lab: &Lab, dir: &Path) -> std::io::Result<Vec<String>> {
         let mut written = Vec::new();
         for (i, r) in self.reports.iter().enumerate() {
+            // The chart never draws a point for an empty bin (it filters on
+            // histogram counts), so flattening `None` to 0.0 here is purely
+            // to satisfy its dense-slice input.
+            let means: Vec<f64> = r
+                .mean_pollution_by_triggered()
+                .iter()
+                .map(|m| m.unwrap_or(0.0))
+                .collect();
             let chart = bgpsim_viz::DetectionChart::new(
                 format!("Case {}: {}", i + 1, r.name()),
                 format!(
@@ -103,7 +116,7 @@ impl DetectionResult {
                     100.0 * r.miss_rate()
                 ),
                 r.histogram(),
-                r.mean_pollution_by_triggered(),
+                &means,
             );
             let name = format!("fig7_case{}.svg", i + 1);
             write_artifact(dir, &name, &chart.render())?;

@@ -15,6 +15,8 @@
 //! * [`hijack`] — origin/sub-prefix attacks, pollution sweeps, curves.
 //! * [`defense`] — §V incremental filter-deployment strategies.
 //! * [`detection`] — §VI probe configurations and coverage experiments.
+//! * [`stream`] — ARTEMIS-style live update stream with incremental
+//!   per-event detection over cached baselines.
 //! * [`advisor`] — §VII self-interest actions (re-homing, plans).
 //! * [`viz`] — SVG figures.
 //!
@@ -47,5 +49,6 @@ pub use bgpsim_defense as defense;
 pub use bgpsim_detection as detection;
 pub use bgpsim_hijack as hijack;
 pub use bgpsim_routing as routing;
+pub use bgpsim_stream as stream;
 pub use bgpsim_topology as topology;
 pub use bgpsim_viz as viz;

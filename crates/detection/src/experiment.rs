@@ -39,6 +39,11 @@ pub fn random_transit_attacks(topo: &Topology, count: usize, seed: u64) -> Vec<A
 /// same outcomes (detectors are passive: they do not perturb routing, so
 /// one propagation serves all configurations).
 ///
+/// A probe co-located at the attacker (or at the target) is never counted
+/// as a detecting vantage point: the attacker trivially "sees" its own
+/// bogus route, which would inflate detection rates whenever a random
+/// attack lands on a probe AS.
+///
 /// Returns one report per probe set, in input order.
 pub fn run_detection_experiment(
     sim: &Simulator<'_>,
@@ -56,7 +61,9 @@ pub fn run_detection_experiment(
                 .map(|set| {
                     set.probes()
                         .iter()
-                        .filter(|&&p| outcome.is_polluted(p))
+                        .filter(|&&p| {
+                            p != attack.attacker && p != attack.target && outcome.is_polluted(p)
+                        })
                         .count() as u32
                 })
                 .collect();
@@ -84,14 +91,18 @@ pub fn run_detection_experiment(
                 }
             }
             missed.sort_by_key(|m| (std::cmp::Reverse(m.pollution), m.attacker.raw()));
+            // Empty bins are `None`, not 0.0: "no attacks triggered
+            // exactly k probes" and "the attacks triggering k probes
+            // polluted nothing" are different facts, and downstream
+            // CSV/JSON consumers need to tell them apart.
             let mean_pollution_by_triggered = histogram
                 .iter()
                 .zip(&pollution_sum)
                 .map(|(&count, &sum)| {
                     if count == 0 {
-                        0.0
+                        None
                     } else {
-                        sum as f64 / count as f64
+                        Some(sum as f64 / count as f64)
                     }
                 })
                 .collect();
@@ -108,7 +119,8 @@ pub fn run_detection_experiment(
 }
 
 /// Convenience wrapper: detection of a specific single attack — which
-/// probes of `set` see it?
+/// probes of `set` see it? The attacker and target themselves never count
+/// (same rule as [`run_detection_experiment`]).
 pub fn probes_triggered_by(
     sim: &Simulator<'_>,
     attack: Attack,
@@ -119,7 +131,7 @@ pub fn probes_triggered_by(
     set.probes()
         .iter()
         .copied()
-        .filter(|&p| outcome.is_polluted(p))
+        .filter(|&p| p != attack.attacker && p != attack.target && outcome.is_polluted(p))
         .collect()
 }
 
@@ -184,6 +196,55 @@ mod tests {
         }
     }
 
+    /// A probe parked on the attacker (or the target) must not count as a
+    /// detection: the attacker always "sees" its own hijack.
+    #[test]
+    fn attacker_and_target_probes_never_trigger() {
+        let net = generate(&InternetParams::tiny(), 11);
+        let topo = &net.topology;
+        let sim = Simulator::new(topo, PolicyConfig::paper());
+        let attacks = random_transit_attacks(topo, 20, 4);
+        for &attack in &attacks {
+            // A probe set of exactly {attacker, target} sees nothing.
+            let endpoints = ProbeSet::new("endpoints", vec![attack.attacker, attack.target]);
+            assert!(
+                probes_triggered_by(&sim, attack, &endpoints, &Defense::none()).is_empty(),
+                "attacker/target probes triggered for {attack:?}"
+            );
+        }
+        // In the batch experiment, adding the attacker and target to a
+        // probe set must not change any triggered count: compare a clean
+        // set against the same set plus every attack endpoint.
+        let clean = ProbeSet::tier1(topo);
+        let mut padded = clean.probes().to_vec();
+        for atk in &attacks {
+            padded.push(atk.attacker);
+            padded.push(atk.target);
+        }
+        let padded = ProbeSet::new("padded", padded);
+        let reports = run_detection_experiment(
+            &sim,
+            &[clean.clone(), padded.clone()],
+            &attacks,
+            &Defense::none(),
+        );
+        // Histograms may differ in length (padded has more probes) but a
+        // per-attack cross-check pins the exclusion directly.
+        for &attack in &attacks {
+            let seen_clean = probes_triggered_by(&sim, attack, &clean, &Defense::none());
+            let seen_padded = probes_triggered_by(&sim, attack, &padded, &Defense::none());
+            for p in &seen_padded {
+                assert_ne!(*p, attack.attacker);
+                assert_ne!(*p, attack.target);
+            }
+            // Every extra trigger in the padded set is a genuine non-
+            // endpoint vantage point, never a free attacker-side probe.
+            assert!(seen_padded.len() >= seen_clean.len());
+        }
+        assert_eq!(reports[0].total_attacks(), attacks.len());
+        assert_eq!(reports[1].total_attacks(), attacks.len());
+    }
+
     #[test]
     fn bigger_attacks_trigger_more_probes_on_average() {
         let net = generate(&InternetParams::small(), 5);
@@ -206,9 +267,11 @@ mod tests {
             .zip(r.mean_pollution_by_triggered())
             .enumerate()
         {
-            if count == 0 {
+            let Some(mean) = mean else {
+                assert_eq!(count, 0, "bin {k} has attacks but no mean");
                 continue;
-            }
+            };
+            assert!(count > 0, "bin {k} has a mean but no attacks");
             if k < half {
                 lo_sum += mean * count as f64;
                 lo_n += count;

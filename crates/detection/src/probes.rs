@@ -59,28 +59,48 @@ impl ProbeSet {
         let mut by_degree: Vec<AsIndex> = topo.indices().collect();
         by_degree.sort_by_key(|&ix| std::cmp::Reverse(topo.degree(ix)));
         let n = by_degree.len();
-        let large: Vec<AsIndex> = by_degree[..n / 50].to_vec();
-        let medium: Vec<AsIndex> = by_degree[n / 50..n / 5]
+        let mut large: Vec<AsIndex> = by_degree[..n / 50].to_vec();
+        let mut medium: Vec<AsIndex> = by_degree[n / 50..n / 5]
             .iter()
             .copied()
             .filter(|&ix| topo.is_transit(ix))
             .collect();
-        let small: Vec<AsIndex> = by_degree[n / 5..].to_vec();
+        let mut small: Vec<AsIndex> = by_degree[n / 5..].to_vec();
+        large.shuffle(&mut rng);
+        medium.shuffle(&mut rng);
+        small.shuffle(&mut rng);
         let mut probes = Vec::with_capacity(count);
-        let mut draw = |pool: &[AsIndex], want: usize, probes: &mut Vec<AsIndex>| {
-            let mut pool = pool.to_vec();
-            pool.shuffle(&mut rng);
-            for ix in pool.into_iter().take(want) {
+        // Draws up to `want` *new* members off the front of a shuffled
+        // pool; drained members never come back, so the top-up pass below
+        // only ever sees leftovers.
+        fn draw(pool: &mut Vec<AsIndex>, want: usize, probes: &mut Vec<AsIndex>) {
+            let mut added = 0;
+            while added < want {
+                let Some(ix) = pool.pop() else { break };
                 if !probes.contains(&ix) {
                     probes.push(ix);
+                    added += 1;
                 }
             }
-        };
+        }
         let large_want = (count / 12).max(1);
         let medium_want = count / 3;
-        draw(&large, large_want, &mut probes);
-        draw(&medium, medium_want, &mut probes);
-        draw(&small, count.saturating_sub(probes.len()), &mut probes);
+        draw(&mut large, large_want, &mut probes);
+        draw(&mut medium, medium_want, &mut probes);
+        draw(&mut small, count.saturating_sub(probes.len()), &mut probes);
+        // Top up from whatever remains — medium first (keeping the profile
+        // transit-heavy), then large, then small — so the set always
+        // reaches `count` unless the pools themselves run dry.
+        for pool in [&mut medium, &mut large, &mut small] {
+            draw(pool, count.saturating_sub(probes.len()), &mut probes);
+        }
+        // Last resort: the degree-sorted middle slice filters out
+        // non-transit ASes, so on tiny topologies the three pools together
+        // can still fall short of `count` — sweep the whole topology.
+        if probes.len() < count {
+            by_degree.shuffle(&mut rng);
+            draw(&mut by_degree, count - probes.len(), &mut probes);
+        }
         ProbeSet::new(format!("bgpmon-like ({count} peers)"), probes)
     }
 
@@ -154,6 +174,22 @@ mod tests {
         let max = *degrees.iter().max().unwrap();
         let min = *degrees.iter().min().unwrap();
         assert!(max > 4 * min.max(1), "profile not mixed: {degrees:?}");
+    }
+
+    /// The draw pools are degree-stratified and the middle stratum drops
+    /// non-transit ASes, so a naive draw can come up short; the top-up
+    /// passes must always deliver exactly `count` probes whenever the
+    /// topology has that many ASes.
+    #[test]
+    fn bgpmon_like_always_fills_count() {
+        let net = generate(&InternetParams::tiny(), 3);
+        let n = net.topology.num_ases();
+        for count in [1, 7, 24, n / 2, n] {
+            for seed in 0..8 {
+                let p = ProbeSet::bgpmon_like(&net.topology, count, seed);
+                assert_eq!(p.len(), count, "count {count} seed {seed}");
+            }
+        }
     }
 
     #[test]

@@ -27,8 +27,9 @@ pub struct DetectionReport {
     total_attacks: usize,
     /// `histogram[k]` = number of attacks seen by exactly `k` probes.
     histogram: Vec<usize>,
-    /// `mean_pollution_by_triggered[k]` = mean pollution of those attacks.
-    mean_pollution_by_triggered: Vec<f64>,
+    /// `mean_pollution_by_triggered[k]` = mean pollution of those attacks
+    /// (`None` when no attack triggered exactly `k` probes).
+    mean_pollution_by_triggered: Vec<Option<f64>>,
     /// Attacks seen by zero probes, most polluting first.
     missed: Vec<MissedAttack>,
 }
@@ -39,7 +40,7 @@ impl DetectionReport {
         num_probes: usize,
         total_attacks: usize,
         histogram: Vec<usize>,
-        mean_pollution_by_triggered: Vec<f64>,
+        mean_pollution_by_triggered: Vec<Option<f64>>,
         missed: Vec<MissedAttack>,
     ) -> DetectionReport {
         DetectionReport {
@@ -72,9 +73,10 @@ impl DetectionReport {
         &self.histogram
     }
 
-    /// Mean pollution of attacks seen by exactly `k` probes (0.0 for empty
-    /// bins) — the paper's overlaid line chart.
-    pub fn mean_pollution_by_triggered(&self) -> &[f64] {
+    /// Mean pollution of attacks seen by exactly `k` probes (`None` for
+    /// empty bins — distinguishing "no such attacks" from "zero mean
+    /// pollution") — the paper's overlaid line chart.
+    pub fn mean_pollution_by_triggered(&self) -> &[Option<f64>] {
         &self.mean_pollution_by_triggered
     }
 
@@ -154,7 +156,7 @@ mod tests {
             3,
             10,
             vec![2, 3, 4, 1],
-            vec![100.0, 50.0, 75.0, 200.0],
+            vec![Some(100.0), Some(50.0), Some(75.0), Some(200.0)],
             vec![
                 MissedAttack {
                     attacker: AsIndex::new(5),
@@ -191,7 +193,7 @@ mod tests {
 
     #[test]
     fn empty_report_is_safe() {
-        let r = DetectionReport::new("e".into(), 0, 0, vec![0], vec![0.0], vec![]);
+        let r = DetectionReport::new("e".into(), 0, 0, vec![0], vec![None], vec![]);
         assert_eq!(r.miss_rate(), 0.0);
         assert_eq!(r.mean_missed_pollution(), 0.0);
         assert_eq!(r.max_missed_pollution(), 0);

@@ -14,9 +14,11 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use bgpsim_core::manifest::{Json, SCHEMA_VERSION};
+use bgpsim_core::stream::{StreamConfig, StreamPlan, StreamStore};
 use bgpsim_hijack::{
     Attack, AttackKind, AttackOutcome, Defense, Dispatch, SweepMonitor, SweepTelemetry,
 };
@@ -28,7 +30,7 @@ use rayon::prelude::*;
 
 use crate::cache::{defense_fingerprint, BaselineKey};
 use crate::http::{Request, Response};
-use crate::jobs::{JobState, SweepSpec, ETA_UNKNOWN};
+use crate::jobs::{JobSpec, JobState, StreamSpec, SweepSpec, ETA_UNKNOWN};
 use crate::metrics::{render_prometheus, Endpoint};
 use crate::{ServerState, WorkerCtx};
 
@@ -39,6 +41,11 @@ const SAMPLE_ATTACKERS: usize = 64;
 /// whole transit-pool what-if in one request, small enough that a single
 /// request cannot pin the rayon pool for minutes.
 pub const MAX_BATCH_ATTACKS: usize = 4096;
+
+/// Largest accepted `POST /v1/stream` event count. One event is one
+/// detector pass; 100k events at quick scale is under a minute of
+/// executor time, so a single stream cannot monopolize the job ring.
+pub const MAX_STREAM_EVENTS: usize = 100_000;
 
 /// Largest integer JSON can carry without silent precision loss
 /// (IEEE-754 doubles are exact up to 2^53).
@@ -110,6 +117,14 @@ pub(crate) fn dispatch(
         ["v1", "sweeps"] => (
             Endpoint::Sweeps,
             expect_method(method, "POST").and_then(|()| handle_sweep_submit(state, request)),
+        ),
+        ["v1", "stream"] => (
+            Endpoint::Stream,
+            expect_method(method, "POST").and_then(|()| handle_stream_submit(state, request)),
+        ),
+        ["v1", "stream", id, "range"] => (
+            Endpoint::Stream,
+            expect_method(method, "GET").and_then(|()| handle_stream_range(state, id, request)),
         ),
         ["v1", "jobs", id] => (
             Endpoint::Jobs,
@@ -320,6 +335,10 @@ fn asn_array(topo: &Topology, indices: impl IntoIterator<Item = AsIndex>) -> Jso
             .map(|ix| Json::Num(f64::from(topo.id_of(ix).value())))
             .collect(),
     )
+}
+
+fn asn_values(asns: &[u32]) -> Json {
+    Json::Arr(asns.iter().map(|&asn| Json::Num(f64::from(asn))).collect())
 }
 
 // ---------------------------------------------------------------------------
@@ -707,7 +726,7 @@ fn handle_sweep_submit(state: &ServerState<'_>, request: &Request) -> Result<Res
         cacheable,
         pool_kind,
     };
-    let job = state.jobs.submit(spec).map_err(|message| {
+    let job = state.jobs.submit(JobSpec::Sweep(spec)).map_err(|message| {
         let status = if message.contains("full") { 429 } else { 503 };
         ApiError::new(status, message)
     })?;
@@ -742,11 +761,18 @@ fn job_json(job: &crate::jobs::Job) -> Json {
             "state".to_string(),
             Json::str(job.with_state(JobState::name)),
         ),
-        (
-            "target".to_string(),
-            Json::Num(f64::from(job.spec.target_asn)),
-        ),
-        ("pool".to_string(), Json::str(job.spec.pool_kind)),
+    ];
+    match &job.spec {
+        JobSpec::Sweep(spec) => {
+            pairs.push(("target".to_string(), Json::Num(f64::from(spec.target_asn))));
+            pairs.push(("pool".to_string(), Json::str(spec.pool_kind)));
+        }
+        JobSpec::Stream(spec) => {
+            pairs.push(("kind".to_string(), Json::str("stream")));
+            pairs.push(("targets".to_string(), asn_values(&spec.target_asns)));
+        }
+    }
+    pairs.extend([
         (
             "total".to_string(),
             Json::Num(job.total.load(Ordering::Relaxed) as f64),
@@ -772,7 +798,7 @@ fn job_json(job: &crate::jobs::Job) -> Json {
                 json_u64(eta)
             },
         ),
-    ];
+    ]);
     job.with_state(|state| {
         if let JobState::Failed(message) = state {
             pairs.push(("error".to_string(), Json::str(message.clone())));
@@ -807,6 +833,46 @@ fn handle_results(state: &ServerState<'_>, wire_id: &str) -> Result<Response, Ap
         .ok_or_else(|| ApiError::new(404, format!("no job {wire_id:?}")))?;
     job.with_state(|job_state| match job_state {
         JobState::Done(output) => {
+            // A finished stream renders its summary; the per-event tape is
+            // the /range endpoint's job (and is not persisted at all).
+            if let JobSpec::Stream(spec) = &job.spec {
+                let stream = output.stream.as_ref().ok_or_else(|| {
+                    ApiError::new(
+                        500,
+                        format!("stream job {wire_id:?} finished without a summary"),
+                    )
+                })?;
+                let response = Json::obj([
+                    ("id", Json::str(job.wire_id())),
+                    ("kind", Json::str("stream")),
+                    ("targets", asn_values(&spec.target_asns)),
+                    (
+                        "result",
+                        Json::obj([
+                            ("events", json_u64(stream.events)),
+                            ("injected", json_u64(stream.injected)),
+                            ("detected", json_u64(stream.detected)),
+                            (
+                                // Null, not zero: "no hijack was ever
+                                // detected" must stay distinguishable from
+                                // "detected instantly".
+                                "mean_latency_events",
+                                stream.mean_latency_events.map_or(Json::Null, Json::Num),
+                            ),
+                            (
+                                "max_latency_events",
+                                stream.max_latency_events.map_or(Json::Null, json_u64),
+                            ),
+                        ]),
+                    ),
+                    (
+                        "meta",
+                        Json::obj([("wall_ms", Json::Num(output.wall_ms as f64))]),
+                    ),
+                ]);
+                return Ok(json_response(200, &response));
+            }
+            let spec = job.spec.as_sweep().expect("non-stream jobs are sweeps");
             let counts = &output.counts;
             let attacks = counts.len();
             let failed = counts.iter().filter(|&&c| c == 0).count();
@@ -824,25 +890,16 @@ fn handle_results(state: &ServerState<'_>, wire_id: &str) -> Result<Response, Ap
             };
             let response = Json::obj([
                 ("id", Json::str(job.wire_id())),
-                ("target", Json::Num(f64::from(job.spec.target_asn))),
+                ("target", Json::Num(f64::from(spec.target_asn))),
                 (
                     "defense",
-                    defense_json(&job.spec.validator_asns, job.spec.stub_defense),
+                    defense_json(&spec.validator_asns, spec.stub_defense),
                 ),
-                ("pool", Json::str(job.spec.pool_kind)),
+                ("pool", Json::str(spec.pool_kind)),
                 (
                     "result",
                     Json::obj([
-                        (
-                            "attackers",
-                            Json::Arr(
-                                job.spec
-                                    .pool_asns
-                                    .iter()
-                                    .map(|&asn| Json::Num(f64::from(asn)))
-                                    .collect(),
-                            ),
-                        ),
+                        ("attackers", asn_values(&spec.pool_asns)),
                         (
                             "counts",
                             Json::Arr(counts.iter().map(|&c| Json::Num(f64::from(c))).collect()),
@@ -877,6 +934,241 @@ fn handle_results(state: &ServerState<'_>, wire_id: &str) -> Result<Response, Ap
             ),
         )),
     })
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/stream + GET /v1/stream/:id/range
+
+/// The value of `key` in a raw query string (`a=1&b=2`), if present. The
+/// wire carries only identifiers and integers here, so no percent
+/// decoding is needed (or done).
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == key).then_some(v)
+        })
+}
+
+fn query_u64(query: &str, key: &str) -> Result<Option<u64>, ApiError> {
+    match query_param(query, key) {
+        None | Some("") => Ok(None),
+        Some(raw) => raw.parse::<u64>().map(Some).map_err(|_| {
+            ApiError::new(
+                422,
+                format!("query parameter {key:?} must be a non-negative integer"),
+            )
+        }),
+    }
+}
+
+/// Submits an update-stream job: a seeded interleave of benign churn and
+/// labeled hijacks evaluated incrementally by the stream detector. The
+/// body is optional — `{}` (or no body at all) runs the lab defaults;
+/// `events`, `seed`, and `targets` (a tracked-target *count*, drawn
+/// deterministically from the transit ASes) override them.
+fn handle_stream_submit(state: &ServerState<'_>, request: &Request) -> Result<Response, ApiError> {
+    let body = if request.body.iter().all(u8::is_ascii_whitespace) {
+        Json::obj::<&str, _>([])
+    } else {
+        parse_body(request)?
+    };
+    let topo = state.sim.topology();
+    let transit = topo.transit_ases().len();
+    if transit < 2 {
+        return Err(ApiError::new(
+            422,
+            "topology has fewer than two transit ASes; a stream needs distinct attackers",
+        ));
+    }
+    let defaults = StreamConfig::default();
+    let events = match get(&body, "events") {
+        None | Some(Json::Null) => defaults.events,
+        Some(Json::Num(n)) if n.fract() == 0.0 && *n >= 1.0 && *n <= MAX_STREAM_EVENTS as f64 => {
+            *n as usize
+        }
+        Some(_) => {
+            return Err(ApiError::new(
+                422,
+                format!("field \"events\" must be an integer in 1..={MAX_STREAM_EVENTS}"),
+            ))
+        }
+    };
+    let seed = match get(&body, "seed") {
+        // The default mirrors the CLI `stream` subcommand, so a bare POST
+        // replays the exact tape a bare `bgpsim stream` runs.
+        None | Some(Json::Null) => state.lab.config().seed ^ 0x57e4,
+        Some(Json::Num(n)) if n.fract() == 0.0 && *n >= 0.0 && *n <= JSON_SAFE_MAX as f64 => {
+            *n as u64
+        }
+        Some(_) => {
+            return Err(ApiError::new(
+                422,
+                "field \"seed\" must be a non-negative integer",
+            ))
+        }
+    };
+    let num_targets = match get(&body, "targets") {
+        None | Some(Json::Null) => defaults.num_targets.min(transit),
+        Some(Json::Num(n)) if n.fract() == 0.0 && *n >= 1.0 && *n <= transit as f64 => *n as usize,
+        Some(_) => {
+            return Err(ApiError::new(
+                422,
+                format!("field \"targets\" must be a tracked-target count in 1..={transit}"),
+            ))
+        }
+    };
+    let config = StreamConfig {
+        events,
+        seed,
+        num_targets,
+        ..defaults
+    };
+    let plan = StreamPlan::generate(topo, &config);
+    let target_asns: Vec<u32> = plan
+        .targets
+        .iter()
+        .map(|&ix| topo.id_of(ix).value())
+        .collect();
+    let injected = plan.injected_hijacks();
+    let spec = StreamSpec {
+        config,
+        plan,
+        target_asns,
+        injected,
+        store: Arc::new(Mutex::new(StreamStore::sized_for(events))),
+    };
+    let job = state
+        .jobs
+        .submit(JobSpec::Stream(spec))
+        .map_err(|message| {
+            let status = if message.contains("full") { 429 } else { 503 };
+            ApiError::new(status, message)
+        })?;
+    let spec = job.spec.as_stream().expect("just submitted a stream job");
+    let id = job.wire_id();
+    let response = Json::obj([
+        ("id", Json::str(id.clone())),
+        ("state", Json::str("queued")),
+        ("kind", Json::str("stream")),
+        ("total", Json::Num(job.total.load(Ordering::Relaxed) as f64)),
+        ("injected", Json::Num(spec.injected as f64)),
+        ("targets", asn_values(&spec.target_asns)),
+        ("poll", Json::str(format!("/v1/jobs/{id}"))),
+        ("results", Json::str(format!("/v1/results/{id}"))),
+        ("range", Json::str(format!("/v1/stream/{id}/range"))),
+    ]);
+    Ok(json_response(202, &response))
+}
+
+/// Reads a slice of one stream metric series, live — the executor appends
+/// per event under the store mutex, so a query mid-run sees a consistent
+/// snapshot up to the last applied event. `agg=window` folds the span
+/// into fixed-width min/max/mean windows; empty windows answer `null`
+/// stats, never zeros.
+fn handle_stream_range(
+    state: &ServerState<'_>,
+    wire_id: &str,
+    request: &Request,
+) -> Result<Response, ApiError> {
+    let id = parse_job_id(wire_id)?;
+    let job = state
+        .jobs
+        .get(id)
+        .ok_or_else(|| ApiError::new(404, format!("no job {wire_id:?}")))?;
+    let spec = job.spec.as_stream().ok_or_else(|| {
+        ApiError::new(
+            409,
+            format!("job {wire_id:?} is a sweep; /range applies only to stream jobs"),
+        )
+    })?;
+    // Per-event samples are deliberately not persisted (summary-only
+    // durability), so a job restored from disk has nothing to range over.
+    // 410, not 404: the tape existed and is permanently gone.
+    if job.restored {
+        return Err(ApiError::new(
+            410,
+            format!(
+                "job {wire_id:?} was restored from disk and only its summary survived; \
+                 see /v1/results/{wire_id}"
+            ),
+        ));
+    }
+    let query = request.query.as_str();
+    let series_name = query_param(query, "series").unwrap_or("pollution");
+    let agg = query_param(query, "agg").unwrap_or("none");
+    if agg != "none" && agg != "window" {
+        return Err(ApiError::new(
+            422,
+            format!("unknown agg {agg:?}: use \"none\" or \"window\""),
+        ));
+    }
+    let from_q = query_u64(query, "from")?;
+    let to_q = query_u64(query, "to")?;
+    let window = query_u64(query, "window")?.unwrap_or(64);
+    if window == 0 {
+        return Err(ApiError::new(
+            422,
+            "query parameter \"window\" must be positive",
+        ));
+    }
+    let store = crate::jobs::lock_recover(&spec.store);
+    let Some(series) = store.series(series_name) else {
+        let names: Vec<&str> = store.names();
+        return Err(ApiError::new(
+            404,
+            format!(
+                "no samples in series {series_name:?} yet; series so far: [{}]",
+                names.join(", ")
+            ),
+        ));
+    };
+    // A series exists only once a sample landed, so the bounds are Some.
+    let from = from_q.or_else(|| series.earliest_seq()).unwrap_or(0);
+    let to = to_q.or_else(|| series.latest_seq()).unwrap_or(0);
+    let mut pairs = vec![
+        ("id".to_string(), Json::str(job.wire_id())),
+        (
+            "state".to_string(),
+            Json::str(job.with_state(JobState::name)),
+        ),
+        ("series".to_string(), Json::str(series_name)),
+        (
+            "completed".to_string(),
+            Json::Num(job.completed.load(Ordering::Relaxed) as f64),
+        ),
+        ("from".to_string(), json_u64(from)),
+        ("to".to_string(), json_u64(to)),
+        ("appended".to_string(), json_u64(series.appended())),
+        ("evicted".to_string(), json_u64(series.evicted())),
+    ];
+    if agg == "window" {
+        let windows: Vec<Json> = series
+            .window_agg(from, to, window)
+            .into_iter()
+            .map(|w| {
+                Json::obj([
+                    ("start", json_u64(w.start)),
+                    ("count", Json::Num(w.count as f64)),
+                    ("min", w.min.map_or(Json::Null, Json::Num)),
+                    ("max", w.max.map_or(Json::Null, Json::Num)),
+                    ("mean", w.mean.map_or(Json::Null, Json::Num)),
+                ])
+            })
+            .collect();
+        pairs.push(("window".to_string(), json_u64(window)));
+        pairs.push(("windows".to_string(), Json::Arr(windows)));
+    } else {
+        let samples: Vec<Json> = series
+            .range(from, to)
+            .into_iter()
+            .map(|(seq, value)| Json::Arr(vec![json_u64(seq), Json::Num(value)]))
+            .collect();
+        pairs.push(("samples".to_string(), Json::Arr(samples)));
+    }
+    Ok(json_response(200, &Json::Obj(pairs)))
 }
 
 // ---------------------------------------------------------------------------

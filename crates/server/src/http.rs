@@ -261,7 +261,11 @@ fn body_length(request: &Request) -> Result<usize, String> {
     // request would be framed as zero-length and its payload parsed as
     // the next pipelined request — the same smuggling class the
     // Content-Length agreement check below closes. Reject outright.
-    if request.headers.iter().any(|(n, _)| n == "transfer-encoding") {
+    if request
+        .headers
+        .iter()
+        .any(|(n, _)| n == "transfer-encoding")
+    {
         return Err("Transfer-Encoding is not supported".to_string());
     }
     let mut body_len = 0usize;
@@ -457,9 +461,8 @@ mod tests {
         // HTTP/1.0 where `keep-alive` appears first.
         let req = parse_head("GET / HTTP/1.0\r\nConnection: keep-alive, close\r\n").unwrap();
         assert!(req.wants_close());
-        let req =
-            parse_head("GET / HTTP/1.0\r\nConnection: keep-alive\r\nConnection: close\r\n")
-                .unwrap();
+        let req = parse_head("GET / HTTP/1.0\r\nConnection: keep-alive\r\nConnection: close\r\n")
+            .unwrap();
         assert!(req.wants_close());
     }
 

@@ -1,14 +1,23 @@
-//! Asynchronous sweep jobs: a fair-share chunk scheduler with progress,
+//! Asynchronous jobs: a fair-share chunk scheduler with progress,
 //! cancellation, bounded retention, and terminal-state persistence.
 //!
-//! `POST /v1/sweeps` enqueues a [`Job`] and returns immediately. Jobs are
-//! not handed to executors whole: the registry slices each job's attacker
-//! pool into fixed-size chunks and deals chunks round-robin across every
-//! runnable job ([`JobRegistry::next_chunk`]), so a paper-scale sweep
-//! shares the executor pool with a three-attacker quickie instead of
-//! starving it. Each chunk still runs on the rayon pool internally —
-//! fairness is scheduled *between* jobs, parallelism happens *inside*
-//! chunks.
+//! `POST /v1/sweeps` enqueues a sweep [`Job`] and returns immediately.
+//! Jobs are not handed to executors whole: the registry slices each job's
+//! attacker pool into fixed-size chunks and deals chunks round-robin
+//! across every runnable job ([`JobRegistry::next_chunk`]), so a
+//! paper-scale sweep shares the executor pool with a three-attacker
+//! quickie instead of starving it. Each chunk still runs on the rayon
+//! pool internally — fairness is scheduled *between* jobs, parallelism
+//! happens *inside* chunks.
+//!
+//! `POST /v1/stream` enqueues a *stream* job ([`JobSpec::Stream`])
+//! through the same registry: one schedulable unit (the whole event
+//! tape — events are strictly ordered, so there is nothing to slice),
+//! progress ticked per event, and a shared [`StreamStore`] that
+//! `GET /v1/stream/:id/range` reads live while the executor is still
+//! appending. Fair share still holds: the stream's single chunk takes
+//! one executor slot and every other job keeps rotating through the
+//! rest.
 //!
 //! Progress lands in relaxed atomics that `GET /v1/jobs/:id` reads
 //! lock-free; `DELETE` flips the job's cancellation flag, which the sweep
@@ -37,6 +46,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use bgpsim_core::manifest::{Json, SCHEMA_VERSION};
+use bgpsim_core::stream::{StreamConfig, StreamPlan, StreamStore};
 use bgpsim_hijack::Defense;
 use bgpsim_topology::AsIndex;
 
@@ -77,16 +87,100 @@ pub struct SweepSpec {
     pub pool_kind: &'static str,
 }
 
-/// A finished sweep's payload.
+/// Everything the executor needs to run one update stream, resolved at
+/// submission time. The store is shared (`Arc<Mutex>`) because range
+/// queries read it *while* the executor appends — that live view is the
+/// point of a stream job.
+#[derive(Debug)]
+pub struct StreamSpec {
+    /// Generator parameters (echoed in documents; the plan below is
+    /// already materialized from them).
+    pub config: StreamConfig,
+    /// The materialized event tape.
+    pub plan: StreamPlan,
+    /// Tracked targets' ASNs, index-aligned with `plan.targets`.
+    pub target_asns: Vec<u32>,
+    /// Ground-truth hijack injections in the plan.
+    pub injected: usize,
+    /// The live time-series store `GET /v1/stream/:id/range` reads.
+    pub store: Arc<Mutex<StreamStore>>,
+}
+
+/// What a [`Job`] runs: a §IV pollution sweep or a live update stream.
+#[derive(Debug)]
+pub enum JobSpec {
+    /// Attacker-pool sweep, chunked across executors.
+    Sweep(SweepSpec),
+    /// Update stream, one chunk covering the whole event tape.
+    Stream(StreamSpec),
+}
+
+impl JobSpec {
+    /// Schedulable units: one per pool attacker for sweeps; a single
+    /// all-events unit for streams (events are strictly ordered, so a
+    /// stream cannot be sliced across executors).
+    fn work_units(&self) -> usize {
+        match self {
+            JobSpec::Sweep(spec) => spec.pool.len(),
+            JobSpec::Stream(_) => 1,
+        }
+    }
+
+    /// Progress denominator surfaced as the job's `total`: attacks for
+    /// sweeps, events for streams.
+    fn progress_total(&self) -> usize {
+        match self {
+            JobSpec::Sweep(spec) => spec.pool.len(),
+            JobSpec::Stream(spec) => spec.plan.events.len(),
+        }
+    }
+
+    /// The sweep spec, when this is a sweep job.
+    pub fn as_sweep(&self) -> Option<&SweepSpec> {
+        match self {
+            JobSpec::Sweep(spec) => Some(spec),
+            JobSpec::Stream(_) => None,
+        }
+    }
+
+    /// The stream spec, when this is a stream job.
+    pub fn as_stream(&self) -> Option<&StreamSpec> {
+        match self {
+            JobSpec::Sweep(_) => None,
+            JobSpec::Stream(spec) => Some(spec),
+        }
+    }
+}
+
+/// A finished stream job's summary (sweep jobs carry `None`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamOutput {
+    /// Events processed (fewer than the plan's when cancelled mid-tape).
+    pub events: u64,
+    /// Hijacks injected over the processed events.
+    pub injected: u64,
+    /// Hijacks some probe eventually saw.
+    pub detected: u64,
+    /// Mean detection latency in events; `None` with no detections —
+    /// absence, not zero.
+    pub mean_latency_events: Option<f64>,
+    /// Worst detection latency in events; `None` with no detections.
+    pub max_latency_events: Option<u64>,
+}
+
+/// A finished job's payload.
 #[derive(Debug, Clone)]
 pub struct JobOutput {
-    /// One pollution count per pool attacker, in pool order.
+    /// One pollution count per pool attacker, in pool order (empty for
+    /// stream jobs).
     pub counts: Vec<u32>,
     /// How the baseline cache served this sweep (`"bypass"` when the
     /// sweep did not use it; the coldest outcome across chunks otherwise).
     pub cache: &'static str,
     /// Wall time from first chunk dispatched to last chunk finished.
     pub wall_ms: u64,
+    /// Stream summary, for stream jobs only.
+    pub stream: Option<StreamOutput>,
 }
 
 /// Lifecycle of a job.
@@ -129,12 +223,14 @@ impl JobState {
 pub const ETA_UNKNOWN: u64 = u64::MAX;
 
 /// Chunk-assembled sweep rows, plus the coldest cache outcome seen and
-/// the first failure (if any).
+/// the first failure (if any). Stream jobs leave `counts` empty and
+/// deposit their summary in `stream`.
 #[derive(Debug)]
 struct Partial {
     counts: Vec<u32>,
     cache: &'static str,
     failure: Option<String>,
+    stream: Option<StreamOutput>,
 }
 
 /// Orders cache outcomes coldest-last so a job's overall `meta.cache`
@@ -149,13 +245,13 @@ fn cache_rank(name: &str) -> u8 {
     }
 }
 
-/// One submitted sweep.
+/// One submitted job.
 #[derive(Debug)]
 pub struct Job {
     /// Monotonic id; `job-<id>` on the wire.
     pub id: u64,
-    /// The sweep to run.
-    pub spec: SweepSpec,
+    /// The work to run.
+    pub spec: JobSpec,
     state: Mutex<JobState>,
     /// Set by `DELETE /v1/jobs/:id`; polled per attack by the engine.
     pub cancel: AtomicBool,
@@ -185,14 +281,19 @@ pub struct Job {
 }
 
 impl Job {
-    fn new(id: u64, spec: SweepSpec) -> Job {
-        let total = spec.pool.len();
+    fn new(id: u64, spec: JobSpec) -> Job {
+        let counts = match &spec {
+            JobSpec::Sweep(sweep) => vec![0; sweep.pool.len()],
+            JobSpec::Stream(_) => Vec::new(),
+        };
+        let total = spec.progress_total();
         Job {
             id,
             partial: Mutex::new(Partial {
-                counts: vec![0; total],
+                counts,
                 cache: "bypass",
                 failure: None,
+                stream: None,
             }),
             spec,
             state: Mutex::new(JobState::Queued),
@@ -235,21 +336,26 @@ impl Job {
     }
 }
 
-/// One unit of executor work: run `job.spec.pool[start..end]`.
+/// One unit of executor work: pool attackers `[start, end)` of a sweep
+/// job, or the entire event tape of a stream job (`start..end` is `0..1`).
 #[derive(Debug)]
 pub struct Chunk {
     /// The job this chunk belongs to.
     pub job: Arc<Job>,
-    /// First pool index of the chunk (inclusive).
+    /// First work-unit index of the chunk (inclusive).
     pub start: usize,
-    /// Last pool index of the chunk (exclusive).
+    /// Last work-unit index of the chunk (exclusive).
     pub end: usize,
 }
 
 impl Chunk {
-    /// The chunk's slice of the job's attacker pool.
+    /// The chunk's slice of a sweep job's attacker pool (empty for a
+    /// stream chunk — its work is the whole event tape).
     pub fn attackers(&self) -> &[AsIndex] {
-        &self.job.spec.pool[self.start..self.end]
+        match &self.job.spec {
+            JobSpec::Sweep(spec) => &spec.pool[self.start..self.end],
+            JobSpec::Stream(_) => &[],
+        }
     }
 }
 
@@ -395,9 +501,9 @@ impl JobRegistry {
         }
     }
 
-    /// Enqueues a sweep, returning the job handle, or an error message
-    /// when the queue is full (HTTP 429) or the server is draining
-    /// (HTTP 503).
+    /// Enqueues a job (sweep or stream), returning the job handle, or an
+    /// error message when the queue is full (HTTP 429) or the server is
+    /// draining (HTTP 503).
     ///
     /// The admission bound counts every *unfinished* job (queued or
     /// running), not just queued ones: under fair-share scheduling a
@@ -405,7 +511,7 @@ impl JobRegistry {
     /// bound would admit an unbounded backlog of jobs all nominally
     /// "running". Restored jobs are terminal by construction and never
     /// count.
-    pub fn submit(&self, spec: SweepSpec) -> Result<Arc<Job>, &'static str> {
+    pub fn submit(&self, spec: JobSpec) -> Result<Arc<Job>, &'static str> {
         let mut inner = lock_recover(&self.inner);
         if inner.closed {
             return Err("server is shutting down");
@@ -469,7 +575,7 @@ impl JobRegistry {
                     }
                     continue;
                 }
-                let total = job.spec.pool.len();
+                let total = job.spec.work_units();
                 let start = job.next_attacker.load(Ordering::Relaxed);
                 if start >= total {
                     continue; // fully dealt; finish_chunk finalizes
@@ -514,6 +620,18 @@ impl JobRegistry {
         self.chunk_done(&chunk.job, None);
     }
 
+    /// Reports a stream chunk's summary back and finalizes the job (a
+    /// stream job has exactly one chunk). A cancelled stream still lands
+    /// here with its partial summary — `chunk_done` keeps the terminal
+    /// state `cancelled`, which discards it, matching sweep semantics.
+    pub fn finish_stream_chunk(&self, chunk: &Chunk, output: StreamOutput) {
+        {
+            let mut partial = lock_recover(&chunk.job.partial);
+            partial.stream = Some(output);
+        }
+        self.chunk_done(&chunk.job, None);
+    }
+
     /// Reports a chunk that died (executor panic). The job stops being
     /// scheduled and finalizes as `failed` once in-flight chunks drain;
     /// every other job keeps running.
@@ -533,11 +651,11 @@ impl JobRegistry {
                 // Stop dealing the rest of the pool and hasten in-flight
                 // chunks to bail (the sweep engine polls the flag).
                 job.next_attacker
-                    .store(job.spec.pool.len(), Ordering::Relaxed);
+                    .store(job.spec.work_units(), Ordering::Relaxed);
                 job.cancel.store(true, Ordering::Relaxed);
             }
             let in_flight = job.chunks_in_flight.fetch_sub(1, Ordering::Relaxed) - 1;
-            let fully_dealt = job.next_attacker.load(Ordering::Relaxed) >= job.spec.pool.len();
+            let fully_dealt = job.next_attacker.load(Ordering::Relaxed) >= job.spec.work_units();
             // A cancelled job never becomes fully dealt (the scheduler
             // stops dealing it), so the cancel flag alone must finalize it
             // once its in-flight chunks drain — otherwise it is stuck
@@ -558,6 +676,7 @@ impl JobRegistry {
                         counts: std::mem::take(&mut partial.counts),
                         cache: partial.cache,
                         wall_ms: wall,
+                        stream: partial.stream.take(),
                     })
                 });
             }
@@ -659,7 +778,9 @@ impl JobRegistry {
     }
 }
 
-/// Serializes a terminal job to its on-disk record.
+/// Serializes a terminal job to its on-disk record. Sweep records keep
+/// the pre-stream field layout (no `kind`) so documents written by older
+/// builds restore unchanged; stream records carry `"kind":"stream"`.
 fn job_to_doc(job: &Job) -> Json {
     let mut pairs = vec![
         (
@@ -671,67 +792,100 @@ fn job_to_doc(job: &Job) -> Json {
             "state".to_string(),
             Json::str(job.with_state(JobState::name)),
         ),
-        (
-            "target".to_string(),
-            Json::Num(f64::from(job.spec.target_asn)),
-        ),
-        ("pool".to_string(), Json::str(job.spec.pool_kind)),
-        (
-            "attackers".to_string(),
-            Json::Arr(
-                job.spec
-                    .pool_asns
-                    .iter()
-                    .map(|&asn| Json::Num(f64::from(asn)))
-                    .collect(),
-            ),
-        ),
-        (
-            "validators".to_string(),
-            Json::Arr(
-                job.spec
-                    .validator_asns
-                    .iter()
-                    .map(|&asn| Json::Num(f64::from(asn)))
-                    .collect(),
-            ),
-        ),
-        (
-            "stub_defense".to_string(),
-            Json::Bool(job.spec.stub_defense),
-        ),
-        (
-            "total".to_string(),
-            Json::Num(job.total.load(Ordering::Relaxed) as f64),
-        ),
-        (
-            "completed".to_string(),
-            Json::Num(job.completed.load(Ordering::Relaxed) as f64),
-        ),
-        (
-            "elapsed_ms".to_string(),
-            Json::Num(job.elapsed_ms.load(Ordering::Relaxed) as f64),
-        ),
     ];
+    match &job.spec {
+        JobSpec::Sweep(spec) => {
+            pairs.push(("target".to_string(), Json::Num(f64::from(spec.target_asn))));
+            pairs.push(("pool".to_string(), Json::str(spec.pool_kind)));
+            pairs.push((
+                "attackers".to_string(),
+                Json::Arr(
+                    spec.pool_asns
+                        .iter()
+                        .map(|&asn| Json::Num(f64::from(asn)))
+                        .collect(),
+                ),
+            ));
+            pairs.push((
+                "validators".to_string(),
+                Json::Arr(
+                    spec.validator_asns
+                        .iter()
+                        .map(|&asn| Json::Num(f64::from(asn)))
+                        .collect(),
+                ),
+            ));
+            pairs.push(("stub_defense".to_string(), Json::Bool(spec.stub_defense)));
+        }
+        JobSpec::Stream(spec) => {
+            pairs.push(("kind".to_string(), Json::str("stream")));
+            pairs.push(("events".to_string(), Json::Num(spec.config.events as f64)));
+            pairs.push((
+                "stream_seed".to_string(),
+                Json::Num(spec.config.seed as f64),
+            ));
+            pairs.push((
+                "targets".to_string(),
+                Json::Arr(
+                    spec.target_asns
+                        .iter()
+                        .map(|&asn| Json::Num(f64::from(asn)))
+                        .collect(),
+                ),
+            ));
+            pairs.push(("injected".to_string(), Json::Num(spec.injected as f64)));
+        }
+    }
+    pairs.push((
+        "total".to_string(),
+        Json::Num(job.total.load(Ordering::Relaxed) as f64),
+    ));
+    pairs.push((
+        "completed".to_string(),
+        Json::Num(job.completed.load(Ordering::Relaxed) as f64),
+    ));
+    pairs.push((
+        "elapsed_ms".to_string(),
+        Json::Num(job.elapsed_ms.load(Ordering::Relaxed) as f64),
+    ));
     job.with_state(|state| match state {
         JobState::Done(output) => {
-            pairs.push((
-                "output".to_string(),
-                Json::obj([
-                    (
-                        "counts",
-                        Json::Arr(
-                            output
-                                .counts
-                                .iter()
-                                .map(|&c| Json::Num(f64::from(c)))
-                                .collect(),
-                        ),
+            let mut out = vec![
+                (
+                    "counts".to_string(),
+                    Json::Arr(
+                        output
+                            .counts
+                            .iter()
+                            .map(|&c| Json::Num(f64::from(c)))
+                            .collect(),
                     ),
-                    ("cache", Json::str(output.cache)),
-                    ("wall_ms", Json::Num(output.wall_ms as f64)),
-                ]),
-            ));
+                ),
+                ("cache".to_string(), Json::str(output.cache)),
+                ("wall_ms".to_string(), Json::Num(output.wall_ms as f64)),
+            ];
+            if let Some(stream) = &output.stream {
+                out.push((
+                    "stream".to_string(),
+                    Json::obj([
+                        ("events", Json::Num(stream.events as f64)),
+                        ("injected", Json::Num(stream.injected as f64)),
+                        ("detected", Json::Num(stream.detected as f64)),
+                        (
+                            // Null, not zero, when nothing was detected.
+                            "mean_latency_events",
+                            stream.mean_latency_events.map_or(Json::Null, Json::Num),
+                        ),
+                        (
+                            "max_latency_events",
+                            stream
+                                .max_latency_events
+                                .map_or(Json::Null, |v| Json::Num(v as f64)),
+                        ),
+                    ]),
+                ));
+            }
+            pairs.push(("output".to_string(), Json::Obj(out)));
         }
         JobState::Failed(message) => {
             pairs.push(("error".to_string(), Json::str(message.clone())));
@@ -770,50 +924,123 @@ fn doc_u32s(doc: &Json, key: &str) -> Option<Vec<u32>> {
     }
 }
 
-/// Deserializes one state-directory record; `None` means the file is
-/// corrupt (and should be quarantined).
-fn job_from_doc(doc: &Json) -> Option<Arc<Job>> {
-    let id = doc_u64(doc, "id")?;
-    let target_asn = u32::try_from(doc_u64(doc, "target")?).ok()?;
-    let pool_asns = doc_u32s(doc, "attackers")?;
-    let validator_asns = doc_u32s(doc, "validators")?;
-    let stub_defense = matches!(doc_get(doc, "stub_defense"), Some(Json::Bool(true)));
-    let pool_kind = match doc_get(doc, "pool")? {
+/// Parses the `"done"` output object shared by both record kinds.
+/// `expect_counts` is the sweep pool width (`None` for stream records,
+/// whose counts must be empty).
+fn output_from_doc(doc: &Json, expect_counts: Option<usize>) -> Option<JobOutput> {
+    let output = doc_get(doc, "output")?;
+    let counts = doc_u32s(output, "counts")?;
+    if counts.len() != expect_counts.unwrap_or(0) {
+        return None;
+    }
+    let cache = match doc_get(output, "cache")? {
         Json::Str(s) => match s.as_str() {
-            "all" => "all",
-            "transit" => "transit",
-            "explicit" => "explicit",
+            "hit" => "hit",
+            "miss" => "miss",
+            "coalesced" => "coalesced",
+            "bypass" => "bypass",
             _ => return None,
         },
         _ => return None,
     };
-    let total = doc_u64(doc, "total").unwrap_or(pool_asns.len() as u64) as usize;
+    let wall_ms = doc_u64(output, "wall_ms")?;
+    let stream = match doc_get(output, "stream") {
+        None => None,
+        Some(stream) => Some(StreamOutput {
+            events: doc_u64(stream, "events")?,
+            injected: doc_u64(stream, "injected")?,
+            detected: doc_u64(stream, "detected")?,
+            // Null means "no detections", distinct from a zero latency.
+            mean_latency_events: match doc_get(stream, "mean_latency_events")? {
+                Json::Null => None,
+                Json::Num(n) => Some(*n),
+                _ => return None,
+            },
+            max_latency_events: match doc_get(stream, "max_latency_events")? {
+                Json::Null => None,
+                Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 => Some(*n as u64),
+                _ => return None,
+            },
+        }),
+    };
+    Some(JobOutput {
+        counts,
+        cache,
+        wall_ms,
+        stream,
+    })
+}
+
+/// Deserializes one state-directory record; `None` means the file is
+/// corrupt (and should be quarantined).
+fn job_from_doc(doc: &Json) -> Option<Arc<Job>> {
+    let id = doc_u64(doc, "id")?;
+    let is_stream = matches!(doc_get(doc, "kind"), Some(Json::Str(s)) if s == "stream");
+    let total = doc_u64(doc, "total")? as usize;
     let completed = doc_u64(doc, "completed").unwrap_or(0) as usize;
     let elapsed_ms = doc_u64(doc, "elapsed_ms").unwrap_or(0);
+    let spec = if is_stream {
+        let target_asns = doc_u32s(doc, "targets")?;
+        let injected = doc_u64(doc, "injected").unwrap_or(0) as usize;
+        JobSpec::Stream(StreamSpec {
+            // Runtime fields are placeholders: restored jobs are terminal
+            // and never scheduled, and per-event samples are not persisted
+            // (range queries on a restored stream answer 410).
+            config: StreamConfig {
+                events: total,
+                seed: doc_u64(doc, "stream_seed").unwrap_or(0),
+                num_targets: target_asns.len().max(1),
+                ..StreamConfig::default()
+            },
+            plan: StreamPlan {
+                initial_validators: Vec::new(),
+                targets: Vec::new(),
+                stub_defense: false,
+                events: Vec::new(),
+            },
+            target_asns,
+            injected,
+            store: Arc::new(Mutex::new(StreamStore::new(1, 1))),
+        })
+    } else {
+        let target_asn = u32::try_from(doc_u64(doc, "target")?).ok()?;
+        let pool_asns = doc_u32s(doc, "attackers")?;
+        let validator_asns = doc_u32s(doc, "validators")?;
+        let stub_defense = matches!(doc_get(doc, "stub_defense"), Some(Json::Bool(true)));
+        let pool_kind = match doc_get(doc, "pool")? {
+            Json::Str(s) => match s.as_str() {
+                "all" => "all",
+                "transit" => "transit",
+                "explicit" => "explicit",
+                _ => return None,
+            },
+            _ => return None,
+        };
+        JobSpec::Sweep(SweepSpec {
+            // Runtime fields are placeholders: restored jobs are terminal
+            // and never scheduled, so only the echoed document fields
+            // (ASNs, pool kind, defense description) matter.
+            target: AsIndex::new(0),
+            target_asn,
+            pool: Vec::new(),
+            pool_asns,
+            defense: Defense::none(),
+            validator_asns,
+            stub_defense,
+            defense_fp: 0,
+            cacheable: false,
+            pool_kind,
+        })
+    };
     let state = match doc_get(doc, "state")? {
         Json::Str(s) => match s.as_str() {
             "done" => {
-                let output = doc_get(doc, "output")?;
-                let counts = doc_u32s(output, "counts")?;
-                if counts.len() != pool_asns.len() {
+                let expect_counts = spec.as_sweep().map(|s| s.pool_asns.len());
+                let output = output_from_doc(doc, expect_counts)?;
+                if is_stream && output.stream.is_none() {
                     return None;
                 }
-                let cache = match doc_get(output, "cache")? {
-                    Json::Str(s) => match s.as_str() {
-                        "hit" => "hit",
-                        "miss" => "miss",
-                        "coalesced" => "coalesced",
-                        "bypass" => "bypass",
-                        _ => return None,
-                    },
-                    _ => return None,
-                };
-                let wall_ms = doc_u64(output, "wall_ms")?;
-                JobState::Done(JobOutput {
-                    counts,
-                    cache,
-                    wall_ms,
-                })
+                JobState::Done(output)
             }
             "cancelled" => JobState::Cancelled,
             "failed" => {
@@ -829,24 +1056,10 @@ fn job_from_doc(doc: &Json) -> Option<Arc<Job>> {
         },
         _ => return None,
     };
-    let pool_len = pool_asns.len();
+    let work_units = spec.work_units();
     Some(Arc::new(Job {
         id,
-        spec: SweepSpec {
-            // Runtime fields are placeholders: restored jobs are terminal
-            // and never scheduled, so only the echoed document fields
-            // (ASNs, pool kind, defense description) matter.
-            target: AsIndex::new(0),
-            target_asn,
-            pool: Vec::new(),
-            pool_asns,
-            defense: Defense::none(),
-            validator_asns,
-            stub_defense,
-            defense_fp: 0,
-            cacheable: false,
-            pool_kind,
-        },
+        spec,
         state: Mutex::new(state),
         cancel: AtomicBool::new(false),
         completed: AtomicUsize::new(completed),
@@ -854,13 +1067,14 @@ fn job_from_doc(doc: &Json) -> Option<Arc<Job>> {
         elapsed_ms: AtomicU64::new(elapsed_ms),
         eta_ms: AtomicU64::new(ETA_UNKNOWN),
         restored: true,
-        next_attacker: AtomicUsize::new(pool_len),
+        next_attacker: AtomicUsize::new(work_units),
         chunks_in_flight: AtomicUsize::new(0),
         started: Mutex::new(None),
         partial: Mutex::new(Partial {
             counts: Vec::new(),
             cache: "bypass",
             failure: None,
+            stream: None,
         }),
         // Already on disk: never rewrite.
         persisted: AtomicBool::new(true),
@@ -919,12 +1133,12 @@ fn quarantine(dir: &Path, path: &Path) {
 mod tests {
     use super::*;
 
-    fn spec() -> SweepSpec {
+    fn spec() -> JobSpec {
         spec_with_pool(2)
     }
 
-    fn spec_with_pool(n: u32) -> SweepSpec {
-        SweepSpec {
+    fn spec_with_pool(n: u32) -> JobSpec {
+        JobSpec::Sweep(SweepSpec {
             target: AsIndex::new(0),
             target_asn: 1,
             pool: (1..=n).map(AsIndex::new).collect(),
@@ -935,7 +1149,29 @@ mod tests {
             defense_fp: 0,
             cacheable: false,
             pool_kind: "explicit",
-        }
+        })
+    }
+
+    fn stream_spec(events: usize) -> JobSpec {
+        JobSpec::Stream(StreamSpec {
+            config: StreamConfig {
+                events,
+                seed: 7,
+                num_targets: 2,
+                ..StreamConfig::default()
+            },
+            plan: StreamPlan {
+                initial_validators: Vec::new(),
+                targets: vec![AsIndex::new(3), AsIndex::new(5)],
+                stub_defense: true,
+                // An empty tape is fine here: registry tests never
+                // evaluate events, only schedule the single chunk.
+                events: Vec::new(),
+            },
+            target_asns: vec![4, 6],
+            injected: 3,
+            store: Arc::new(Mutex::new(StreamStore::sized_for(events))),
+        })
     }
 
     /// A unique per-test scratch directory (std-only; no tempfile crate).
@@ -1081,8 +1317,110 @@ mod tests {
             counts: Vec::new(),
             cache: "bypass",
             wall_ms: 0,
+            stream: None,
         }));
         assert_eq!(job.with_state(JobState::name), "cancelled");
+    }
+
+    #[test]
+    fn stream_job_is_one_chunk_with_event_progress() {
+        let registry = JobRegistry::new(4);
+        let job = registry.submit(stream_spec(50)).unwrap();
+        assert!(job.spec.as_stream().is_some());
+        // The whole tape is a single schedulable unit...
+        let chunk = registry.next_chunk().unwrap();
+        assert_eq!((chunk.start, chunk.end), (0, 1));
+        assert!(chunk.attackers().is_empty());
+        assert_eq!(registry.counts().running, 1);
+        // ...and nothing else of this job is ever dealt.
+        let other = registry.submit(spec()).unwrap();
+        let next = registry.next_chunk().unwrap();
+        assert_eq!(next.job.id, other.id);
+        // Per-event progress ticks the job atomics, not chunk accounting.
+        chunk.job.completed.store(37, Ordering::Relaxed);
+        registry.finish_stream_chunk(
+            &chunk,
+            StreamOutput {
+                events: 50,
+                injected: 3,
+                detected: 2,
+                mean_latency_events: Some(1.5),
+                max_latency_events: Some(3),
+            },
+        );
+        job.with_state(|s| match s {
+            JobState::Done(output) => {
+                assert!(output.counts.is_empty());
+                let stream = output.stream.as_ref().expect("stream summary");
+                assert_eq!(stream.detected, 2);
+            }
+            other => panic!("expected done, got {}", other.name()),
+        });
+    }
+
+    #[test]
+    fn cancelled_stream_job_discards_its_summary() {
+        let registry = JobRegistry::new(4);
+        let job = registry.submit(stream_spec(50)).unwrap();
+        let chunk = registry.next_chunk().unwrap();
+        registry.cancel(job.id).unwrap();
+        // The executor notices the flag mid-tape and reports what it had;
+        // cancellation wins, matching sweep semantics.
+        registry.finish_stream_chunk(
+            &chunk,
+            StreamOutput {
+                events: 12,
+                injected: 1,
+                detected: 0,
+                mean_latency_events: None,
+                max_latency_events: None,
+            },
+        );
+        assert_eq!(job.with_state(JobState::name), "cancelled");
+    }
+
+    #[test]
+    fn stream_jobs_persist_summary_only_and_restore_terminal() {
+        let dir = scratch_dir("stream");
+        {
+            let (registry, _) = JobRegistry::with_state_dir(4, Some(dir.clone()));
+            let job = registry.submit(stream_spec(50)).unwrap();
+            {
+                let mut store = lock_recover(&job.spec.as_stream().unwrap().store);
+                store.push("pollution", 0, 9.0);
+            }
+            let chunk = registry.next_chunk().unwrap();
+            registry.finish_stream_chunk(
+                &chunk,
+                StreamOutput {
+                    events: 50,
+                    injected: 3,
+                    detected: 0,
+                    // No detections: the record must round-trip the
+                    // nulls, not resurrect them as zeros.
+                    mean_latency_events: None,
+                    max_latency_events: None,
+                },
+            );
+        }
+        let (registry, report) = JobRegistry::with_state_dir(4, Some(dir.clone()));
+        assert_eq!(report.restored, 1);
+        let job = registry.get(1).expect("restored stream job answers");
+        assert!(job.restored);
+        let spec = job.spec.as_stream().expect("restored as a stream job");
+        assert_eq!(spec.target_asns, vec![4, 6]);
+        // Summary-only persistence: per-event samples are gone.
+        assert_eq!(lock_recover(&spec.store).total_samples(), 0);
+        job.with_state(|s| match s {
+            JobState::Done(output) => {
+                let stream = output.stream.as_ref().expect("stream summary");
+                assert_eq!(stream.injected, 3);
+                assert_eq!(stream.mean_latency_events, None);
+                assert_eq!(stream.max_latency_events, None);
+            }
+            other => panic!("expected done, got {}", other.name()),
+        });
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //! small HTTP/1.1 JSON API — "what if AS X hijacked AS Y under this
 //! deployment?" ([`POST /v1/attacks`]), "re-run the §IV sweep against
 //! this defense" (`POST /v1/sweeps`, asynchronous with progress and
-//! cancellation), with Prometheus metrics and health introspection on
-//! the side.
+//! cancellation), "watch a live update stream and detect hijacks as they
+//! land" (`POST /v1/stream`, with mid-run time-series range queries on
+//! `GET /v1/stream/:id/range`) — with Prometheus metrics and health
+//! introspection on the side.
 //!
 //! # Architecture
 //!
@@ -60,13 +62,15 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use bgpsim_core::detection::ProbeSet;
+use bgpsim_core::stream::{DetectorMode, StreamDetector};
 use bgpsim_core::{ExperimentConfig, Lab};
 use bgpsim_hijack::{Simulator, SweepMonitor, SweepProgress, SweepTelemetry};
 use bgpsim_routing::{Announcement, Baseline, DeltaWorkspace, Workspace};
 
 use cache::{BaselineCache, BaselineKey};
 use http::{HttpConn, ReadOutcome, Response};
-use jobs::{Chunk, JobRegistry, ETA_UNKNOWN};
+use jobs::{Chunk, Job, JobRegistry, JobSpec, StreamOutput, StreamSpec, ETA_UNKNOWN};
 use metrics::ServerMetrics;
 
 /// How long the accept loop sleeps between polls when no connection is
@@ -308,7 +312,10 @@ fn handle_connection(state: &ServerState<'_>, stream: std::net::TcpStream, ctx: 
 fn sweep_executor(state: &ServerState<'_>) {
     while let Some(chunk) = state.jobs.next_chunk() {
         match catch_unwind(AssertUnwindSafe(|| run_chunk(state, &chunk))) {
-            Ok((rows, cache_name)) => state.jobs.finish_chunk(&chunk, &rows, cache_name),
+            Ok(ChunkResult::Sweep { rows, cache }) => {
+                state.jobs.finish_chunk(&chunk, &rows, cache);
+            }
+            Ok(ChunkResult::Stream(output)) => state.jobs.finish_stream_chunk(&chunk, output),
             Err(panic) => {
                 let detail = panic
                     .downcast_ref::<&str>()
@@ -317,9 +324,27 @@ fn sweep_executor(state: &ServerState<'_>) {
                     .unwrap_or_else(|| "unknown panic".to_string());
                 state
                     .jobs
-                    .fail_chunk(&chunk, format!("sweep executor panicked: {detail}"));
+                    .fail_chunk(&chunk, format!("job executor panicked: {detail}"));
             }
         }
+    }
+}
+
+/// What one chunk of executor work produced.
+enum ChunkResult {
+    Sweep { rows: Vec<u32>, cache: &'static str },
+    Stream(StreamOutput),
+}
+
+/// Runs one chunk: a slice of a sweep's attacker pool, or a stream job's
+/// whole event tape.
+fn run_chunk(state: &ServerState<'_>, chunk: &Chunk) -> ChunkResult {
+    match &chunk.job.spec {
+        JobSpec::Sweep(spec) => {
+            let (rows, cache) = run_sweep_chunk(state, &chunk.job, spec, chunk);
+            ChunkResult::Sweep { rows, cache }
+        }
+        JobSpec::Stream(spec) => ChunkResult::Stream(run_stream_chunk(state, &chunk.job, spec)),
     }
 }
 
@@ -327,9 +352,12 @@ fn sweep_executor(state: &ServerState<'_>) {
 /// per attack. Cacheable jobs fetch the shared baseline per chunk — after
 /// the first chunk that is always a cache hit, and the job's reported
 /// outcome keeps the coldest chunk's answer.
-fn run_chunk(state: &ServerState<'_>, chunk: &Chunk) -> (Vec<u32>, &'static str) {
-    let job = &chunk.job;
-    let spec = &job.spec;
+fn run_sweep_chunk(
+    state: &ServerState<'_>,
+    job: &Job,
+    spec: &jobs::SweepSpec,
+    chunk: &Chunk,
+) -> (Vec<u32>, &'static str) {
     let started_at = job.started_at();
     let total = job.total.load(Ordering::Relaxed);
     let progress = |_p: SweepProgress| {
@@ -385,6 +413,70 @@ fn run_chunk(state: &ServerState<'_>, chunk: &Chunk) -> (Vec<u32>, &'static str)
         );
         (rows, "bypass")
     }
+}
+
+/// Runs a stream job's whole event tape through the incremental detector,
+/// ticking the job's progress atomics and the stream counter bank per
+/// event. The store lock is held only for each event's appends, so
+/// `GET /v1/stream/:id/range` reads a consistent mid-stream snapshot
+/// between events. Cancellation is polled per event; a cancelled run
+/// still reports the summary of the prefix it processed (the registry
+/// discards it, matching sweep semantics).
+fn run_stream_chunk(state: &ServerState<'_>, job: &Job, spec: &StreamSpec) -> StreamOutput {
+    let topo = state.sim.topology();
+    // Same probe cohort as the CLI `bgpsim stream` runner (fig7 parity):
+    // the live feed and the batch detection experiment watch the internet
+    // through the same monitors.
+    let degree_threshold = ((500.0 * state.lab.config().scale().sqrt()).round() as usize).max(4);
+    let sets = vec![
+        ProbeSet::tier1(topo),
+        ProbeSet::bgpmon_like(topo, 24, state.lab.config().seed ^ 0xb69),
+        ProbeSet::degree_at_least(topo, degree_threshold),
+    ];
+    let mut detector =
+        StreamDetector::new(&state.sim, &sets, &spec.plan, DetectorMode::Incremental);
+    let started_at = job.started_at();
+    let total = job.total.load(Ordering::Relaxed);
+    let mut processed = 0u64;
+    for event in &spec.plan.events {
+        if job.cancel.load(Ordering::Relaxed) {
+            break;
+        }
+        {
+            let mut store = jobs::lock_recover(&spec.store);
+            detector.apply(event, &mut store);
+        }
+        processed += 1;
+        state.metrics.stream_event();
+        let done = job.completed.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(started) = started_at {
+            let elapsed_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+            job.elapsed_ms.store(elapsed_ms, Ordering::Relaxed);
+            let eta_ms = if done == 0 || done > total {
+                ETA_UNKNOWN
+            } else {
+                elapsed_ms.saturating_mul((total - done) as u64) / done as u64
+            };
+            job.eta_ms.store(eta_ms, Ordering::Relaxed);
+        }
+    }
+    let records = detector.finish();
+    let latencies: Vec<u64> = records.iter().filter_map(|h| h.latency()).collect();
+    let output = StreamOutput {
+        events: processed,
+        injected: records.len() as u64,
+        detected: latencies.len() as u64,
+        mean_latency_events: if latencies.is_empty() {
+            None
+        } else {
+            Some(latencies.iter().sum::<u64>() as f64 / latencies.len() as f64)
+        },
+        max_latency_events: latencies.iter().max().copied(),
+    };
+    state
+        .metrics
+        .stream_finished(output.injected, output.detected);
+    output
 }
 
 /// Handle to a server running on a background thread (tests and the

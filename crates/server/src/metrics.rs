@@ -35,6 +35,8 @@ pub enum Endpoint {
     Jobs,
     /// `GET /v1/results/:id`.
     Results,
+    /// `POST /v1/stream` and `GET /v1/stream/:id/range`.
+    Stream,
     /// `GET /v1/healthz`.
     Healthz,
     /// `GET /v1/metrics`.
@@ -47,12 +49,13 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// Every endpoint, exposition order.
-    pub const ALL: [Endpoint; 9] = [
+    pub const ALL: [Endpoint; 10] = [
         Endpoint::Attacks,
         Endpoint::AttacksBatch,
         Endpoint::Sweeps,
         Endpoint::Jobs,
         Endpoint::Results,
+        Endpoint::Stream,
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::Shutdown,
@@ -67,6 +70,7 @@ impl Endpoint {
             Endpoint::Sweeps => "sweeps",
             Endpoint::Jobs => "jobs",
             Endpoint::Results => "results",
+            Endpoint::Stream => "stream",
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
             Endpoint::Shutdown => "shutdown",
@@ -81,10 +85,11 @@ impl Endpoint {
             Endpoint::Sweeps => 2,
             Endpoint::Jobs => 3,
             Endpoint::Results => 4,
-            Endpoint::Healthz => 5,
-            Endpoint::Metrics => 6,
-            Endpoint::Shutdown => 7,
-            Endpoint::Other => 8,
+            Endpoint::Stream => 5,
+            Endpoint::Healthz => 6,
+            Endpoint::Metrics => 7,
+            Endpoint::Shutdown => 8,
+            Endpoint::Other => 9,
         }
     }
 }
@@ -103,7 +108,7 @@ struct EndpointStats {
 /// HTTP-layer counter bank, shared read-mostly across worker threads.
 #[derive(Debug)]
 pub struct ServerMetrics {
-    endpoints: [EndpointStats; 9],
+    endpoints: [EndpointStats; 10],
     connections: AtomicU64,
     rejected_connections: AtomicU64,
     malformed_requests: AtomicU64,
@@ -112,6 +117,12 @@ pub struct ServerMetrics {
     // claiming the connection) race, so the raw value can transiently dip
     // below zero. An unsigned gauge would wrap to ~2^64 at that moment.
     queue_depth: AtomicI64,
+    // Stream-job activity: events the executor processed (ticked live,
+    // so /v1/metrics shows mid-stream progress) and per-run outcomes.
+    stream_events: AtomicU64,
+    stream_runs: AtomicU64,
+    stream_injected: AtomicU64,
+    stream_detected: AtomicU64,
     started: Instant,
 }
 
@@ -125,8 +136,24 @@ impl ServerMetrics {
             malformed_requests: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             queue_depth: AtomicI64::new(0),
+            stream_events: AtomicU64::new(0),
+            stream_runs: AtomicU64::new(0),
+            stream_injected: AtomicU64::new(0),
+            stream_detected: AtomicU64::new(0),
             started: Instant::now(),
         }
+    }
+
+    /// Counts one stream event processed by the executor.
+    pub fn stream_event(&self) {
+        self.stream_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a finished (or cancelled) stream run's detection outcome.
+    pub fn stream_finished(&self, injected: u64, detected: u64) {
+        self.stream_runs.fetch_add(1, Ordering::Relaxed);
+        self.stream_injected.fetch_add(injected, Ordering::Relaxed);
+        self.stream_detected.fetch_add(detected, Ordering::Relaxed);
     }
 
     /// Counts one accepted connection.
@@ -420,6 +447,33 @@ pub fn render_prometheus(
             "bgpsim_state_files_quarantined_total",
             "Unreadable state files moved to quarantine/ at boot.",
             scheduler.files_quarantined,
+        ),
+    ] {
+        header(&mut out, name, "counter", help);
+        line(&mut out, name, "", value);
+    }
+
+    // -- Update streams --------------------------------------------------
+    for (name, help, value) in [
+        (
+            "bgpsim_stream_events_total",
+            "Update-stream events processed by the executor (ticks live mid-stream).",
+            metrics.stream_events.load(Ordering::Relaxed),
+        ),
+        (
+            "bgpsim_stream_runs_total",
+            "Stream jobs executed to completion or cancellation.",
+            metrics.stream_runs.load(Ordering::Relaxed),
+        ),
+        (
+            "bgpsim_stream_hijacks_injected_total",
+            "Ground-truth hijacks injected across stream runs.",
+            metrics.stream_injected.load(Ordering::Relaxed),
+        ),
+        (
+            "bgpsim_stream_hijacks_detected_total",
+            "Injected hijacks some probe eventually saw.",
+            metrics.stream_detected.load(Ordering::Relaxed),
         ),
     ] {
         header(&mut out, name, "counter", help);

@@ -656,6 +656,149 @@ fn corrupt_state_files_quarantine_instead_of_failing_boot() {
 }
 
 #[test]
+fn stream_round_trip_ranges_and_summary() {
+    let server = tiny_server();
+    let addr = server.addr();
+    let (status, submitted) = json(addr, "POST", "/v1/stream", "{\"events\":400,\"targets\":2}");
+    assert_eq!(status, 202, "stream submit failed: {submitted:?}");
+    assert_eq!(str_of(get(&submitted, "kind")), "stream");
+    assert_eq!(num(get(&submitted, "total")), 400.0);
+    let injected = num(get(&submitted, "injected"));
+    assert!(injected > 0.0, "seeded tape should inject hijacks");
+    assert_eq!(u32s(get(&submitted, "targets")).len(), 2);
+    let id = str_of(get(&submitted, "id")).to_string();
+    assert_eq!(
+        str_of(get(&submitted, "range")),
+        format!("/v1/stream/{id}/range")
+    );
+    let job = wait_done(addr, &id);
+    assert_eq!(str_of(get(&job, "kind")), "stream");
+    assert_eq!(num(get(&job, "completed")), 400.0);
+
+    // Raw range over the whole tape: pollution samples one per event, in
+    // seq order, with no ring eviction at this size.
+    let (status, range) = json(addr, "GET", &format!("/v1/stream/{id}/range"), "");
+    assert_eq!(status, 200, "range failed: {range:?}");
+    assert_eq!(str_of(get(&range, "series")), "pollution");
+    assert_eq!(num(get(&range, "appended")), 400.0);
+    assert_eq!(num(get(&range, "evicted")), 0.0);
+    let samples = match get(&range, "samples") {
+        Json::Arr(items) => items,
+        other => panic!("expected samples array, got {other:?}"),
+    };
+    assert_eq!(samples.len(), 400);
+    let seqs: Vec<u64> = samples
+        .iter()
+        .map(|s| match s {
+            Json::Arr(pair) => num(&pair[0]) as u64,
+            other => panic!("expected [seq, value] pair, got {other:?}"),
+        })
+        .collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "seqs out of order");
+
+    // Windowed aggregation: 8 full 50-event windows, each with stats.
+    let (status, agg) = json(
+        addr,
+        "GET",
+        &format!("/v1/stream/{id}/range?agg=window&window=50&from=0&to=399"),
+        "",
+    );
+    assert_eq!(status, 200);
+    let windows = match get(&agg, "windows") {
+        Json::Arr(items) => items,
+        other => panic!("expected windows array, got {other:?}"),
+    };
+    assert_eq!(windows.len(), 8);
+    for w in windows {
+        assert_eq!(num(get(w, "count")), 50.0);
+        assert!(!matches!(get(w, "mean"), Json::Null));
+    }
+
+    // A series no event ever touched answers 404, not empty data.
+    let (status, _) = http(
+        addr,
+        "GET",
+        &format!("/v1/stream/{id}/range?series=no-such-series"),
+        "",
+    );
+    assert_eq!(status, 404);
+
+    // The summary matches the submit-time ground truth.
+    let (status, results) = json(addr, "GET", &format!("/v1/results/{id}"), "");
+    assert_eq!(status, 200, "results failed: {results:?}");
+    assert_eq!(str_of(get(&results, "kind")), "stream");
+    let result = get(&results, "result");
+    assert_eq!(num(get(result, "events")), 400.0);
+    assert_eq!(num(get(result, "injected")), injected);
+    let detected = num(get(result, "detected"));
+    assert!(detected <= injected);
+    if detected > 0.0 {
+        assert!(num(get(result, "mean_latency_events")) >= 0.0);
+    } else {
+        assert_eq!(get(result, "mean_latency_events"), &Json::Null);
+    }
+
+    // Per-stream counters landed on /v1/metrics.
+    assert_eq!(metric(addr, "bgpsim_stream_events_total"), 400);
+    assert_eq!(metric(addr, "bgpsim_stream_runs_total"), 1);
+    assert_eq!(
+        metric(addr, "bgpsim_stream_hijacks_injected_total"),
+        injected as u64
+    );
+    assert_eq!(
+        metric(addr, "bgpsim_stream_hijacks_detected_total"),
+        detected as u64
+    );
+
+    // /range on a sweep job is a category error, not a 404.
+    let target = {
+        let (_, healthz) = json(addr, "GET", "/v1/healthz", "");
+        num(get(get(&healthz, "cast"), "vulnerable_stub")) as u32
+    };
+    let (status, sweep) = json(
+        addr,
+        "POST",
+        "/v1/sweeps",
+        &format!("{{\"target\":{target}}}"),
+    );
+    assert_eq!(status, 202);
+    let sweep_id = str_of(get(&sweep, "id")).to_string();
+    let (status, _) = http(addr, "GET", &format!("/v1/stream/{sweep_id}/range"), "");
+    assert_eq!(status, 409);
+    server.stop().expect("clean shutdown");
+}
+
+#[test]
+fn restored_streams_keep_their_summary_but_not_their_tape() {
+    let state_dir = scratch_dir("stream-restart");
+    let mut config = ServerConfig::new(tiny_experiment(), "custom");
+    config.addr = "127.0.0.1:0".to_string();
+    config.state_dir = Some(state_dir.clone());
+    let server = spawn(config.clone()).expect("server boots");
+    let addr = server.addr();
+    let (status, submitted) = json(addr, "POST", "/v1/stream", "{\"events\":150}");
+    assert_eq!(status, 202, "stream submit failed: {submitted:?}");
+    let id = str_of(get(&submitted, "id")).to_string();
+    wait_done(addr, &id);
+    let (status, before) = http(addr, "GET", &format!("/v1/results/{id}"), "");
+    assert_eq!(status, 200);
+    server.stop().expect("clean shutdown");
+
+    let server = spawn(config).expect("restarted server boots");
+    let addr = server.addr();
+    // The summary survives byte-identical...
+    let (status, after) = http(addr, "GET", &format!("/v1/results/{id}"), "");
+    assert_eq!(status, 200, "stream summary lost across restart: {after}");
+    assert_eq!(before, after, "stream summary changed across restart");
+    // ...but per-event samples are summary-only by design: permanently
+    // gone, which is 410, not 404.
+    let (status, _) = http(addr, "GET", &format!("/v1/stream/{id}/range"), "");
+    assert_eq!(status, 410);
+    server.stop().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
+
+#[test]
 fn http_shutdown_drains_the_server() {
     let server = tiny_server();
     let addr = server.addr();

@@ -1,0 +1,357 @@
+//! A fixed-size chunked ring store for stream metrics.
+//!
+//! Each metric is an append-only series of `(seq, value)` samples held in
+//! fixed-capacity chunks; when a series exceeds its chunk budget the
+//! oldest chunk is dropped whole (ring eviction), so memory is bounded no
+//! matter how long a stream runs. Queries are seq-range reads plus
+//! windowed min/max/mean aggregation; empty windows report `None` — the
+//! same "absence is not zero" discipline the detection reports follow.
+
+use std::collections::VecDeque;
+
+/// One fixed-capacity run of samples. Samples within a chunk are in
+/// strictly appended (non-decreasing seq) order.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Chunk {
+    seqs: Vec<u64>,
+    values: Vec<f64>,
+}
+
+/// An append-only series with ring eviction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkedSeries {
+    chunk_size: usize,
+    max_chunks: usize,
+    chunks: VecDeque<Chunk>,
+    /// Total samples ever appended (including evicted ones).
+    appended: u64,
+    /// Total samples evicted.
+    evicted: u64,
+}
+
+/// Windowed aggregate over one `[start, start + window)` span. Empty
+/// windows carry `count == 0` and `None` stats.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStats {
+    /// First seq covered by the window (inclusive).
+    pub start: u64,
+    /// Samples inside the window.
+    pub count: usize,
+    /// Smallest sample, `None` when the window is empty.
+    pub min: Option<f64>,
+    /// Largest sample, `None` when the window is empty.
+    pub max: Option<f64>,
+    /// Mean sample, `None` when the window is empty.
+    pub mean: Option<f64>,
+}
+
+impl ChunkedSeries {
+    /// Builds a series that retains at most `chunk_size * max_chunks`
+    /// samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either capacity is 0.
+    pub fn new(chunk_size: usize, max_chunks: usize) -> ChunkedSeries {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        assert!(max_chunks > 0, "max_chunks must be positive");
+        ChunkedSeries {
+            chunk_size,
+            max_chunks,
+            chunks: VecDeque::new(),
+            appended: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Appends one sample. Seqs must be appended in non-decreasing order
+    /// (the stream's event loop guarantees this); violating that breaks
+    /// range queries.
+    pub fn push(&mut self, seq: u64, value: f64) {
+        let needs_chunk = self
+            .chunks
+            .back()
+            .is_none_or(|c| c.seqs.len() >= self.chunk_size);
+        if needs_chunk {
+            if self.chunks.len() >= self.max_chunks {
+                if let Some(old) = self.chunks.pop_front() {
+                    self.evicted += old.seqs.len() as u64;
+                }
+            }
+            self.chunks.push_back(Chunk {
+                seqs: Vec::with_capacity(self.chunk_size),
+                values: Vec::with_capacity(self.chunk_size),
+            });
+        }
+        let chunk = self.chunks.back_mut().expect("chunk just ensured");
+        chunk.seqs.push(seq);
+        chunk.values.push(value);
+        self.appended += 1;
+    }
+
+    /// Samples currently retained.
+    pub fn len(&self) -> usize {
+        self.chunks.iter().map(|c| c.seqs.len()).sum()
+    }
+
+    /// Whether no samples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.iter().all(|c| c.seqs.is_empty())
+    }
+
+    /// Total samples ever appended, evicted ones included.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Samples dropped by ring eviction.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Seq of the oldest retained sample.
+    pub fn earliest_seq(&self) -> Option<u64> {
+        self.chunks.front().and_then(|c| c.seqs.first().copied())
+    }
+
+    /// Seq of the newest retained sample.
+    pub fn latest_seq(&self) -> Option<u64> {
+        self.chunks.back().and_then(|c| c.seqs.last().copied())
+    }
+
+    /// All retained samples with `from <= seq <= to`, in order.
+    pub fn range(&self, from: u64, to: u64) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        for chunk in &self.chunks {
+            // Chunks are seq-ordered, so skip whole chunks outside the
+            // span instead of scanning every sample.
+            match (chunk.seqs.first(), chunk.seqs.last()) {
+                (Some(&first), Some(&last)) => {
+                    if last < from {
+                        continue;
+                    }
+                    if first > to {
+                        break;
+                    }
+                }
+                _ => continue,
+            }
+            for (&seq, &value) in chunk.seqs.iter().zip(&chunk.values) {
+                if seq >= from && seq <= to {
+                    out.push((seq, value));
+                }
+            }
+        }
+        out
+    }
+
+    /// Windowed min/max/mean over `[from, to]`, one [`WindowStats`] per
+    /// `window`-wide span starting at `from`. Spans past `to` are not
+    /// emitted; empty spans are (with `None` stats), so the caller can
+    /// tell "no samples here" from "samples averaging zero".
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window` is 0.
+    pub fn window_agg(&self, from: u64, to: u64, window: u64) -> Vec<WindowStats> {
+        assert!(window > 0, "window must be positive");
+        if to < from {
+            return Vec::new();
+        }
+        let samples = self.range(from, to);
+        let num_windows = ((to - from) / window + 1) as usize;
+        let mut out: Vec<WindowStats> = (0..num_windows)
+            .map(|i| WindowStats {
+                start: from + i as u64 * window,
+                count: 0,
+                min: None,
+                max: None,
+                mean: None,
+            })
+            .collect();
+        // First pass accumulates sums into `mean`; finalized below.
+        for (seq, value) in samples {
+            let w = &mut out[((seq - from) / window) as usize];
+            w.count += 1;
+            w.min = Some(w.min.map_or(value, |m| m.min(value)));
+            w.max = Some(w.max.map_or(value, |m| m.max(value)));
+            w.mean = Some(w.mean.unwrap_or(0.0) + value);
+        }
+        for w in &mut out {
+            if w.count > 0 {
+                w.mean = w.mean.map(|sum| sum / w.count as f64);
+            }
+        }
+        out
+    }
+}
+
+/// A named collection of series, insertion-ordered so manifests and API
+/// responses list metrics deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStore {
+    chunk_size: usize,
+    max_chunks: usize,
+    series: Vec<(String, ChunkedSeries)>,
+}
+
+impl StreamStore {
+    /// Builds a store whose series each retain at most
+    /// `chunk_size * max_chunks` samples.
+    pub fn new(chunk_size: usize, max_chunks: usize) -> StreamStore {
+        StreamStore {
+            chunk_size,
+            max_chunks,
+            series: Vec::new(),
+        }
+    }
+
+    /// A store sized to retain a full stream of `events` samples per
+    /// series without eviction (512-sample chunks).
+    pub fn sized_for(events: usize) -> StreamStore {
+        let chunk_size = 512;
+        StreamStore::new(chunk_size, events.div_ceil(chunk_size).max(1))
+    }
+
+    /// Appends to `name`, creating the series on first use.
+    pub fn push(&mut self, name: &str, seq: u64, value: f64) {
+        if let Some((_, s)) = self.series.iter_mut().find(|(n, _)| n == name) {
+            s.push(seq, value);
+            return;
+        }
+        let mut s = ChunkedSeries::new(self.chunk_size, self.max_chunks);
+        s.push(seq, value);
+        self.series.push((name.to_string(), s));
+    }
+
+    /// The series named `name`, if any samples were ever pushed to it.
+    pub fn series(&self, name: &str) -> Option<&ChunkedSeries> {
+        self.series.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// All series names, in first-push order.
+    pub fn names(&self) -> Vec<&str> {
+        self.series.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Total retained samples across all series.
+    pub fn total_samples(&self) -> usize {
+        self.series.iter().map(|(_, s)| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_range() {
+        let mut s = ChunkedSeries::new(4, 8);
+        for seq in 0..20 {
+            s.push(seq, seq as f64 * 2.0);
+        }
+        assert_eq!(s.len(), 20);
+        assert_eq!(s.appended(), 20);
+        assert_eq!(s.evicted(), 0);
+        assert_eq!(s.earliest_seq(), Some(0));
+        assert_eq!(s.latest_seq(), Some(19));
+        let r = s.range(5, 8);
+        assert_eq!(r, vec![(5, 10.0), (6, 12.0), (7, 14.0), (8, 16.0)]);
+        assert!(s.range(30, 40).is_empty());
+        // Inverted span is empty, not a panic.
+        assert!(s.range(8, 5).is_empty());
+    }
+
+    #[test]
+    fn ring_evicts_oldest_chunks() {
+        let mut s = ChunkedSeries::new(4, 2);
+        for seq in 0..20 {
+            s.push(seq, seq as f64);
+        }
+        // Capacity is 2 chunks x 4 samples; the latest partial fill plus
+        // one full predecessor survive.
+        assert!(s.len() <= 8);
+        assert_eq!(s.appended(), 20);
+        assert_eq!(s.evicted() + s.len() as u64, 20);
+        assert_eq!(s.latest_seq(), Some(19));
+        let earliest = s.earliest_seq().unwrap();
+        assert!(earliest >= 12, "old chunks must be gone, got {earliest}");
+        // Ranges over evicted territory return only retained samples.
+        let r = s.range(0, 19);
+        assert_eq!(r.first().unwrap().0, earliest);
+        assert_eq!(r.last().unwrap().0, 19);
+    }
+
+    #[test]
+    fn window_agg_reports_empty_windows_as_none() {
+        let mut s = ChunkedSeries::new(8, 8);
+        s.push(0, 4.0);
+        s.push(1, 8.0);
+        // Nothing in [2, 3].
+        s.push(5, 1.0);
+        let w = s.window_agg(0, 5, 2);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].start, 0);
+        assert_eq!(w[0].count, 2);
+        assert_eq!(w[0].min, Some(4.0));
+        assert_eq!(w[0].max, Some(8.0));
+        assert_eq!(w[0].mean, Some(6.0));
+        assert_eq!(w[1].count, 0);
+        assert_eq!((w[1].min, w[1].max, w[1].mean), (None, None, None));
+        assert_eq!(w[2].start, 4);
+        assert_eq!(w[2].count, 1);
+        assert_eq!(w[2].mean, Some(1.0));
+    }
+
+    #[test]
+    fn window_agg_matches_brute_force() {
+        let mut s = ChunkedSeries::new(3, 64);
+        let values: Vec<(u64, f64)> = (0..100)
+            .map(|i| (i, ((i * 37) % 19) as f64 - 9.0))
+            .collect();
+        for &(seq, v) in &values {
+            s.push(seq, v);
+        }
+        for (from, to, window) in [(0, 99, 7), (13, 58, 10), (90, 99, 3), (4, 4, 1)] {
+            let got = s.window_agg(from, to, window);
+            for w in &got {
+                let inside: Vec<f64> = values
+                    .iter()
+                    .filter(|&&(seq, _)| {
+                        seq >= w.start && seq < w.start + window && seq >= from && seq <= to
+                    })
+                    .map(|&(_, v)| v)
+                    .collect();
+                assert_eq!(w.count, inside.len());
+                if inside.is_empty() {
+                    assert_eq!(w.min, None);
+                } else {
+                    assert_eq!(w.min, inside.iter().copied().reduce(f64::min));
+                    assert_eq!(w.max, inside.iter().copied().reduce(f64::max));
+                    let mean = inside.iter().sum::<f64>() / inside.len() as f64;
+                    assert!((w.mean.unwrap() - mean).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn store_is_insertion_ordered() {
+        let mut store = StreamStore::new(8, 4);
+        store.push("pollution", 0, 1.0);
+        store.push("latency", 3, 2.0);
+        store.push("pollution", 1, 5.0);
+        assert_eq!(store.names(), vec!["pollution", "latency"]);
+        assert_eq!(store.total_samples(), 3);
+        assert_eq!(store.series("pollution").unwrap().len(), 2);
+        assert!(store.series("missing").is_none());
+        let sized = StreamStore::sized_for(2000);
+        assert_eq!(sized.names().len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        ChunkedSeries::new(2, 2).window_agg(0, 10, 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Property tests pinning the incremental stream detector bit-identical
+//! to the from-scratch batch oracle, plus a hand-built detection-latency
+//! fixture with known ground truth.
+//!
+//! The incremental path caches one `Baseline` per tracked target and
+//! replays only the delta cone per event (falling back to the simulator's
+//! engine-per-attack dispatch when no defense localizes); the batch
+//! oracle re-runs every active hijack from scratch with the generation
+//! engine at every event. Every series sample, every detection seq, and
+//! every latency must agree — the same equivalence discipline the routing
+//! crate's `delta_equivalence` suite applies to the engine itself. The
+//! matrix covers random topologies × both policies × {none, ROV,
+//! ROV+stub} starting defenses, with defense churn flipping validators
+//! mid-stream.
+
+use proptest::prelude::*;
+
+use bgpsim_detection::ProbeSet;
+use bgpsim_hijack::{Attack, Simulator};
+use bgpsim_routing::PolicyConfig;
+use bgpsim_stream::{
+    run_stream, triggered_series, DetectorMode, EventKind, StreamConfig, StreamEvent, StreamPlan,
+    SERIES_POLLUTION,
+};
+use bgpsim_topology::{AsId, LinkKind, Topology, TopologyBuilder};
+
+/// Random topology recipe — same shape as the routing equivalence suites:
+/// provider links oriented small→large index keep the hierarchy acyclic.
+#[derive(Debug, Clone)]
+struct Recipe {
+    n: u32,
+    p2c: Vec<(u32, u32)>,
+    p2p: Vec<(u32, u32)>,
+    events: usize,
+    seed: u64,
+    /// 0 = none (and no flips), 1 = ROV, 2 = ROV+stub.
+    defense_mode: u8,
+    probe_seed: u64,
+}
+
+fn arb_recipe() -> impl Strategy<Value = Recipe> {
+    (5u32..20).prop_flat_map(|n| {
+        let pair = (0..n, 0..n);
+        (
+            proptest::collection::vec(pair.clone(), 4..32),
+            proptest::collection::vec(pair, 0..8),
+            8usize..40,
+            0u64..1_000_000,
+            0u8..3,
+            0u64..1_000_000,
+        )
+            .prop_map(
+                move |(p2c, p2p, events, seed, defense_mode, probe_seed)| Recipe {
+                    n,
+                    p2c,
+                    p2p,
+                    events,
+                    seed,
+                    defense_mode,
+                    probe_seed,
+                },
+            )
+    })
+}
+
+fn build(recipe: &Recipe) -> Topology {
+    let mut b = TopologyBuilder::new();
+    for i in 0..recipe.n {
+        b.add_as(AsId::new(i + 1));
+    }
+    for &(x, y) in &recipe.p2c {
+        if x != y {
+            let (p, c) = if x < y { (x, y) } else { (y, x) };
+            let _ = b.add_link(
+                AsId::new(p + 1),
+                AsId::new(c + 1),
+                LinkKind::ProviderToCustomer,
+            );
+        }
+    }
+    for &(x, y) in &recipe.p2p {
+        if x != y {
+            let _ = b.add_link(AsId::new(x + 1), AsId::new(y + 1), LinkKind::PeerToPeer);
+        }
+    }
+    b.build().expect("non-empty")
+}
+
+fn assert_stream_equivalence(recipe: &Recipe) -> Result<(), TestCaseError> {
+    let topo = build(recipe);
+    if topo.transit_ases().len() < 2 {
+        // Nothing to attack from — the generator (rightly) refuses.
+        return Ok(());
+    }
+    let config = StreamConfig {
+        events: recipe.events,
+        seed: recipe.seed,
+        num_targets: 2,
+        validator_fraction: if recipe.defense_mode == 0 { 0.0 } else { 0.4 },
+        stub_defense: recipe.defense_mode == 2,
+        // Mode "none" keeps the defense empty for the whole stream (no
+        // flips), exercising the non-localizing fallback path throughout;
+        // the ROV modes churn validators so streams cross the localizing
+        // boundary mid-flight.
+        flip_weight: if recipe.defense_mode == 0 { 0 } else { 2 },
+        reannounce_weight: 3,
+        inject_weight: 3,
+    };
+    let plan = StreamPlan::generate(&topo, &config);
+    let probe_sets = vec![
+        ProbeSet::tier1(&topo),
+        ProbeSet::random(&topo, 4, recipe.probe_seed),
+    ];
+    for policy in [PolicyConfig::paper(), PolicyConfig::strict_gao_rexford()] {
+        let sim = Simulator::new(&topo, policy);
+        let incremental = run_stream(&sim, &probe_sets, &plan, DetectorMode::Incremental);
+        let batch = run_stream(&sim, &probe_sets, &plan, DetectorMode::Batch);
+        prop_assert_eq!(
+            &incremental.hijacks,
+            &batch.hijacks,
+            "hijack records diverge (policy tier1_shortest_path={})",
+            policy.tier1_shortest_path
+        );
+        prop_assert_eq!(
+            &incremental.store,
+            &batch.store,
+            "series diverge (policy tier1_shortest_path={})",
+            policy.tier1_shortest_path
+        );
+        // Structural sanity on top of equality: dense series cover every
+        // event, and the record count matches the plan's ground truth.
+        prop_assert_eq!(incremental.hijacks.len(), plan.injected_hijacks());
+        prop_assert_eq!(
+            incremental
+                .store
+                .series(SERIES_POLLUTION)
+                .map_or(0, bgpsim_stream::ChunkedSeries::len),
+            plan.events.len()
+        );
+    }
+    Ok(())
+}
+
+/// Hand-built ground truth: a hijack that is invisible under ROV at the
+/// attacker's provider, then becomes visible the moment that validator
+/// flips off — detection latency exactly 2 events.
+#[test]
+fn pinned_latency_fixture() {
+    // AS1 -- AS2 peer; AS1 -> {9, 5}, AS2 -> {8, 6} provider links.
+    let topo = bgpsim_topology::topology_from_triples(&[
+        (1, 2, LinkKind::PeerToPeer),
+        (1, 9, LinkKind::ProviderToCustomer),
+        (2, 8, LinkKind::ProviderToCustomer),
+        (1, 5, LinkKind::ProviderToCustomer),
+        (2, 6, LinkKind::ProviderToCustomer),
+    ]);
+    let ix = |n: u32| topo.index_of(AsId::new(n)).unwrap();
+    let attack = Attack::origin(ix(8), ix(9));
+    // AS2 validates: the bogus announcement from its customer AS8 is
+    // rejected at AS2 and propagates nowhere.
+    let plan = StreamPlan {
+        initial_validators: vec![ix(2)],
+        targets: vec![ix(9)],
+        stub_defense: false,
+        events: vec![
+            StreamEvent {
+                seq: 0,
+                kind: EventKind::HijackInject { attack },
+            },
+            StreamEvent {
+                seq: 1,
+                kind: EventKind::TargetReannounce { target: ix(9) },
+            },
+            StreamEvent {
+                seq: 2,
+                kind: EventKind::DefenseFlip { who: ix(2) },
+            },
+        ],
+    };
+    let probes = vec![ProbeSet::new("as6", vec![ix(6)])];
+    let sim = Simulator::new(&topo, PolicyConfig::paper());
+    for mode in [DetectorMode::Incremental, DetectorMode::Batch] {
+        let out = run_stream(&sim, &probes, &plan, mode);
+        assert_eq!(out.hijacks.len(), 1, "{mode:?}");
+        let h = &out.hijacks[0];
+        assert_eq!(h.injected_seq, 0);
+        assert_eq!(h.detected_seq, Some(2), "{mode:?}");
+        assert_eq!(h.latency(), Some(2), "{mode:?}");
+        // While AS2 validates, the hijack pollutes nothing; once the flip
+        // lands, AS2 and AS6 adopt the bogus route and the AS6 probe sees
+        // it.
+        let pollution: Vec<(u64, f64)> = out
+            .store
+            .series(SERIES_POLLUTION)
+            .unwrap()
+            .range(0, u64::MAX);
+        assert_eq!(pollution, vec![(0, 0.0), (1, 0.0), (2, 2.0)], "{mode:?}");
+        let triggered: Vec<(u64, f64)> = out
+            .store
+            .series(&triggered_series(0))
+            .unwrap()
+            .range(0, u64::MAX);
+        assert_eq!(triggered, vec![(0, 0.0), (1, 0.0), (2, 1.0)], "{mode:?}");
+        let latency: Vec<(u64, f64)> = out
+            .store
+            .series(bgpsim_stream::SERIES_LATENCY)
+            .unwrap()
+            .range(0, u64::MAX);
+        assert_eq!(latency, vec![(2, 2.0)], "{mode:?}");
+        let s = out.summary();
+        assert_eq!((s.injected, s.detected), (1, 1));
+        assert_eq!(s.mean_latency, Some(2.0));
+        assert_eq!(s.max_latency, Some(2));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Incremental stream detection is bit-identical to the from-scratch
+    /// batch oracle across random topologies, both policies, and all
+    /// three starting defenses.
+    #[test]
+    fn incremental_matches_batch_oracle(recipe in arb_recipe()) {
+        assert_stream_equivalence(&recipe)?;
+    }
+}

@@ -17,9 +17,11 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
+use bgpsim::detection::ProbeSet;
 use bgpsim::experiments;
 use bgpsim::hijack::{EngineChoice, SweepMonitor, SweepProgress, SweepTelemetry};
-use bgpsim::manifest::{append_json_record, FigureRecord, Json, RunManifest};
+use bgpsim::manifest::{append_json_record, FigureRecord, Json, RunManifest, SCHEMA_VERSION};
+use bgpsim::stream::{run_stream, DetectorMode, StreamConfig, StreamOutcome, StreamPlan};
 use bgpsim::viz::ProgressLine;
 use bgpsim::{ExperimentConfig, Lab};
 use bgpsim_server::ServerConfig;
@@ -42,6 +44,7 @@ bgpsim — reproduce the ICDCS 2014 BGP origin-hijack study
 
 USAGE:
     bgpsim run [FIGURE...] [OPTIONS]   run figures and write artifacts
+    bgpsim stream [OPTIONS]            live update stream with incremental detection
     bgpsim serve [OPTIONS]             expose the lab as an HTTP service
     bgpsim list                        list figure ids
     bgpsim --help | --version
@@ -61,7 +64,33 @@ RUN OPTIONS:
 Artifacts land in DIR together with run_manifest.json (see DESIGN.md
 for the schema) and an appended BENCH_sweep.json record.
 
-Run `bgpsim serve --help` for the service options.";
+Run `bgpsim stream --help` for the stream options and `bgpsim serve
+--help` for the service options.";
+
+const STREAM_USAGE: &str = "\
+bgpsim stream — ARTEMIS-style live update stream with incremental detection
+
+Generates a seeded interleave of benign churn (defense flips, target
+re-announcements) and ground-truth hijack injections, then detects
+incrementally: one cached baseline per tracked target, delta-cone replay
+per event. Writes stream_manifest.json (summary + windowed series
+aggregates) and appends a throughput record to BENCH_sweep.json.
+
+USAGE:
+    bgpsim stream [OPTIONS]
+
+OPTIONS:
+    --scale NAME      scale preset: quick | standard | paper [quick]
+    --engine NAME     force the routing engine (see `bgpsim --help`) [auto]
+    --seed N          override the master seed
+    --events N        events to stream [2000]
+    --targets N       tracked targets [4]
+    --oracle          also run the from-scratch batch oracle and verify
+                      the incremental run is bit-identical (slow)
+    --jobs N          worker threads (0 = all cores) [0]
+    --out DIR         output directory [out]
+
+See DESIGN.md §15 for the event model and store layout.";
 
 const SERVE_USAGE: &str = "\
 bgpsim serve — expose one generated internet as an HTTP/1.1 JSON service
@@ -85,8 +114,10 @@ ENDPOINTS:
     POST   /v1/attacks        run one attack       {\"attacker\":ASN,\"target\":ASN,...}
     POST   /v1/attacks:batch  run many attacks     {\"attacks\":[{...},...]}
     POST   /v1/sweeps     submit an async sweep    {\"target\":ASN,\"defense\":{...}}
+    POST   /v1/stream     submit an update stream  {\"events\":N,\"seed\":N,\"targets\":N}
+    GET    /v1/stream/:id/range  live series slice  ?series=&from=&to=&agg=window&window=N
     GET    /v1/jobs/:id   job progress             DELETE cancels
-    GET    /v1/results/:id  finished sweep results
+    GET    /v1/results/:id  finished sweep rows / stream summary
     GET    /v1/healthz    liveness + lab facts (scale, cast ASNs)
     GET    /v1/metrics    Prometheus text exposition
     POST   /v1/shutdown   graceful drain and exit
@@ -132,6 +163,17 @@ fn main() -> ExitCode {
         Some("run") => match parse_run(&args[1..]) {
             Ok(opts) => run(&opts),
             Err(msg) => usage_error(&msg),
+        },
+        Some("stream") => match parse_stream(&args[1..]) {
+            Ok(Some(opts)) => stream(&opts),
+            Ok(None) => {
+                println!("{STREAM_USAGE}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{STREAM_USAGE}");
+                ExitCode::from(2)
+            }
         },
         Some("serve") => match parse_serve(&args[1..]) {
             Ok(Some(config)) => serve(config),
@@ -226,6 +268,71 @@ fn parse_run(args: &[String]) -> Result<RunOptions, String> {
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
     s.parse()
         .map_err(|_| format!("{flag} expects a number, got {s:?}"))
+}
+
+struct StreamOptions {
+    scale: String,
+    engine: EngineChoice,
+    seed: Option<u64>,
+    events: usize,
+    targets: usize,
+    oracle: bool,
+    jobs: usize,
+    out: PathBuf,
+}
+
+/// Parses `stream` options; `Ok(None)` means `--help` was asked for.
+fn parse_stream(args: &[String]) -> Result<Option<StreamOptions>, String> {
+    let mut opts = StreamOptions {
+        scale: "quick".to_string(),
+        engine: EngineChoice::Auto,
+        seed: None,
+        events: StreamConfig::default().events,
+        targets: StreamConfig::default().num_targets,
+        oracle: false,
+        jobs: 0,
+        out: PathBuf::from("out"),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--scale" => opts.scale = value("--scale")?,
+            "--engine" => opts.engine = EngineChoice::parse(&value("--engine")?)?,
+            "--seed" => opts.seed = Some(parse_num(&value("--seed")?, "--seed")?),
+            "--events" => {
+                opts.events = parse_num(&value("--events")?, "--events")?;
+                if opts.events == 0 {
+                    return Err("--events must be at least 1".to_string());
+                }
+            }
+            "--targets" => {
+                opts.targets = parse_num(&value("--targets")?, "--targets")?;
+                if opts.targets == 0 {
+                    return Err("--targets must be at least 1".to_string());
+                }
+            }
+            "--oracle" => opts.oracle = true,
+            "--jobs" => opts.jobs = parse_num(&value("--jobs")?, "--jobs")?,
+            "--out" => opts.out = PathBuf::from(value("--out")?),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    let config = ExperimentConfig::preset(&opts.scale)?;
+    // Same up-front engine/policy validation as `run` and `serve`.
+    if opts.engine == EngineChoice::Stable && config.policy.tier1_shortest_path {
+        return Err(format!(
+            "--engine stable solves the strict Gao-Rexford policy only, but scale preset \
+             {:?} runs the paper policy (tier-1 shortest path); use --engine race instead",
+            opts.scale
+        ));
+    }
+    Ok(Some(opts))
 }
 
 /// Parses `serve` options into a ready [`ServerConfig`]; `Ok(None)`
@@ -327,6 +434,231 @@ fn serve(config: ServerConfig) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn stream(opts: &StreamOptions) -> ExitCode {
+    if opts.jobs > 0 {
+        std::env::set_var("RAYON_NUM_THREADS", opts.jobs.to_string());
+    }
+    let mut config = ExperimentConfig::preset(&opts.scale).expect("validated in parse_stream");
+    config.engine = opts.engine;
+    if let Some(seed) = opts.seed {
+        config.seed = seed;
+    }
+    if let Err(e) = std::fs::create_dir_all(&opts.out) {
+        eprintln!("error: cannot create {}: {e}", opts.out.display());
+        return ExitCode::FAILURE;
+    }
+    let started = Instant::now();
+    eprintln!(
+        "generating {}-AS internet (scale {}, seed {})...",
+        config.params.num_ases, opts.scale, config.seed
+    );
+    let lab = Lab::new(config);
+    eprintln!("topology ready in {:.1}s", started.elapsed().as_secs_f64());
+
+    let topo = lab.topology();
+    let sim = lab.simulator();
+    // Same probe cohort as fig7 so the live stream and the batch
+    // detection experiment watch the internet through the same monitors.
+    let degree_threshold = ((500.0 * lab.config().scale().sqrt()).round() as usize).max(4);
+    let sets = vec![
+        ProbeSet::tier1(topo),
+        ProbeSet::bgpmon_like(topo, 24, lab.config().seed ^ 0xb69),
+        ProbeSet::degree_at_least(topo, degree_threshold),
+    ];
+    let stream_config = StreamConfig {
+        events: opts.events,
+        seed: lab.config().seed ^ 0x57e4,
+        num_targets: opts.targets,
+        ..StreamConfig::default()
+    };
+    let plan = StreamPlan::generate(topo, &stream_config);
+    eprintln!(
+        "streaming {} events over {} targets ({} hijacks injected)...",
+        plan.events.len(),
+        plan.targets.len(),
+        plan.injected_hijacks()
+    );
+    let detect_started = Instant::now();
+    let outcome = run_stream(&sim, &sets, &plan, DetectorMode::Incremental);
+    let wall_ms = detect_started.elapsed().as_secs_f64() * 1e3;
+    if opts.oracle {
+        eprintln!("re-running with the from-scratch batch oracle...");
+        let oracle = run_stream(&sim, &sets, &plan, DetectorMode::Batch);
+        if oracle != outcome {
+            eprintln!("error: incremental run diverged from the batch oracle");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("oracle agrees: every series and detection is bit-identical");
+    }
+    let summary = outcome.summary();
+    let events_per_sec = summary.events as f64 / (wall_ms / 1e3).max(1e-9);
+    println!(
+        "stream: {} events in {:.0} ms ({:.0} events/s); {} hijacks injected, {} detected{}",
+        summary.events,
+        wall_ms,
+        events_per_sec,
+        summary.injected,
+        summary.detected,
+        match summary.mean_latency {
+            Some(mean) => format!(" (mean latency {mean:.1} events)"),
+            None => String::new(),
+        }
+    );
+
+    let manifest = stream_manifest(
+        opts,
+        &lab,
+        &stream_config,
+        &outcome,
+        wall_ms,
+        events_per_sec,
+    );
+    let manifest_path = opts.out.join("stream_manifest.json");
+    if let Err(e) = std::fs::write(&manifest_path, manifest.render()) {
+        eprintln!("error: cannot write {}: {e}", manifest_path.display());
+        return ExitCode::FAILURE;
+    }
+    let bench_path = opts.out.join("BENCH_sweep.json");
+    let record = stream_bench_record(opts, &lab, &outcome, wall_ms, events_per_sec);
+    if let Err(e) = append_json_record(&bench_path, &record) {
+        eprintln!("error: cannot append to {}: {e}", bench_path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "stream complete in {:.1}s: {} + {}",
+        started.elapsed().as_secs_f64(),
+        manifest_path.display(),
+        bench_path.display()
+    );
+    ExitCode::SUCCESS
+}
+
+/// `Some(x)` renders as a number, `None` as `null` — absent latencies and
+/// empty aggregation windows must not masquerade as zero.
+fn opt_num(value: Option<f64>) -> Json {
+    value.map_or(Json::Null, Json::Num)
+}
+
+/// The `stream_manifest.json` document: configuration, summary, and a
+/// windowed aggregate per series (min/max/mean, `null` on empty windows).
+fn stream_manifest(
+    opts: &StreamOptions,
+    lab: &Lab,
+    config: &StreamConfig,
+    outcome: &StreamOutcome,
+    wall_ms: f64,
+    events_per_sec: f64,
+) -> Json {
+    let summary = outcome.summary();
+    let window = (config.events as u64 / 8).max(1);
+    let last_seq = config.events as u64 - 1;
+    let series: Vec<Json> = outcome
+        .store
+        .names()
+        .iter()
+        .map(|name| {
+            let s = outcome.store.series(name).expect("listed series exists");
+            let windows: Vec<Json> = s
+                .window_agg(0, last_seq, window)
+                .iter()
+                .map(|w| {
+                    Json::obj([
+                        ("start", Json::from(w.start)),
+                        ("count", Json::from(w.count)),
+                        ("min", opt_num(w.min)),
+                        ("max", opt_num(w.max)),
+                        ("mean", opt_num(w.mean)),
+                    ])
+                })
+                .collect();
+            Json::obj([
+                ("name", Json::str(*name)),
+                ("samples", Json::from(s.len())),
+                ("evicted", Json::from(s.evicted())),
+                ("windows", Json::Arr(windows)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("schema_version", Json::from(SCHEMA_VERSION)),
+        ("tool", Json::str("bgpsim")),
+        ("kind", Json::str("stream")),
+        ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+        (
+            "config",
+            Json::obj([
+                ("scale", Json::str(&opts.scale)),
+                ("seed", Json::from(lab.config().seed)),
+                ("engine", Json::str(lab.config().engine.name())),
+                ("num_ases", Json::from(lab.topology().num_ases())),
+                ("events", Json::from(config.events)),
+                ("stream_seed", Json::from(config.seed)),
+                ("targets", Json::from(config.num_targets)),
+                ("validator_fraction", Json::Num(config.validator_fraction)),
+                ("stub_defense", Json::Bool(config.stub_defense)),
+                ("flip_weight", Json::from(config.flip_weight)),
+                ("reannounce_weight", Json::from(config.reannounce_weight)),
+                ("inject_weight", Json::from(config.inject_weight)),
+            ]),
+        ),
+        (
+            "summary",
+            Json::obj([
+                ("events", Json::from(summary.events)),
+                ("injected", Json::from(summary.injected)),
+                ("detected", Json::from(summary.detected)),
+                ("mean_latency_events", opt_num(summary.mean_latency)),
+                (
+                    "max_latency_events",
+                    opt_num(summary.max_latency.map(|l| l as f64)),
+                ),
+                ("wall_ms", Json::Num(wall_ms)),
+                ("events_per_sec", Json::Num(events_per_sec)),
+            ]),
+        ),
+        ("series", Json::Arr(series)),
+    ])
+}
+
+/// One stream entry for `BENCH_sweep.json`. The `bench_ms` key is
+/// milliseconds per 1000 events (lower is better) and is scale-qualified
+/// so the CI regression guard never compares across presets.
+fn stream_bench_record(
+    opts: &StreamOptions,
+    lab: &Lab,
+    outcome: &StreamOutcome,
+    wall_ms: f64,
+    events_per_sec: f64,
+) -> Json {
+    let summary = outcome.summary();
+    let unix_time = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let ms_per_1k = wall_ms * 1e3 / summary.events as f64;
+    Json::obj([
+        ("unix_time", Json::from(unix_time)),
+        ("source", Json::str("cli-stream")),
+        ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+        ("scale", Json::str(&opts.scale)),
+        ("seed", Json::from(lab.config().seed)),
+        ("engine", Json::str(lab.config().engine.name())),
+        ("num_ases", Json::from(lab.topology().num_ases())),
+        ("events", Json::from(summary.events)),
+        ("injected", Json::from(summary.injected)),
+        ("detected", Json::from(summary.detected)),
+        ("wall_ms", Json::Num(wall_ms)),
+        ("events_per_sec", Json::Num(events_per_sec)),
+        (
+            "bench_ms",
+            Json::obj([(
+                format!("stream/{}_per_1k_events", opts.scale),
+                Json::Num(ms_per_1k),
+            )]),
+        ),
+    ])
 }
 
 fn run(opts: &RunOptions) -> ExitCode {

@@ -6,8 +6,8 @@
 //! experiment harness and the substrate crates
 //! ([`topology`](bgpsim_core::topology), [`routing`](bgpsim_core::routing),
 //! [`hijack`](bgpsim_core::hijack), [`defense`](bgpsim_core::defense),
-//! [`detection`](bgpsim_core::detection), [`advisor`](bgpsim_core::advisor),
-//! [`viz`](bgpsim_core::viz)).
+//! [`detection`](bgpsim_core::detection), [`stream`](bgpsim_core::stream),
+//! [`advisor`](bgpsim_core::advisor), [`viz`](bgpsim_core::viz)).
 //!
 //! ```
 //! use bgpsim::{experiments, ExperimentConfig, Lab};
