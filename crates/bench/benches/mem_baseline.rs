@@ -1,0 +1,105 @@
+//! Baseline memory diet: construction cost and resident footprint of the
+//! packed [`Baseline`] layout.
+//!
+//! The delta engine's whole premise is that a sweep keeps one `Baseline`
+//! (converged snapshot + recorded message schedule) resident per target
+//! and replays attackers against it. At paper scale (42,697 ASes) the
+//! server caches dozens of them, so bytes-per-baseline is a first-class
+//! budget — this bench pins both the build wall time and, via
+//! [`Baseline::heap_bytes`], the footprint itself, on the same ~2k-AS lab
+//! the sweep benches use.
+//!
+//! Criterion measures time, not bytes, so the footprint rides along as a
+//! one-shot `heap_bytes` printout per regime (defended / undefended):
+//! regressions in bytes show up in the printed figures, regressions in
+//! build time trip the CI `mem_baseline` guard alongside `sweep_delta`
+//! and `sweep_race`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bgpsim_core::defense::DeploymentStrategy;
+use bgpsim_core::routing::{
+    Announcement, Baseline, FilterContext, PolicyConfig, SimNet, Workspace,
+};
+use bgpsim_core::topology::gen::{generate, GeneratedInternet, InternetParams};
+use bgpsim_core::topology::metrics::DepthMap;
+use bgpsim_core::topology::select;
+use bgpsim_topology::AsIndex;
+
+struct Lab {
+    net: GeneratedInternet,
+    target: AsIndex,
+}
+
+fn lab() -> Lab {
+    let net = generate(&InternetParams::sized(2_000), 7);
+    let topo = &net.topology;
+    let depths = DepthMap::to_tier1(topo);
+    let target = select::deepest_stub(topo, &depths).expect("stubs exist");
+    Lab { net, target }
+}
+
+fn bench_mem_baseline(c: &mut Criterion) {
+    let lab = lab();
+    let sim_net = SimNet::new(&lab.net.topology);
+    let policy = PolicyConfig::paper();
+    let mut ws = Workspace::new();
+
+    let defense = DeploymentStrategy::TopKByDegree(100)
+        .defense(&lab.net.topology)
+        .with_stub_defense();
+    let dctx = defense.context_for(lab.target);
+    let open = FilterContext::none();
+
+    // One-shot footprint report. The two regimes currently coincide —
+    // origin validation only drops *hijacked* routes, and the honest
+    // target's own announcement floods the graph either way — but both
+    // are printed so a future filter that does touch honest schedules
+    // shows up here.
+    for (name, ctx) in [("defended", &dctx), ("undefended", &open)] {
+        let baseline = Baseline::build(
+            &sim_net,
+            &[Announcement::honest(lab.target)],
+            ctx,
+            &policy,
+            &mut ws,
+        );
+        println!(
+            "mem_baseline/{name}: heap_bytes = {} ({} ASes)",
+            baseline.heap_bytes(),
+            lab.net.topology.num_ases()
+        );
+    }
+
+    let mut g = c.benchmark_group("mem_baseline");
+    g.sample_size(20);
+    g.bench_function("build_defended", |b| {
+        b.iter(|| {
+            let baseline = Baseline::build(
+                &sim_net,
+                &[Announcement::honest(lab.target)],
+                &dctx,
+                &policy,
+                &mut ws,
+            );
+            black_box(baseline.heap_bytes())
+        })
+    });
+    g.bench_function("build_undefended", |b| {
+        b.iter(|| {
+            let baseline = Baseline::build(
+                &sim_net,
+                &[Announcement::honest(lab.target)],
+                &open,
+                &policy,
+                &mut ws,
+            );
+            black_box(baseline.heap_bytes())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(mem_baseline, bench_mem_baseline);
+criterion_main!(mem_baseline);

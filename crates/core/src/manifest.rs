@@ -599,6 +599,11 @@ pub fn telemetry_json(snapshot: &TelemetrySnapshot) -> Json {
         ("race_wall_us", Json::from(snapshot.race_wall_us)),
         ("delta_dispatches", Json::from(snapshot.delta_dispatches)),
         ("baselines_built", Json::from(snapshot.baselines_built)),
+        ("baseline_bytes", Json::from(snapshot.baseline_bytes)),
+        (
+            "baseline_bytes_peak",
+            Json::from(snapshot.baseline_bytes_peak),
+        ),
         ("attacks", Json::from(snapshot.attacks)),
         ("skipped", Json::from(snapshot.skipped)),
         ("cone_sum", Json::from(snapshot.cone_sum)),
@@ -767,9 +772,13 @@ mod tests {
     fn telemetry_json_drops_trailing_hist_zeros() {
         let mut snapshot = bgpsim_hijack::SweepTelemetry::new().snapshot();
         snapshot.wall_hist[2] = 7;
+        snapshot.baseline_bytes = 2048;
+        snapshot.baseline_bytes_peak = 1024;
         let s = telemetry_json(&snapshot).render_compact();
         assert!(s.contains("\"wall_hist_us_log2\":[0,0,7]"), "{s}");
         assert!(s.contains("\"engine\":{"));
+        assert!(s.contains("\"baseline_bytes\":2048"), "{s}");
+        assert!(s.contains("\"baseline_bytes_peak\":1024"), "{s}");
     }
 
     #[test]

@@ -36,6 +36,7 @@
 mod aggressiveness;
 mod attack;
 mod defense;
+mod pool;
 mod simulator;
 mod telemetry;
 mod vulnerability;

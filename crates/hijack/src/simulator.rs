@@ -40,6 +40,7 @@ use rayon::prelude::*;
 
 use crate::attack::{Attack, AttackKind, AttackOutcome};
 use crate::defense::Defense;
+use crate::pool::WorkspacePool;
 use crate::telemetry::{run_instrumented, Dispatch, MaybeSink, ProgressState, SweepMonitor};
 use crate::vulnerability::SweepResult;
 
@@ -145,6 +146,13 @@ pub struct Simulator<'t> {
     /// Fixed-point round cap handed to the race solver; rounds exhausted
     /// means generation-engine fallback.
     race_rounds: u32,
+    /// Parked per-thread workspaces, reused across parallel calls: the
+    /// vendored rayon re-runs `map_init`'s init closure per worker per
+    /// call, so without pooling every sweep chunk would reallocate
+    /// O(ASes + slots) per worker (see `pool.rs`).
+    ws_pool: WorkspacePool<Workspace>,
+    dws_pool: WorkspacePool<DeltaWorkspace>,
+    rws_pool: WorkspacePool<RaceWorkspace>,
 }
 
 impl<'t> Simulator<'t> {
@@ -156,6 +164,9 @@ impl<'t> Simulator<'t> {
             policy,
             engine: EngineChoice::Auto,
             race_rounds: DEFAULT_MAX_ROUNDS,
+            ws_pool: WorkspacePool::default(),
+            dws_pool: WorkspacePool::default(),
+            rws_pool: WorkspacePool::default(),
         }
     }
 
@@ -207,9 +218,10 @@ impl<'t> Simulator<'t> {
         &self.policy
     }
 
-    /// Simulates one attack with a fresh workspace.
+    /// Simulates one attack with a pooled workspace.
     pub fn run(&self, attack: Attack, defense: &Defense) -> AttackOutcome {
-        self.run_observed(attack, defense, &mut Workspace::new(), &mut NullObserver)
+        let mut ws = self.ws_pool.checkout();
+        self.run_observed(attack, defense, &mut ws, &mut NullObserver)
     }
 
     /// Simulates one attack with a caller-provided workspace and observer
@@ -363,7 +375,7 @@ impl<'t> Simulator<'t> {
             return attackers
                 .par_iter()
                 .map_init(
-                    || (RaceWorkspace::new(), Workspace::new()),
+                    || (self.rws_pool.checkout(), self.ws_pool.checkout()),
                     |(rws, ws), &attacker| {
                         if attacker == target {
                             progress.tick();
@@ -416,39 +428,48 @@ impl<'t> Simulator<'t> {
         if matches!(plan, Plan::Scratch) {
             return attackers
                 .par_iter()
-                .map_init(Workspace::new, |ws, &attacker| {
-                    if attacker == target {
-                        progress.tick();
-                        return 0;
-                    }
-                    run_instrumented(monitor, &progress, 0, || {
-                        if let Some(t) = monitor.telemetry {
-                            t.record_dispatch(Dispatch::Scratch);
+                .map_init(
+                    || self.ws_pool.checkout(),
+                    |ws, &attacker| {
+                        if attacker == target {
+                            progress.tick();
+                            return 0;
                         }
-                        let mut obs = MaybeSink::from_monitor(monitor);
-                        let p = propagate_announcements(
-                            &self.net,
-                            &[Announcement::honest(target), Announcement::honest(attacker)],
-                            &ctx,
-                            &self.policy,
-                            ws,
-                            &mut obs,
-                        );
-                        p.captured_by(attacker).filter(|&ix| in_mask(ix)).count() as u32
-                    })
-                })
+                        run_instrumented(monitor, &progress, 0, || {
+                            if let Some(t) = monitor.telemetry {
+                                t.record_dispatch(Dispatch::Scratch);
+                            }
+                            let mut obs = MaybeSink::from_monitor(monitor);
+                            let p = propagate_announcements(
+                                &self.net,
+                                &[Announcement::honest(target), Announcement::honest(attacker)],
+                                &ctx,
+                                &self.policy,
+                                ws,
+                                &mut obs,
+                            );
+                            p.captured_by(attacker).filter(|&ix| in_mask(ix)).count() as u32
+                        })
+                    },
+                )
                 .collect();
         }
         if let Some(t) = monitor.telemetry {
             t.record_baseline();
         }
-        let baseline = Baseline::build(
-            &self.net,
-            &[Announcement::honest(target)],
-            &ctx,
-            &self.policy,
-            &mut Workspace::new(),
-        );
+        let baseline = {
+            let mut ws = self.ws_pool.checkout();
+            Baseline::build(
+                &self.net,
+                &[Announcement::honest(target)],
+                &ctx,
+                &self.policy,
+                &mut ws,
+            )
+        };
+        if let Some(t) = monitor.telemetry {
+            t.record_baseline_bytes(baseline.heap_bytes() as u64);
+        }
         self.sweep_delta_replay(target, attackers, &ctx, mask.as_deref(), &baseline, monitor)
     }
 
@@ -547,45 +568,48 @@ impl<'t> Simulator<'t> {
         let progress = ProgressState::new(*monitor, attackers.len());
         attackers
             .par_iter()
-            .map_init(DeltaWorkspace::new, |dws, &attacker| {
-                if attacker == target {
-                    progress.tick();
-                    return 0;
-                }
-                run_instrumented(monitor, &progress, 0, || {
-                    if let Some(t) = monitor.telemetry {
-                        t.record_dispatch(Dispatch::Delta);
+            .map_init(
+                || self.dws_pool.checkout(),
+                |dws, &attacker| {
+                    if attacker == target {
+                        progress.tick();
+                        return 0;
                     }
-                    let mut obs = MaybeSink::from_monitor(monitor);
-                    let delta = propagate_delta(
-                        &self.net,
-                        baseline,
-                        &[Announcement::honest(attacker)],
-                        ctx,
-                        &self.policy,
-                        dws,
-                        &mut obs,
-                    );
-                    // The baseline routes only to the target, so every AS
-                    // now routing to the attacker is in the cone: counting
-                    // over `touched` is exhaustive.
-                    let mut cone = 0u64;
-                    let mut count = 0u32;
-                    for ix in delta.touched() {
-                        cone += 1;
-                        if ix != attacker
-                            && in_mask(ix)
-                            && delta.choice(ix).is_some_and(|c| c.origin == attacker)
-                        {
-                            count += 1;
+                    run_instrumented(monitor, &progress, 0, || {
+                        if let Some(t) = monitor.telemetry {
+                            t.record_dispatch(Dispatch::Delta);
                         }
-                    }
-                    if let Some(t) = monitor.telemetry {
-                        t.record_cone(cone);
-                    }
-                    count
-                })
-            })
+                        let mut obs = MaybeSink::from_monitor(monitor);
+                        let delta = propagate_delta(
+                            &self.net,
+                            baseline,
+                            &[Announcement::honest(attacker)],
+                            ctx,
+                            &self.policy,
+                            dws,
+                            &mut obs,
+                        );
+                        // The baseline routes only to the target, so every AS
+                        // now routing to the attacker is in the cone: counting
+                        // over `touched` is exhaustive.
+                        let mut cone = 0u64;
+                        let mut count = 0u32;
+                        for ix in delta.touched() {
+                            cone += 1;
+                            if ix != attacker
+                                && in_mask(ix)
+                                && delta.choice(ix).is_some_and(|c| c.origin == attacker)
+                            {
+                                count += 1;
+                            }
+                        }
+                        if let Some(t) = monitor.telemetry {
+                            t.record_cone(cone);
+                        }
+                        count
+                    })
+                },
+            )
             .collect()
     }
 
@@ -702,20 +726,26 @@ impl<'t> Simulator<'t> {
             .collect();
         let baselines: HashMap<AsIndex, Baseline> = targets
             .par_iter()
-            .map_init(Workspace::new, |ws, &target| {
-                if let Some(t) = monitor.telemetry {
-                    t.record_baseline();
-                }
-                let ctx = defense.context_for(target);
-                let baseline = Baseline::build(
-                    &self.net,
-                    &[Announcement::honest(target)],
-                    &ctx,
-                    &self.policy,
-                    ws,
-                );
-                (target, baseline)
-            })
+            .map_init(
+                || self.ws_pool.checkout(),
+                |ws, &target| {
+                    if let Some(t) = monitor.telemetry {
+                        t.record_baseline();
+                    }
+                    let ctx = defense.context_for(target);
+                    let baseline = Baseline::build(
+                        &self.net,
+                        &[Announcement::honest(target)],
+                        &ctx,
+                        &self.policy,
+                        ws,
+                    );
+                    if let Some(t) = monitor.telemetry {
+                        t.record_baseline_bytes(baseline.heap_bytes() as u64);
+                    }
+                    (target, baseline)
+                },
+            )
             .collect();
         // Sub-prefix hijacks have no honest competition, so the forced
         // delta override replays them against one shared empty baseline
@@ -731,9 +761,9 @@ impl<'t> Simulator<'t> {
             .map_init(
                 || {
                     (
-                        Workspace::new(),
-                        DeltaWorkspace::new(),
-                        RaceWorkspace::new(),
+                        self.ws_pool.checkout(),
+                        self.dws_pool.checkout(),
+                        self.rws_pool.checkout(),
                     )
                 },
                 |(ws, dws, rws), &attack| {

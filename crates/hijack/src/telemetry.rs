@@ -61,6 +61,8 @@ pub struct SweepTelemetry {
     scratch_dispatches: AtomicU64,
     delta_dispatches: AtomicU64,
     baselines_built: AtomicU64,
+    baseline_bytes: AtomicU64,
+    baseline_bytes_peak: AtomicU64,
     attacks: AtomicU64,
     skipped: AtomicU64,
     // Wall time spent inside race-solver attempts (converged or not).
@@ -118,6 +120,16 @@ impl SweepTelemetry {
         self.baselines_built.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one built baseline's resident heap footprint
+    /// ([`Baseline::heap_bytes`](bgpsim_routing::Baseline::heap_bytes)):
+    /// bytes accumulate across builds, and the largest single baseline is
+    /// tracked separately — together they bound what a sweep's shared
+    /// state costs in memory.
+    pub fn record_baseline_bytes(&self, bytes: u64) {
+        self.baseline_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.baseline_bytes_peak.fetch_max(bytes, Ordering::Relaxed);
+    }
+
     /// Counts one attack skipped because the sweep was cancelled.
     pub fn record_skipped(&self) {
         self.skipped.fetch_add(1, Ordering::Relaxed);
@@ -166,6 +178,8 @@ impl SweepTelemetry {
             scratch_dispatches: get(&self.scratch_dispatches),
             delta_dispatches: get(&self.delta_dispatches),
             baselines_built: get(&self.baselines_built),
+            baseline_bytes: get(&self.baseline_bytes),
+            baseline_bytes_peak: get(&self.baseline_bytes_peak),
             attacks: get(&self.attacks),
             skipped: get(&self.skipped),
             race_wall_us: get(&self.race_wall_us),
@@ -204,6 +218,11 @@ pub struct TelemetrySnapshot {
     pub delta_dispatches: u64,
     /// Shared target baselines constructed.
     pub baselines_built: u64,
+    /// Summed heap bytes of every baseline built (capacity-accounted, see
+    /// `Baseline::heap_bytes` in the routing crate).
+    pub baseline_bytes: u64,
+    /// Heap bytes of the largest single baseline built.
+    pub baseline_bytes_peak: u64,
     /// Attacks executed (sum of the four dispatch counters).
     pub attacks: u64,
     /// Attacks skipped because the sweep was cancelled.
@@ -457,6 +476,8 @@ mod tests {
         t.record_race_wall(Duration::from_micros(7));
         t.record_race_wall(Duration::from_micros(5));
         t.record_baseline();
+        t.record_baseline_bytes(1000);
+        t.record_baseline_bytes(400);
         t.record_cone(10);
         t.record_cone(4);
         t.record_skipped();
@@ -480,6 +501,8 @@ mod tests {
         assert_eq!(s.attacks, 4);
         assert_eq!(s.race_wall_us, 12);
         assert_eq!(s.baselines_built, 1);
+        assert_eq!(s.baseline_bytes, 1400);
+        assert_eq!(s.baseline_bytes_peak, 1000);
         assert_eq!(s.skipped, 1);
         assert_eq!(s.cone_sum, 14);
         assert_eq!(s.cone_max, 10);

@@ -66,22 +66,115 @@ use crate::engine::generation::{
     PathNode, Queues, RaceLog, RibSnapshot, RibState, Workspace, NONE, NO_ROUTE,
 };
 use crate::filter::FilterContext;
-use crate::net::SimNet;
+use crate::net::{checked_u32, SimNet};
 use crate::observer::{Decision, MessageEvent, NullObserver, Observer};
 use crate::policy::{PolicyConfig, PrefClass};
 use crate::route::{Choice, ConvergenceStats, Propagation};
 
-/// One baseline message, augmented with the redundant fields the replay
-/// loop needs in its hot path: the sender, the sender-side slot, and
-/// whether the delivery removed (rather than stored) the receiver's entry.
-#[derive(Debug, Clone, Copy)]
-struct ReplayMsg {
-    gen: u32,
-    sender: u32,
-    /// Sender-side slot (receiver-side is `msg.slot`).
-    islot: u32,
-    msg: Msg,
-    removed: bool,
+/// Generation budget of the packed log words: 13 bits. Schedules that run
+/// deeper cannot be packed; every shipped `PolicyConfig::max_generations`
+/// preset sits orders of magnitude below this.
+const MAX_PACKED_GEN: u32 = (1 << 13) - 1;
+
+/// One baseline delivery, packed into 16 bytes (the unpacked field-per-item
+/// form was 36): the receiver-side slot identifies the directed edge, so
+/// the receiver, the sender and the sender-side slot are all recovered in
+/// O(1) from [`SimNet`]'s slot tables instead of being stored.
+#[derive(Debug, Clone, Copy, Default)]
+struct PackedReplay {
+    /// Receiver-side slot (its owner is the receiver; its mirror is the
+    /// sender side).
+    slot: u32,
+    /// Announced origin; [`NONE`] encodes a withdrawal.
+    origin: u32,
+    /// AS-path arena node ([`NONE`] for withdrawals).
+    node: u32,
+    /// `gen (13) | len << 13 (16) | class << 29 (2) | removed << 31 (1)`.
+    meta: u32,
+}
+
+impl PackedReplay {
+    fn pack(gen: u32, msg: &Msg, removed: bool) -> PackedReplay {
+        debug_assert!(gen <= MAX_PACKED_GEN && msg.class < 4);
+        PackedReplay {
+            slot: msg.slot,
+            origin: msg.origin,
+            node: msg.node,
+            meta: gen
+                | (u32::from(msg.len) << 13)
+                | (u32::from(msg.class) << 29)
+                | (u32::from(removed) << 31),
+        }
+    }
+
+    #[inline]
+    fn gen(self) -> u32 {
+        self.meta & MAX_PACKED_GEN
+    }
+
+    #[inline]
+    fn len(self) -> u16 {
+        (self.meta >> 13) as u16
+    }
+
+    #[inline]
+    fn class(self) -> u8 {
+        ((self.meta >> 29) & 0x3) as u8
+    }
+
+    #[inline]
+    fn removed(self) -> bool {
+        self.meta >> 31 != 0
+    }
+
+    /// Reassembles the delivered [`Msg`] for receiver `to` — always the
+    /// owner of `self.slot`, which callers walking a receiver's log range
+    /// already know.
+    #[inline]
+    fn msg(self, to: u32) -> Msg {
+        Msg {
+            to,
+            slot: self.slot,
+            origin: self.origin,
+            len: self.len(),
+            class: self.class(),
+            node: self.node,
+        }
+    }
+}
+
+/// One recorded export phase, packed into 8 bytes: the exported best
+/// triple plus the generation the phase ran in.
+#[derive(Debug, Clone, Copy, Default)]
+struct ExportEntry {
+    /// Exported origin ([`NONE`] for a no-route export).
+    origin: u32,
+    /// `gen (13) | len << 13 (16) | class << 29 (2)`.
+    meta: u32,
+}
+
+impl ExportEntry {
+    fn pack(gen: u32, triple: (u32, u16, u8)) -> ExportEntry {
+        debug_assert!(gen <= MAX_PACKED_GEN && triple.2 < 4);
+        ExportEntry {
+            origin: triple.0,
+            meta: gen | (u32::from(triple.1) << 13) | (u32::from(triple.2) << 29),
+        }
+    }
+
+    #[inline]
+    fn gen(self) -> u32 {
+        self.meta & MAX_PACKED_GEN
+    }
+
+    #[inline]
+    fn triple(self) -> (u32, u16, u8) {
+        (
+            self.origin,
+            (self.meta >> 13) as u16,
+            ((self.meta >> 29) & 0x3) as u8,
+        )
+    }
 }
 
 /// A frozen converged propagation — state snapshot plus full message
@@ -92,49 +185,47 @@ struct ReplayMsg {
 #[derive(Debug, Clone)]
 pub struct Baseline {
     snap: RibSnapshot,
-    result: Propagation,
+    /// Convergence counters of the frozen honest run. The per-AS
+    /// selections themselves are *not* stored — [`Baseline::base_choice`]
+    /// reconstructs each from the packed snapshot, so the old O(ASes)
+    /// `Propagation` duplicate is gone from the resident footprint.
+    stats: ConvergenceStats,
     policy: PolicyConfig,
-    num_ases: usize,
-    num_slots: usize,
-    /// Flat delivery log in delivery order (ascending generation).
-    log: Vec<ReplayMsg>,
+    /// Packed delivery log, grouped by receiver: receiver `x`'s deliveries
+    /// are `log[in_off[x]..in_off[x + 1]]` in delivery order (ascending
+    /// generation). Grouping the log itself by receiver makes the
+    /// delivery-side index implicit — there is no `in_dat` array.
+    log: Vec<PackedReplay>,
     /// Last generation with recorded deliveries (0 for an empty log).
     last_gen: u32,
-    /// Per-receiver CSR index into `log`: receiver `x`'s deliveries are
-    /// `in_dat[in_off[x]..in_off[x + 1]]`, ascending generation. The
-    /// replay loop walks these with per-AS cursors so each generation
-    /// costs O(cone), not O(log).
+    /// Per-receiver offsets into `log` (see `log`). The replay loop walks
+    /// ranges with per-AS cursors so each generation costs O(cone), not
+    /// O(log).
     in_off: Vec<u32>,
-    in_dat: Vec<u32>,
-    /// Per-sender CSR index into `log`, ascending generation (within one
-    /// generation: ascending sender-side slot, the export-phase order).
+    /// Per-sender CSR of positions in `log`, ascending generation (within
+    /// one generation: ascending sender-side slot, the export-phase
+    /// order).
     out_off: Vec<u32>,
     out_dat: Vec<u32>,
-    /// Per-AS export phases, ascending generation.
-    export_log: Vec<Vec<ExportPhase>>,
+    /// Per-AS export phases as a CSR: AS `x`'s phases are
+    /// `exp_dat[exp_off[x]..exp_off[x + 1]]`, ascending generation.
+    exp_off: Vec<u32>,
+    exp_dat: Vec<ExportEntry>,
 }
 
-/// One recorded export phase: the generation it ran in and the exported
-/// best triple (origin, len, class).
-type ExportPhase = (u32, (u32, u16, u8));
-
-/// Builds a CSR index over `log` from an extraction function.
-fn csr_index(n: usize, log: &[ReplayMsg], key: impl Fn(&ReplayMsg) -> u32) -> (Vec<u32>, Vec<u32>) {
+/// Counting-sort CSR offsets for `len` items keyed by `key(i)` in `0..n`.
+/// The length is checked up front: a schedule outgrowing the u32 index
+/// space fails loudly instead of silently wrapping into corrupt indices.
+fn csr_offsets(n: usize, len: usize, key: impl Fn(usize) -> u32) -> Vec<u32> {
+    checked_u32(len, "CSR-indexed schedule length");
     let mut off = vec![0u32; n + 1];
-    for e in log {
-        off[key(e) as usize + 1] += 1;
+    for i in 0..len {
+        off[key(i) as usize + 1] += 1;
     }
     for i in 0..n {
         off[i + 1] += off[i];
     }
-    let mut cur = off.clone();
-    let mut dat = vec![0u32; log.len()];
-    for (i, e) in log.iter().enumerate() {
-        let c = &mut cur[key(e) as usize];
-        dat[*c as usize] = i as u32;
-        *c += 1;
-    }
-    (off, dat)
+    off
 }
 
 impl Baseline {
@@ -172,40 +263,67 @@ impl Baseline {
             Some(&mut race),
         );
         let n = net.num_ases();
-        let log: Vec<ReplayMsg> = race
-            .deliveries
-            .iter()
-            .map(|d| ReplayMsg {
-                gen: d.gen,
-                sender: net
-                    .slot_entry(AsIndex::new(d.msg.to), d.msg.slot)
-                    .index
-                    .raw(),
-                islot: net.reverse_slot(d.msg.slot),
-                msg: d.msg,
-                removed: d.removed,
-            })
-            .collect();
-        let last_gen = log.last().map_or(0, |e| e.gen);
-        let (in_off, in_dat) = csr_index(n, &log, |e| e.msg.to);
-        let (out_off, out_dat) = csr_index(n, &log, |e| e.sender);
-        let mut export_log = vec![Vec::new(); n];
-        for e in &race.exports {
-            export_log[e.asn as usize].push((e.gen, e.triple));
+        let deliveries = &race.deliveries;
+        let last_gen = deliveries.last().map_or(0, |d| d.gen);
+        // Both recorders emit ascending generations, so the last entry
+        // carries the maximum (exports can reach one past `last_gen`).
+        let max_gen = race
+            .exports
+            .last()
+            .map_or(last_gen, |e| e.gen.max(last_gen));
+        assert!(
+            max_gen <= MAX_PACKED_GEN,
+            "schedule reached generation {max_gen}, beyond the packed 13-bit \
+             budget ({MAX_PACKED_GEN}); lower policy.max_generations"
+        );
+        // Receiver-grouped packed log: stable counting sort by receiver,
+        // remembering each delivery's sorted position (`perm`) so the
+        // sender-side index below preserves the original per-sender order
+        // (ascending generation, then ascending sender-side slot).
+        let in_off = csr_offsets(n, deliveries.len(), |i| deliveries[i].msg.to);
+        let mut cur = in_off.clone();
+        let mut log = vec![PackedReplay::default(); deliveries.len()];
+        let mut perm = vec![0u32; deliveries.len()];
+        for (i, d) in deliveries.iter().enumerate() {
+            let c = &mut cur[d.msg.to as usize];
+            perm[i] = *c;
+            log[*c as usize] = PackedReplay::pack(d.gen, &d.msg, d.removed);
+            *c += 1;
+        }
+        let sender_of = |i: usize| {
+            net.owner_of_slot(net.reverse_slot(deliveries[i].msg.slot))
+                .raw()
+        };
+        let out_off = csr_offsets(n, deliveries.len(), sender_of);
+        let mut cur = out_off.clone();
+        let mut out_dat = vec![0u32; deliveries.len()];
+        for i in 0..deliveries.len() {
+            let c = &mut cur[sender_of(i) as usize];
+            out_dat[*c as usize] = perm[i];
+            *c += 1;
+        }
+        // Export phases, CSR-packed the same way (stable by AS, ascending
+        // generation within each).
+        let exports = &race.exports;
+        let exp_off = csr_offsets(n, exports.len(), |i| exports[i].asn);
+        let mut cur = exp_off.clone();
+        let mut exp_dat = vec![ExportEntry::default(); exports.len()];
+        for e in exports {
+            let c = &mut cur[e.asn as usize];
+            exp_dat[*c as usize] = ExportEntry::pack(e.gen, e.triple);
+            *c += 1;
         }
         Baseline {
             snap: ws.snapshot(net),
-            result,
+            stats: result.stats(),
             policy: *policy,
-            num_ases: n,
-            num_slots: net.num_slots(),
             log,
             last_gen,
             in_off,
-            in_dat,
             out_off,
             out_dat,
-            export_log,
+            exp_off,
+            exp_dat,
         }
     }
 
@@ -218,23 +336,61 @@ impl Baseline {
         let n = net.num_ases();
         Baseline {
             snap: RibSnapshot::empty(net),
-            result: Propagation::new(vec![None; n], ConvergenceStats::default()),
+            stats: ConvergenceStats::default(),
             policy: *policy,
-            num_ases: n,
-            num_slots: net.num_slots(),
             log: Vec::new(),
             last_gen: 0,
             in_off: vec![0; n + 1],
-            in_dat: Vec::new(),
             out_off: vec![0; n + 1],
             out_dat: Vec::new(),
-            export_log: vec![Vec::new(); n],
+            exp_off: vec![0; n + 1],
+            exp_dat: Vec::new(),
         }
     }
 
-    /// The converged honest propagation this baseline froze.
-    pub fn propagation(&self) -> &Propagation {
-        &self.result
+    /// The baseline selection of `ix`, reconstructed from the packed
+    /// snapshot (the frozen `best` entry plus the slot→neighbor map).
+    pub(crate) fn base_choice(&self, net: &SimNet<'_>, ix: AsIndex) -> Option<Choice> {
+        let b = self.snap.best(ix.raw())?;
+        if b.origin == NONE {
+            return None;
+        }
+        Some(Choice {
+            origin: AsIndex::new(b.origin),
+            learned_from: if b.slot == NONE {
+                None
+            } else {
+                Some(net.slot_entry(ix, b.slot).index)
+            },
+            len: b.len,
+            class: PrefClass::from_u8(b.class),
+        })
+    }
+
+    /// Materializes the converged honest propagation this baseline froze
+    /// (O(ASes)). The selections are rebuilt from the packed snapshot —
+    /// they are not kept resident.
+    pub fn propagation(&self, net: &SimNet<'_>) -> Propagation {
+        let choices = (0..net.num_ases())
+            .map(|i| self.base_choice(net, AsIndex::new(i as u32)))
+            .collect();
+        Propagation::new(choices, self.stats)
+    }
+
+    /// Resident heap footprint of this baseline in bytes: the packed
+    /// snapshot tables plus the packed delivery schedule with its CSR
+    /// indices and the export log. Computed from vector capacities, so it
+    /// reflects what the allocator actually holds.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.snap.heap_bytes()
+            + self.log.capacity() * size_of::<PackedReplay>()
+            + self.exp_dat.capacity() * size_of::<ExportEntry>()
+            + (self.in_off.capacity()
+                + self.out_off.capacity()
+                + self.out_dat.capacity()
+                + self.exp_off.capacity())
+                * size_of::<u32>()
     }
 }
 
@@ -285,8 +441,9 @@ pub struct DeltaWorkspace {
     /// ASes recruited into the cone (selection recorded) this run, in
     /// recruitment order.
     touched: Vec<u32>,
-    /// Per-AS cursor into the baseline's `in_dat` / `out_dat` CSR — only
-    /// meaningful for cone members (written on recruitment), so no stamps.
+    /// Per-AS cursor into the baseline's receiver-grouped `log` /
+    /// sender-side `out_dat` CSR — only meaningful for cone members
+    /// (written on recruitment), so no stamps.
     in_cur: Vec<u32>,
     out_cur: Vec<u32>,
     /// Per-AS range of this generation's live exports in the scratch
@@ -307,8 +464,8 @@ impl DeltaWorkspace {
     }
 
     fn begin(&mut self, baseline: &Baseline) {
-        let n = baseline.num_ases;
-        let slots = baseline.num_slots;
+        let n = baseline.snap.num_ases();
+        let slots = baseline.snap.num_slots();
         if self.best.len() < n {
             self.best.resize(n, NO_ROUTE);
             self.best_stamp.resize(n, 0);
@@ -367,14 +524,14 @@ impl DeltaState<'_> {
         self.ws.best_stamp[ix as usize] == self.ws.epoch
     }
 
-    /// Whether two message payloads are identical, including the full
-    /// AS-path chain (triples can coincide across different paths, and
-    /// paths drive downstream loop checks).
-    fn msgs_equal(&self, a: &Msg, b: &Msg) -> bool {
-        if (a.origin, a.len, a.class) != (b.origin, b.len, b.class) {
+    /// Whether a live message's payload matches a logged delivery,
+    /// including the full AS-path chain (triples can coincide across
+    /// different paths, and paths drive downstream loop checks).
+    fn msg_matches(&self, a: &Msg, e: PackedReplay) -> bool {
+        if (a.origin, a.len, a.class) != (e.origin, e.len(), e.class()) {
             return false;
         }
-        let (mut x, mut y) = (a.node, b.node);
+        let (mut x, mut y) = (a.node, e.node);
         while x != NONE && y != NONE {
             if x == y {
                 return true; // identical shared suffix
@@ -397,7 +554,7 @@ impl RibState for DeltaState<'_> {
             let e = self.ws.adj[slot as usize];
             (e.origin != NONE).then_some(e)
         } else {
-            self.snap.adj[slot as usize]
+            self.snap.adj(slot)
         }
     }
 
@@ -420,7 +577,7 @@ impl RibState for DeltaState<'_> {
         if self.ws.best_stamp[ix as usize] == self.ws.epoch {
             Some(self.ws.best[ix as usize])
         } else {
-            self.snap.best[ix as usize]
+            self.snap.best(ix)
         }
     }
 
@@ -438,7 +595,7 @@ impl RibState for DeltaState<'_> {
         if self.ws.sent_stamp[slot as usize] == self.ws.epoch {
             self.ws.sent[slot as usize]
         } else {
-            self.snap.sent[slot as usize]
+            self.snap.sent(slot)
         }
     }
 
@@ -453,7 +610,7 @@ impl RibState for DeltaState<'_> {
         if self.ws.last_export_stamp[ix as usize] == self.ws.epoch {
             Some(self.ws.last_export[ix as usize])
         } else {
-            self.snap.last_export[ix as usize]
+            self.snap.last_export(ix)
         }
     }
 
@@ -516,27 +673,27 @@ fn recruit(
     let mut ic = baseline.in_off[x as usize];
     let in_hi = baseline.in_off[x as usize + 1];
     while ic < in_hi {
-        let e = &baseline.log[baseline.in_dat[ic as usize] as usize];
-        if e.gen >= g {
+        let e = baseline.log[ic as usize];
+        if e.gen() >= g {
             break;
         }
         ic += 1;
-        if e.removed {
-            state.ws.adj[e.msg.slot as usize] = TOMBSTONE;
+        if e.removed() {
+            state.ws.adj[e.slot as usize] = TOMBSTONE;
         } else {
             // Stored class is the *receiver-side* classification (the
             // logged message carries the sender-side one), exactly as
             // `deliver` computes it.
-            let rel = net.slot_entry(xi, e.msg.slot).rel;
+            let rel = net.slot_entry(xi, e.slot).rel;
             let class = match PrefClass::from_sender_rel(rel) {
                 Some(c) => c.as_u8(),
-                None => e.msg.class, // sibling: inherit
+                None => e.class(), // sibling: inherit
             };
-            state.ws.adj[e.msg.slot as usize] = AdjEntry {
-                origin: e.msg.origin,
-                len: e.msg.len,
+            state.ws.adj[e.slot as usize] = AdjEntry {
+                origin: e.origin,
+                len: e.len(),
                 class,
-                node: e.msg.node,
+                node: e.node,
             };
         }
     }
@@ -544,12 +701,12 @@ fn recruit(
     let mut oc = baseline.out_off[x as usize];
     let out_hi = baseline.out_off[x as usize + 1];
     while oc < out_hi {
-        let e = &baseline.log[baseline.out_dat[oc as usize] as usize];
-        if e.gen > g {
+        let e = baseline.log[baseline.out_dat[oc as usize] as usize];
+        if e.gen() > g {
             break;
         }
         oc += 1;
-        state.ws.sent[e.islot as usize] = e.msg.origin != NONE;
+        state.ws.sent[net.reverse_slot(e.slot) as usize] = e.origin != NONE;
     }
     state.ws.out_cur[x as usize] = oc;
     // Origins keep their seeded self-route (constant through the race);
@@ -557,7 +714,7 @@ fn recruit(
     // `(NONE, 0, 0)` last-export sentinel is safe: it only ever coincides
     // with a no-route export phase, which emits nothing an AS that never
     // exported could need to emit (all its sent flags are false).
-    let b = match baseline.snap.best[x as usize] {
+    let b = match baseline.snap.best(x) {
         Some(b) if b.slot == NONE && b.origin != NONE => b,
         _ => {
             let tier1 = policy.tier1_shortest_path && net.is_tier1(xi);
@@ -566,11 +723,12 @@ fn recruit(
     };
     state.set_best(x, b);
     let mut le = (NONE, 0u16, 0u8);
-    for &(eg, t) in &baseline.export_log[x as usize] {
-        if eg > g {
+    for ei in baseline.exp_off[x as usize]..baseline.exp_off[x as usize + 1] {
+        let e = baseline.exp_dat[ei as usize];
+        if e.gen() > g {
             break;
         }
-        le = t;
+        le = e.triple();
     }
     state.set_last_export(x, le);
 }
@@ -603,7 +761,7 @@ pub fn propagate_delta<'r, 't, O: Observer>(
         "delta policy must match the baseline's"
     );
     assert_eq!(
-        (baseline.num_ases, baseline.num_slots),
+        (baseline.snap.num_ases(), baseline.snap.num_slots()),
         (net.num_ases(), net.num_slots()),
         "baseline was built for a different network"
     );
@@ -712,24 +870,26 @@ fn replay<O: Observer>(
             };
             while cur < end {
                 let idx = baseline.out_dat[cur as usize] as usize;
-                let e = &baseline.log[idx];
-                if e.gen != generation {
+                let e = baseline.log[idx];
+                if e.gen() != generation {
                     break;
                 }
                 cur += 1;
-                while li < lhi && sc.live[li as usize].0 < e.islot {
+                let islot = net.reverse_slot(e.slot);
+                while li < lhi && sc.live[li as usize].0 < islot {
                     li += 1;
                 }
                 if li < lhi
-                    && sc.live[li as usize].0 == e.islot
-                    && state.msgs_equal(&sc.live[li as usize].1, &e.msg)
+                    && sc.live[li as usize].0 == islot
+                    && state.msg_matches(&sc.live[li as usize].1, e)
                 {
                     sc.consumed[li as usize] = true;
                     li += 1;
                 } else {
                     state.ws.tomb_stamp[idx] = state.ws.epoch;
-                    if !state.in_cone(e.msg.to) {
-                        sc.recruits.push(e.msg.to);
+                    let to = net.owner_of_slot(e.slot).raw();
+                    if !state.in_cone(to) {
+                        sc.recruits.push(to);
                     }
                 }
             }
@@ -761,15 +921,22 @@ fn replay<O: Observer>(
                 if cur >= baseline.in_off[x as usize + 1] {
                     break;
                 }
-                let idx = baseline.in_dat[cur as usize] as usize;
-                let e = baseline.log[idx];
-                if e.gen != generation {
+                let e = baseline.log[cur as usize];
+                if e.gen() != generation {
                     break;
                 }
                 state.ws.in_cur[x as usize] = cur + 1;
-                if state.ws.tomb_stamp[idx] != state.ws.epoch {
+                if state.ws.tomb_stamp[cur as usize] != state.ws.epoch {
                     deliver_one(
-                        net, filters, policy, state, q, generation, e.msg, stats, obs,
+                        net,
+                        filters,
+                        policy,
+                        state,
+                        q,
+                        generation,
+                        e.msg(x),
+                        stats,
+                        obs,
                     );
                 }
             }
@@ -857,7 +1024,7 @@ impl DeltaResult<'_, '_> {
                 class: PrefClass::from_u8(b.class),
             })
         } else {
-            self.baseline.result.choice(ix)
+            self.baseline.base_choice(self.net, ix)
         }
     }
 
@@ -961,7 +1128,7 @@ mod tests {
         let a = topo.index_of(AsId::new(5)).unwrap();
         let policy = PolicyConfig::paper();
         let baseline = Baseline::empty(&net, &policy);
-        assert_eq!(baseline.propagation().reached_count(), 0);
+        assert_eq!(baseline.propagation(&net).reached_count(), 0);
         let mut dws = DeltaWorkspace::new();
         let delta = propagate_delta(
             &net,
@@ -1011,7 +1178,7 @@ mod tests {
         for i in 0..net.num_ases() {
             let ix = AsIndex::new(i as u32);
             if !touched.contains(&ix) {
-                assert_eq!(delta.choice(ix), baseline.propagation().choice(ix));
+                assert_eq!(delta.choice(ix), baseline.propagation(&net).choice(ix));
             }
         }
     }
@@ -1085,6 +1252,45 @@ mod tests {
         assert_eq!(at_max.choices(), fresh.choices());
         assert_eq!(wrapped.choices(), first.choices());
         assert_eq!(wrapped.stats(), first.stats());
+    }
+
+    /// Satellite: pins `heap_bytes()` on a fixed 5-AS topology — the
+    /// packed element sizes, the closed-form footprint of an empty
+    /// baseline, and that a built baseline accounts every vector at its
+    /// packed element size.
+    #[test]
+    fn heap_bytes_pinned_on_five_as_topology() {
+        use std::mem::size_of;
+        assert_eq!(size_of::<PackedReplay>(), 16);
+        assert_eq!(size_of::<ExportEntry>(), 8);
+        let topo = diamond();
+        let net = SimNet::new(&topo);
+        assert_eq!((net.num_ases(), net.num_slots()), (5, 12));
+        let policy = PolicyConfig::paper();
+        let empty = Baseline::empty(&net, &policy);
+        // Packed snapshot: 12 bytes/slot (adj word + node) + one 64-slot
+        // sent bitmask word + 24 bytes/AS (best word, best link, last
+        // export), then three (n + 1)-entry CSR offset arrays. No frozen
+        // per-AS result rides along — choices reconstruct from the
+        // snapshot.
+        let snap_bytes = 12 * 12 + 8 + 5 * 24;
+        let expected = snap_bytes + 3 * 6 * 4;
+        assert_eq!(empty.heap_bytes(), expected);
+        let t = topo.index_of(AsId::new(4)).unwrap();
+        let mut ws = Workspace::new();
+        let built = Baseline::build(
+            &net,
+            &[Announcement::honest(t)],
+            &FilterContext::none(),
+            &policy,
+            &mut ws,
+        );
+        assert!(!built.log.is_empty());
+        let schedule = built.log.capacity() * 16
+            + built.out_dat.capacity() * 4
+            + built.exp_dat.capacity() * 8
+            + (built.in_off.capacity() + built.out_off.capacity() + built.exp_off.capacity()) * 4;
+        assert_eq!(built.heap_bytes(), built.snap.heap_bytes() + schedule);
     }
 
     #[test]

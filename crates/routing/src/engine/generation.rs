@@ -53,7 +53,7 @@ use crate::route::{Choice, ConvergenceStats, Propagation};
 
 pub(crate) const NONE: u32 = u32::MAX;
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct AdjEntry {
     pub(crate) origin: u32,
     pub(crate) len: u16,
@@ -61,7 +61,7 @@ pub(crate) struct AdjEntry {
     pub(crate) node: u32,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Best {
     /// `NONE` when the AS currently has no route.
     pub(crate) origin: u32,
@@ -243,18 +243,62 @@ impl Workspace {
     pub(crate) fn snapshot(&self, net: &SimNet<'_>) -> RibSnapshot {
         let n = net.num_ases();
         let slots = net.num_slots();
+        let mut sent_bits = vec![0u64; slots.div_ceil(64)];
+        for s in 0..slots {
+            if self.sent_epoch[s] == self.epoch {
+                sent_bits[s / 64] |= 1 << (s % 64);
+            }
+        }
         RibSnapshot {
-            adj: (0..slots)
-                .map(|s| (self.adj_epoch[s] == self.epoch).then(|| self.adj[s]))
+            adj_word: (0..slots)
+                .map(|s| {
+                    if self.adj_epoch[s] == self.epoch {
+                        let e = self.adj[s];
+                        pack_triple(e.origin, e.len, e.class)
+                    } else {
+                        ADJ_ABSENT
+                    }
+                })
                 .collect(),
-            sent: (0..slots)
-                .map(|s| self.sent_epoch[s] == self.epoch)
+            adj_node: (0..slots)
+                .map(|s| {
+                    if self.adj_epoch[s] == self.epoch {
+                        self.adj[s].node
+                    } else {
+                        NONE
+                    }
+                })
                 .collect(),
-            best: (0..n)
-                .map(|i| (self.best_epoch[i] == self.epoch).then(|| self.best[i]))
+            sent_bits,
+            best_word: (0..n)
+                .map(|i| {
+                    if self.best_epoch[i] == self.epoch {
+                        let b = self.best[i];
+                        pack_triple(b.origin, b.len, b.class) | best_flags(&b)
+                    } else {
+                        0
+                    }
+                })
                 .collect(),
-            last_export: (0..n)
-                .map(|i| (self.last_export_epoch[i] == self.epoch).then(|| self.last_export[i]))
+            best_link: (0..n)
+                .map(|i| {
+                    if self.best_epoch[i] == self.epoch {
+                        let b = self.best[i];
+                        u64::from(b.slot) | (u64::from(b.node) << 32)
+                    } else {
+                        0
+                    }
+                })
+                .collect(),
+            last_export_word: (0..n)
+                .map(|i| {
+                    if self.last_export_epoch[i] == self.epoch {
+                        let (o, l, c) = self.last_export[i];
+                        pack_triple(o, l, c) | EXPORT_PRESENT
+                    } else {
+                        0
+                    }
+                })
                 .collect(),
             arena: self.arena.clone(),
         }
@@ -370,15 +414,66 @@ pub(crate) struct RaceLog {
     pub(crate) exports: Vec<LogExport>,
 }
 
+/// Packed `origin | len << 32 | class << 48` word shared by the snapshot's
+/// adjacency, selection and last-export tables. An `origin` of [`NONE`]
+/// still packs losslessly (it occupies exactly the low 32 bits), so the
+/// withdrawal-selected [`NO_ROUTE`] round-trips.
+#[inline]
+fn pack_triple(origin: u32, len: u16, class: u8) -> u64 {
+    u64::from(origin) | (u64::from(len) << 32) | (u64::from(class) << 48)
+}
+
+/// Absent adjacency sentinel: entries always carry a real origin (unusable
+/// announcements *remove* entries), so `origin == NONE` in the packed word
+/// means "no entry stored".
+const ADJ_ABSENT: u64 = NONE as u64;
+
+/// `best_word` flag bits (byte 56..64): presence plus a 2-bit tag naming
+/// how to reconstitute the selection key on read.
+const BEST_PRESENT: u64 = 1 << 56;
+const KEY_SHIFT: u32 = 57;
+/// Key tags: `NO_ROUTE`'s literal 0, a seeded origin's `u64::MAX`, or a
+/// recomputation through [`standard_key`] / [`tier1_key`].
+const KEY_ZERO: u64 = 0;
+const KEY_SEEDED: u64 = 1;
+const KEY_STANDARD: u64 = 2;
+const KEY_TIER1: u64 = 3;
+
+const EXPORT_PRESENT: u64 = 1 << 56;
+
 /// Frozen converged engine state — the backing store for incremental
-/// re-convergence (`engine::delta`). Presence is materialized (`Option` /
-/// `bool`) so a consumer needs no epoch bookkeeping.
+/// re-convergence (`engine::delta`).
+///
+/// The layout is struct-of-arrays with sentinel-keyed packed words (the
+/// race engine's packed-key playbook) instead of the obvious
+/// `Vec<Option<AdjEntry>>` / `Vec<Option<Best>>`: at paper scale the
+/// `Option` tags and padding alone cost hundreds of megabytes across a
+/// sweep's baselines. Presence semantics are preserved exactly — including
+/// the three-way distinction between "never selected" (`None`), "selected
+/// nothing after a withdrawal" (`Some(NO_ROUTE)`) and a real selection —
+/// via explicit present bits where the origin sentinel is not enough.
+/// Selection keys are not stored at all; a 2-bit tag says whether to
+/// rebuild them with [`standard_key`] or [`tier1_key`] (or use the two
+/// literal sentinels), which costs a few ALU ops on the rare fall-through
+/// read in exchange for 8 bytes per AS.
 #[derive(Debug, Clone)]
 pub(crate) struct RibSnapshot {
-    pub(crate) adj: Vec<Option<AdjEntry>>,
-    pub(crate) sent: Vec<bool>,
-    pub(crate) best: Vec<Option<Best>>,
-    pub(crate) last_export: Vec<Option<(u32, u16, u8)>>,
+    /// Per-slot `origin | len << 32 | class << 48` ([`ADJ_ABSENT`] when no
+    /// entry is stored).
+    adj_word: Vec<u64>,
+    /// Per-slot AS-path arena node of the stored entry (valid only where
+    /// `adj_word` is present).
+    adj_node: Vec<u32>,
+    /// Outstanding-announcement flags, one bit per slot.
+    sent_bits: Vec<u64>,
+    /// Per-AS `origin | len << 32 | class << 48 | flags << 56` (present
+    /// bit plus key tag in the flags byte).
+    best_word: Vec<u64>,
+    /// Per-AS `slot | node << 32` of the selection (valid only where
+    /// present).
+    best_link: Vec<u64>,
+    /// Per-AS packed last-export triple with [`EXPORT_PRESENT`].
+    last_export_word: Vec<u64>,
     pub(crate) arena: Vec<PathNode>,
 }
 
@@ -387,13 +482,106 @@ impl RibSnapshot {
     /// table empty. Re-converging from it is a from-scratch propagation.
     pub(crate) fn empty(net: &SimNet<'_>) -> RibSnapshot {
         RibSnapshot {
-            adj: vec![None; net.num_slots()],
-            sent: vec![false; net.num_slots()],
-            best: vec![None; net.num_ases()],
-            last_export: vec![None; net.num_ases()],
+            adj_word: vec![ADJ_ABSENT; net.num_slots()],
+            adj_node: vec![NONE; net.num_slots()],
+            sent_bits: vec![0; net.num_slots().div_ceil(64)],
+            best_word: vec![0; net.num_ases()],
+            best_link: vec![0; net.num_ases()],
+            last_export_word: vec![0; net.num_ases()],
             arena: Vec::new(),
         }
     }
+
+    #[inline]
+    pub(crate) fn adj(&self, slot: u32) -> Option<AdjEntry> {
+        let w = self.adj_word[slot as usize];
+        (w as u32 != NONE).then(|| AdjEntry {
+            origin: w as u32,
+            len: (w >> 32) as u16,
+            class: (w >> 48) as u8,
+            node: self.adj_node[slot as usize],
+        })
+    }
+
+    #[inline]
+    pub(crate) fn sent(&self, slot: u32) -> bool {
+        (self.sent_bits[(slot / 64) as usize] >> (slot % 64)) & 1 != 0
+    }
+
+    #[inline]
+    pub(crate) fn best(&self, ix: u32) -> Option<Best> {
+        let w = self.best_word[ix as usize];
+        if w & BEST_PRESENT == 0 {
+            return None;
+        }
+        let (len, class) = ((w >> 32) as u16, (w >> 48) as u8);
+        let link = self.best_link[ix as usize];
+        let slot = link as u32;
+        let key = match w >> KEY_SHIFT {
+            KEY_ZERO => 0,
+            KEY_SEEDED => u64::MAX,
+            KEY_STANDARD => standard_key(PrefClass::from_u8(class), len, slot),
+            _ => tier1_key(PrefClass::from_u8(class), len, slot),
+        };
+        Some(Best {
+            origin: w as u32,
+            slot,
+            len,
+            class,
+            node: (link >> 32) as u32,
+            key,
+        })
+    }
+
+    #[inline]
+    pub(crate) fn last_export(&self, ix: u32) -> Option<(u32, u16, u8)> {
+        let w = self.last_export_word[ix as usize];
+        (w & EXPORT_PRESENT != 0).then_some((w as u32, (w >> 32) as u16, (w >> 48) as u8))
+    }
+
+    /// Number of AS rows (diagnostics and size checks).
+    pub(crate) fn num_ases(&self) -> usize {
+        self.best_word.len()
+    }
+
+    /// Number of slot rows.
+    pub(crate) fn num_slots(&self) -> usize {
+        self.adj_word.len()
+    }
+
+    /// Resident heap footprint of the snapshot's tables, in bytes.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.adj_word.capacity() * 8
+            + self.adj_node.capacity() * 4
+            + self.sent_bits.capacity() * 8
+            + self.best_word.capacity() * 8
+            + self.best_link.capacity() * 8
+            + self.last_export_word.capacity() * 8
+            + self.arena.capacity() * std::mem::size_of::<PathNode>()
+    }
+}
+
+/// The flags byte of a packed selection: present bit plus the tag that
+/// reconstitutes `b.key` on read. The tag is *derived* (by comparing the
+/// stored key against each reconstruction) rather than threaded from the
+/// policy, so `snapshot` needs no policy handle and a key that several
+/// tags reproduce picks any of them soundly.
+fn best_flags(b: &Best) -> u64 {
+    let kind = if b.key == 0 {
+        KEY_ZERO
+    } else if b.key == u64::MAX {
+        KEY_SEEDED
+    } else if b.key == standard_key(PrefClass::from_u8(b.class), b.len, b.slot) {
+        KEY_STANDARD
+    } else {
+        assert_eq!(
+            b.key,
+            tier1_key(PrefClass::from_u8(b.class), b.len, b.slot),
+            "selection key must be reconstructible from (class, len, slot)"
+        );
+        KEY_TIER1
+    };
+    BEST_PRESENT | (kind << KEY_SHIFT)
 }
 
 #[inline]
@@ -991,11 +1179,11 @@ mod tests {
             &mut NullObserver,
         );
         let snap = ws.snapshot(&net);
-        assert_eq!(snap.best.len(), net.num_ases());
-        assert_eq!(snap.adj.len(), net.num_slots());
+        assert_eq!(snap.num_ases(), net.num_ases());
+        assert_eq!(snap.num_slots(), net.num_slots());
         for i in 0..net.num_ases() {
             let ix = AsIndex::new(i as u32);
-            match (p.choice(ix), snap.best[i]) {
+            match (p.choice(ix), snap.best(i as u32)) {
                 (Some(c), Some(b)) => {
                     assert_eq!(c.origin.raw(), b.origin);
                     assert_eq!(c.len, b.len);
@@ -1004,6 +1192,51 @@ mod tests {
                 (None, b) => assert!(b.is_none() || b.expect("checked").origin == NONE),
                 (Some(_), None) => panic!("choice without snapshot best at {ix}"),
             }
+        }
+    }
+
+    /// The packed snapshot must round-trip every engine table bit for bit:
+    /// adjacency entries, sent flags, selections *including the
+    /// reconstituted key*, and last-export memos — under both the standard
+    /// and the tier-1 key encodings, and for a forged seed (the
+    /// `u64::MAX` key tag).
+    #[test]
+    fn packed_snapshot_round_trips_engine_state() {
+        let topo = topology_from_triples(&[
+            (1, 2, PeerToPeer),
+            (1, 3, ProviderToCustomer),
+            (2, 4, ProviderToCustomer),
+            (3, 4, ProviderToCustomer),
+            (4, 5, ProviderToCustomer),
+        ]);
+        let net = SimNet::new(&topo);
+        let o = topo.index_of(AsId::new(5)).unwrap();
+        let a = topo.index_of(AsId::new(3)).unwrap();
+        for policy in [PolicyConfig::paper(), PolicyConfig::strict_gao_rexford()] {
+            let mut ws = Workspace::new();
+            let announcements = [Announcement::honest(o), Announcement::forged(a, o)];
+            propagate_announcements(
+                &net,
+                &announcements,
+                &FilterContext::none(),
+                &policy,
+                &mut ws,
+                &mut NullObserver,
+            );
+            let snap = ws.snapshot(&net);
+            for i in 0..net.num_ases() as u32 {
+                assert_eq!(snap.best(i), RibState::best(&ws, i), "best {i}");
+                assert_eq!(
+                    snap.last_export(i),
+                    RibState::last_export(&ws, i),
+                    "last_export {i}"
+                );
+            }
+            for s in 0..net.num_slots() as u32 {
+                assert_eq!(snap.adj(s), RibState::adj(&ws, s), "adj {s}");
+                assert_eq!(snap.sent(s), RibState::sent(&ws, s), "sent {s}");
+            }
+            assert!(snap.heap_bytes() > 0);
         }
     }
 }

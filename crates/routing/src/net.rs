@@ -52,6 +52,23 @@ pub struct SimNet<'t> {
     /// Per-AS bounds into `leaf_adj` (length `n + 1` interleaved with the
     /// customer/peer split): `[start, end of leaf customers, end]`.
     leaf_cuts: Vec<[u32; 3]>,
+    /// Owner of each global slot — the O(1) inverse of [`SimNet::slots_of`].
+    /// The delta engine's packed baseline log stores only the receiver-side
+    /// slot per message and derives sender/receiver through this table, so
+    /// it must be constant-time on the replay hot path (unlike the binary
+    /// search in [`SimNet::owner_of_slot`], which this table now backs).
+    slot_owner: Vec<u32>,
+}
+
+/// Converts a structural size to the `u32` index space every packed table
+/// uses, with a loud failure instead of a silent wrap when a topology or
+/// schedule outgrows it.
+///
+/// # Panics
+///
+/// Panics with a "scale exceeds u32 index space" message naming `what`.
+pub(crate) fn checked_u32(v: usize, what: &str) -> u32 {
+    u32::try_from(v).unwrap_or_else(|_| panic!("scale exceeds u32 index space: {what} = {v}"))
 }
 
 impl<'t> SimNet<'t> {
@@ -60,9 +77,10 @@ impl<'t> SimNet<'t> {
         let n = topo.num_ases();
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0u32);
+        let mut running = 0usize;
         for ix in topo.indices() {
-            let last = *offsets.last().expect("seeded with 0");
-            offsets.push(last + topo.degree(ix) as u32);
+            running += topo.degree(ix);
+            offsets.push(checked_u32(running, "directed edge slots"));
         }
         let total = *offsets.last().expect("non-empty") as usize;
         let mut reverse_slot = vec![u32::MAX; total];
@@ -100,6 +118,7 @@ impl<'t> SimNet<'t> {
         let stub = topo.indices().map(|ix| topo.is_stub(ix)).collect();
         let mut race_adj = Vec::with_capacity(total);
         let mut race_cuts = Vec::with_capacity(n);
+        let mut slot_owner = Vec::with_capacity(total);
         // Leaf = no customers, no siblings, not a tier-1: exports
         // peer-/provider-learned routes to nobody. Consumed below to brand
         // adjacency entries and build the leaf-only sweep tables; the race
@@ -111,6 +130,7 @@ impl<'t> SimNet<'t> {
                 let slot = base + j as u32;
                 let mirror = reverse_slot[slot as usize];
                 race_adj.push(u64::from(nb.index.raw()) | (u64::from(mirror) << 32));
+                slot_owner.push(ix.raw());
             }
             let b = topo.class_bounds(ix);
             race_cuts.push([base + b[0] as u32, base + b[1] as u32, base + b[2] as u32]);
@@ -159,6 +179,7 @@ impl<'t> SimNet<'t> {
             race_cuts,
             leaf_adj,
             leaf_cuts,
+            slot_owner,
         }
     }
 
@@ -224,11 +245,12 @@ impl<'t> SimNet<'t> {
         self.leaf_cuts[x]
     }
 
-    /// The AS owning global slot `e` (binary search over offsets; not for
-    /// hot paths).
+    /// The AS owning global slot `e` (one table load; hot-path safe — the
+    /// delta engine derives senders and receivers of packed log entries
+    /// through this on every replayed message).
+    #[inline]
     pub fn owner_of_slot(&self, e: u32) -> AsIndex {
-        let i = self.offsets.partition_point(|&o| o <= e) - 1;
-        AsIndex::new(i as u32)
+        AsIndex::new(self.slot_owner[e as usize])
     }
 
     /// Relationship and neighbor for a global slot owned by `owner`.

@@ -58,6 +58,12 @@ impl Propagation {
         self.choices[ix.usize()]
     }
 
+    /// Resident heap footprint of the per-AS selection map in bytes
+    /// (capacity-based, like [`Baseline::heap_bytes`](crate::Baseline::heap_bytes)).
+    pub fn heap_bytes(&self) -> usize {
+        self.choices.capacity() * std::mem::size_of::<Option<Choice>>()
+    }
+
     /// Per-AS selections, indexed by dense AS index.
     pub fn choices(&self) -> &[Option<Choice>] {
         &self.choices

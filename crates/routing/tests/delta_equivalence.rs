@@ -162,13 +162,31 @@ fn assert_delta_matches(
         if !touched.contains(&ix) {
             prop_assert_eq!(
                 delta.choice(ix),
-                baseline.propagation().choice(ix),
+                baseline.propagation(net).choice(ix),
                 "[{}] untouched AS {} lost its baseline choice",
                 label,
                 i
             );
         }
     }
+    // Replay determinism: a second run of the same injection over the
+    // reused workspace must reproduce the packed replay bit for bit.
+    let again = propagate_delta(
+        net,
+        baseline,
+        &[injection],
+        ctx,
+        policy,
+        dws,
+        &mut NullObserver,
+    )
+    .to_propagation();
+    prop_assert_eq!(
+        again.choices(),
+        materialized.choices(),
+        "[{}] repeated replay diverges",
+        label
+    );
     Ok(())
 }
 
@@ -205,6 +223,10 @@ fn assert_delta_equivalence(recipe: &Recipe) -> Result<(), TestCaseError> {
         for (ctx_name, ctx) in &contexts {
             let honest = [Announcement::honest(target)];
             let baseline = Baseline::build(&net, &honest, ctx, &policy, &mut ws);
+            // The packed layout accounts its own storage: a recorded
+            // schedule can only add to the empty footprint for the same
+            // network.
+            prop_assert!(baseline.heap_bytes() >= Baseline::empty(&net, &policy).heap_bytes());
             // Origin hijack: attacker competes for the target's prefix.
             assert_delta_matches(
                 &net,

@@ -146,6 +146,15 @@ fn assert_race_matches(
             label
         );
     }
+    // Packed-stamp determinism: re-solving over the reused workspace must
+    // reproduce the same fixed point bit for bit.
+    let again = solve_race(net, announcements, ctx, policy, DEFAULT_MAX_ROUNDS, rws);
+    prop_assert_eq!(
+        again.as_ref().map(|p| p.choices()),
+        Some(raced.choices()),
+        "[{}] repeated race solve diverges",
+        label
+    );
     Ok(true)
 }
 

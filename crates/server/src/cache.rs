@@ -88,10 +88,13 @@ pub struct CacheStats {
     pub misses: u64,
     /// Lookups that waited on another thread's in-flight build.
     pub coalesced: u64,
-    /// Ready entries evicted to stay within capacity.
+    /// Ready entries evicted to stay within capacity (entry count or byte
+    /// budget).
     pub evictions: u64,
     /// Entries currently resident (including in-flight builds).
     pub entries: usize,
+    /// Summed [`Baseline::heap_bytes`] of resident ready baselines.
+    pub bytes: u64,
 }
 
 enum Slot {
@@ -104,16 +107,28 @@ struct Entry {
     slot: Slot,
     /// Monotonic last-touch stamp; smallest stamp is evicted first.
     stamp: u64,
+    /// [`Baseline::heap_bytes`] of the ready baseline (0 while building),
+    /// cached so eviction bookkeeping never re-walks the baseline.
+    bytes: u64,
 }
 
 struct CacheInner {
     entries: HashMap<BaselineKey, Entry>,
     tick: u64,
+    /// Sum of every ready entry's `bytes`.
+    bytes: u64,
 }
 
 /// Bounded single-flight LRU of built baselines. See the module docs.
 pub struct BaselineCache {
     capacity: usize,
+    /// Optional bound on summed resident [`Baseline::heap_bytes`]. At
+    /// paper scale a single baseline is tens of megabytes, so an
+    /// entry-count cap alone can silently pin gigabytes; the byte budget
+    /// evicts LRU-first until within budget (the newest entry always
+    /// survives, even alone over budget — evicting it would force its
+    /// coalesced waiters to rebuild).
+    byte_budget: Option<u64>,
     inner: Mutex<CacheInner>,
     ready: Condvar,
     hits: AtomicU64,
@@ -154,13 +169,15 @@ impl Drop for BuildGuard<'_> {
 
 impl BaselineCache {
     /// Creates a cache holding at most `capacity` ready baselines
-    /// (minimum 1).
+    /// (minimum 1), with no byte budget.
     pub fn new(capacity: usize) -> BaselineCache {
         BaselineCache {
             capacity: capacity.max(1),
+            byte_budget: None,
             inner: Mutex::new(CacheInner {
                 entries: HashMap::new(),
                 tick: 0,
+                bytes: 0,
             }),
             ready: Condvar::new(),
             hits: AtomicU64::new(0),
@@ -168,6 +185,13 @@ impl BaselineCache {
             coalesced: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Additionally bounds the summed heap bytes of resident baselines
+    /// (`None` disables the byte budget).
+    pub fn with_byte_budget(mut self, budget: Option<u64>) -> BaselineCache {
+        self.byte_budget = budget;
+        self
     }
 
     /// Returns the baseline for `key`, building it with `build` exactly
@@ -223,6 +247,7 @@ impl BaselineCache {
                         Entry {
                             slot: Slot::Building,
                             stamp,
+                            bytes: 0,
                         },
                     );
                     drop(inner);
@@ -233,9 +258,12 @@ impl BaselineCache {
                     };
                     let baseline = Arc::new(build());
                     guard.armed = false;
+                    let bytes = baseline.heap_bytes() as u64;
                     let mut inner = lock_recover(&self.inner);
                     if let Some(entry) = inner.entries.get_mut(&key) {
                         entry.slot = Slot::Ready(Arc::clone(&baseline));
+                        entry.bytes = bytes;
+                        inner.bytes += bytes;
                     }
                     self.evict_over_capacity(&mut inner);
                     self.misses.fetch_add(1, Ordering::Relaxed);
@@ -254,11 +282,27 @@ impl BaselineCache {
         }
     }
 
-    /// Evicts the least-recently-used *ready* entries until within
-    /// capacity. In-flight builds are exempt: evicting one would strand
-    /// its waiters.
+    /// Evicts the least-recently-used *ready* entries until within the
+    /// entry-count capacity and, when configured, the byte budget.
+    /// In-flight builds are exempt: evicting one would strand its
+    /// waiters. The byte budget never evicts the last ready entry, so a
+    /// single over-budget baseline still serves its coalesced waiters.
     fn evict_over_capacity(&self, inner: &mut CacheInner) {
-        while inner.entries.len() > self.capacity {
+        loop {
+            let over_count = inner.entries.len() > self.capacity;
+            let ready = |inner: &CacheInner| {
+                inner
+                    .entries
+                    .values()
+                    .filter(|e| matches!(e.slot, Slot::Ready(_)))
+                    .count()
+            };
+            let over_bytes = self
+                .byte_budget
+                .is_some_and(|budget| inner.bytes > budget && ready(inner) > 1);
+            if !over_count && !over_bytes {
+                return;
+            }
             let victim = inner
                 .entries
                 .iter()
@@ -267,22 +311,29 @@ impl BaselineCache {
                 .map(|(&k, _)| k);
             match victim {
                 Some(key) => {
-                    inner.entries.remove(&key);
+                    if let Some(entry) = inner.entries.remove(&key) {
+                        inner.bytes -= entry.bytes;
+                    }
                     self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
-                None => break,
+                None => return,
             }
         }
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
+        let (entries, bytes) = {
+            let inner = lock_recover(&self.inner);
+            (inner.entries.len(), inner.bytes)
+        };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: lock_recover(&self.inner).entries.len(),
+            entries,
+            bytes,
         }
     }
 }
@@ -372,6 +423,54 @@ mod tests {
         cache.get_or_build(key(0), || panic!("0 must have survived"));
         let (_, outcome) = cache.get_or_build(key(1), || build_baseline(&topo, 1));
         assert_eq!(outcome, CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_but_keeps_newest() {
+        let topo = test_topology();
+        // Entry capacity far above what the byte budget admits: a budget
+        // of one baseline's bytes means every insert evicts its
+        // predecessor, but never the entry just published.
+        let one = build_baseline(&topo, 0).heap_bytes() as u64;
+        assert!(one > 0);
+        let cache = BaselineCache::new(16).with_byte_budget(Some(one));
+        let key = |t| BaselineKey {
+            target: t,
+            defense_fp: 0,
+        };
+        cache.get_or_build(key(0), || build_baseline(&topo, 0));
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.evictions), (1, 0));
+        assert_eq!(stats.bytes, one);
+        cache.get_or_build(key(1), || build_baseline(&topo, 1));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1, "over budget must evict the LRU");
+        assert_eq!(stats.entries, 1, "the just-published entry survives");
+        cache.get_or_build(key(1), || panic!("1 must be resident"));
+        let (_, outcome) = cache.get_or_build(key(0), || build_baseline(&topo, 0));
+        assert_eq!(outcome, CacheOutcome::Miss, "0 was evicted");
+    }
+
+    #[test]
+    fn stats_bytes_tracks_residency() {
+        let topo = test_topology();
+        let cache = BaselineCache::new(2);
+        let key = |t| BaselineKey {
+            target: t,
+            defense_fp: 0,
+        };
+        let (a, _) = cache.get_or_build(key(0), || build_baseline(&topo, 0));
+        let (b, _) = cache.get_or_build(key(1), || build_baseline(&topo, 1));
+        assert_eq!(
+            cache.stats().bytes,
+            (a.heap_bytes() + b.heap_bytes()) as u64
+        );
+        // Capacity eviction releases the victim's bytes.
+        let (c, _) = cache.get_or_build(key(2), || build_baseline(&topo, 2));
+        assert_eq!(
+            cache.stats().bytes,
+            (b.heap_bytes() + c.heap_bytes()) as u64
+        );
     }
 
     #[test]

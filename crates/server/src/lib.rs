@@ -97,6 +97,10 @@ pub struct ServerConfig {
     pub max_queued_jobs: usize,
     /// Baselines the LRU cache retains.
     pub cache_capacity: usize,
+    /// Optional bound on the cache's summed resident baseline heap bytes
+    /// (`None` = entry-count bound only). At paper scale one baseline is
+    /// tens of megabytes, so the entry cap alone can pin gigabytes.
+    pub cache_byte_budget: Option<u64>,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
     /// Idle keep-alive read timeout per connection.
@@ -122,6 +126,7 @@ impl ServerConfig {
             queue_capacity: 64,
             max_queued_jobs: 16,
             cache_capacity: 32,
+            cache_byte_budget: None,
             max_body_bytes: 1 << 20,
             read_timeout: Duration::from_secs(2),
             sweep_workers: 2,
@@ -186,7 +191,7 @@ pub fn serve(
         sim: lab.simulator(),
         lab: &lab,
         config,
-        cache: BaselineCache::new(config.cache_capacity),
+        cache: BaselineCache::new(config.cache_capacity).with_byte_budget(config.cache_byte_budget),
         jobs,
         metrics: ServerMetrics::new(),
         telemetry: SweepTelemetry::new(),
@@ -387,13 +392,17 @@ fn run_sweep_chunk(
         };
         let (baseline, outcome) = state.cache.get_or_build(key, || {
             state.telemetry.record_baseline();
-            Baseline::build(
+            let baseline = Baseline::build(
                 state.sim.net(),
                 &[Announcement::honest(spec.target)],
                 &spec.defense.context_for(spec.target),
                 state.sim.policy(),
                 &mut Workspace::new(),
-            )
+            );
+            state
+                .telemetry
+                .record_baseline_bytes(baseline.heap_bytes() as u64);
+            baseline
         });
         let rows = state.sim.sweep_chunk_monitored(
             spec.target,

@@ -405,6 +405,13 @@ pub fn render_prometheus(
         "",
         cache.entries as u64,
     );
+    header(
+        &mut out,
+        "bgpsim_baseline_cache_bytes",
+        "gauge",
+        "Summed heap bytes of resident ready baselines.",
+    );
+    line(&mut out, "bgpsim_baseline_cache_bytes", "", cache.bytes);
 
     // -- Jobs ------------------------------------------------------------
     header(
@@ -517,6 +524,11 @@ pub fn render_prometheus(
             telemetry.baselines_built,
         ),
         (
+            "bgpsim_sim_baseline_bytes_total",
+            "Summed heap bytes of every baseline built.",
+            telemetry.baseline_bytes,
+        ),
+        (
             "bgpsim_sim_engine_runs_total",
             "Engine re-convergences observed.",
             telemetry.engine.runs,
@@ -542,6 +554,18 @@ pub fn render_prometheus(
         "Largest contamination cone seen in a delta dispatch.",
     );
     line(&mut out, "bgpsim_sim_cone_max", "", telemetry.cone_max);
+    header(
+        &mut out,
+        "bgpsim_sim_baseline_bytes_peak",
+        "gauge",
+        "Largest single baseline heap footprint built so far.",
+    );
+    line(
+        &mut out,
+        "bgpsim_sim_baseline_bytes_peak",
+        "",
+        telemetry.baseline_bytes_peak,
+    );
     header(
         &mut out,
         "bgpsim_sim_attack_duration_us",
@@ -639,6 +663,7 @@ mod tests {
                 coalesced: 3,
                 evictions: 0,
                 entries: 1,
+                bytes: 4096,
             },
             &JobCounts::default(),
             &SchedulerStats {
@@ -663,6 +688,7 @@ mod tests {
         }
         assert!(text.contains("bgpsim_http_requests_total{endpoint=\"attacks\",code=\"2xx\"} 1"));
         assert!(text.contains("bgpsim_baseline_cache_lookups_total{outcome=\"coalesced\"} 3"));
+        assert!(text.contains("bgpsim_baseline_cache_bytes 4096"));
         assert!(text.contains(
             "bgpsim_http_request_duration_us_bucket{endpoint=\"attacks\",le=\"+Inf\"} 1"
         ));

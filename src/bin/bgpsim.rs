@@ -52,6 +52,11 @@ USAGE:
 RUN OPTIONS:
     --all             run every figure (fig1..fig7, sec7, model)
     --scale NAME      scale preset: quick | standard | paper [standard]
+                      quick ≈ 2,000 ASes (seconds per figure); standard
+                      ≈ 10,000 ASes (the ~1-minute default); paper =
+                      42,697 ASes, the study's measured topology size —
+                      figs 2–4 take ~10 min each on one core in under
+                      50 MB of RAM (see the README scale-tier table)
     --engine NAME     force the routing engine: auto | generation | delta |
                       stable | race [auto]; `stable` needs a strict
                       Gao-Rexford policy and is rejected for the presets
@@ -107,6 +112,8 @@ OPTIONS:
     --http-workers N  HTTP worker threads [4]
     --sweep-workers N sweep executor threads (fair-share chunk scheduling) [2]
     --cache N         baselines kept in the LRU cache [32]
+    --cache-bytes N   byte budget across cached baselines; LRU eviction
+                      keeps the sum under N (0 = entry bound only) [0]
     --queue N         unfinished sweep jobs admitted before 429 [16]
     --state-dir DIR   persist finished jobs; results survive a restart [off]
 
@@ -346,6 +353,7 @@ fn parse_serve(args: &[String]) -> Result<Option<ServerConfig>, String> {
     let mut http_workers: usize = 4;
     let mut sweep_workers: usize = 2;
     let mut cache_capacity: usize = 32;
+    let mut cache_byte_budget: u64 = 0;
     let mut max_queued_jobs: usize = 16;
     let mut state_dir: Option<PathBuf> = None;
     let mut it = args.iter();
@@ -375,6 +383,9 @@ fn parse_serve(args: &[String]) -> Result<Option<ServerConfig>, String> {
                 }
             }
             "--cache" => cache_capacity = parse_num(&value("--cache")?, "--cache")?,
+            "--cache-bytes" => {
+                cache_byte_budget = parse_num(&value("--cache-bytes")?, "--cache-bytes")?;
+            }
             "--queue" => max_queued_jobs = parse_num(&value("--queue")?, "--queue")?,
             "--state-dir" => state_dir = Some(PathBuf::from(value("--state-dir")?)),
             other => return Err(format!("unknown option {other:?}")),
@@ -401,6 +412,7 @@ fn parse_serve(args: &[String]) -> Result<Option<ServerConfig>, String> {
     config.http_workers = http_workers;
     config.sweep_workers = sweep_workers;
     config.cache_capacity = cache_capacity;
+    config.cache_byte_budget = (cache_byte_budget > 0).then_some(cache_byte_budget);
     config.max_queued_jobs = max_queued_jobs;
     config.state_dir = state_dir;
     Ok(Some(config))
