@@ -30,6 +30,6 @@ pub use model::{tab_model, ModelResult};
 pub use polar_attack::{fig1, PolarResult};
 pub use selfinterest::{sec7, Scenario, SelfInterestResult};
 pub use vulnerability::{
-    fig2, fig2_monitored, fig3, fig3_monitored, fig4, fig4_monitored, LabeledCurve,
+    fig2, fig2_monitored, fig2_with, fig3, fig3_monitored, fig4, fig4_monitored, LabeledCurve,
     VulnerabilityResult,
 };

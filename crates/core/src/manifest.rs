@@ -612,6 +612,82 @@ pub fn telemetry_json(snapshot: &TelemetrySnapshot) -> Json {
     ])
 }
 
+/// Per-worker dispatch accounting inside a [`FanoutManifest`].
+#[derive(Debug, Clone)]
+pub struct FanoutWorkerRecord {
+    /// Worker address (`host:port`).
+    pub addr: String,
+    /// Whether the worker was still considered alive at the end of the
+    /// run (false = removed after consecutive dispatch failures).
+    pub alive: bool,
+    /// Shards dealt to this worker (including hedges and retries).
+    pub shards_dispatched: u64,
+    /// Shards this worker answered successfully.
+    pub shards_completed: u64,
+    /// Failed dispatches.
+    pub failures: u64,
+    /// Total microseconds of successful shard round-trips.
+    pub wall_us_sum: u64,
+}
+
+/// The `fanout` section of a [`RunManifest`]: how a sharded sweep was
+/// dealt across a worker fleet. Absent (`None`) for single-node runs.
+#[derive(Debug, Clone)]
+pub struct FanoutManifest {
+    /// Registered workers with their dispatch counters.
+    pub workers: Vec<FanoutWorkerRecord>,
+    /// Workers rejected at registration: `(addr, reason)`.
+    pub rejected: Vec<(String, String)>,
+    /// Shards planned across the run.
+    pub shards_total: u64,
+    /// Shards completed (first result per shard only).
+    pub shards_done: u64,
+    /// Shards re-queued after a failed dispatch.
+    pub shards_retried: u64,
+    /// Hedged duplicate dispatches issued against stragglers.
+    pub shards_hedged: u64,
+}
+
+impl FanoutManifest {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "workers",
+                Json::Arr(
+                    self.workers
+                        .iter()
+                        .map(|w| {
+                            Json::obj([
+                                ("addr", Json::str(&w.addr)),
+                                ("alive", Json::Bool(w.alive)),
+                                ("shards_dispatched", Json::from(w.shards_dispatched)),
+                                ("shards_completed", Json::from(w.shards_completed)),
+                                ("failures", Json::from(w.failures)),
+                                ("wall_us_sum", Json::from(w.wall_us_sum)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "rejected",
+                Json::Arr(
+                    self.rejected
+                        .iter()
+                        .map(|(addr, reason)| {
+                            Json::obj([("addr", Json::str(addr)), ("reason", Json::str(reason))])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("shards_total", Json::from(self.shards_total)),
+            ("shards_done", Json::from(self.shards_done)),
+            ("shards_retried", Json::from(self.shards_retried)),
+            ("shards_hedged", Json::from(self.shards_hedged)),
+        ])
+    }
+}
+
 /// The full record of one `bgpsim` run (see DESIGN.md for the schema).
 #[derive(Debug, Clone)]
 pub struct RunManifest {
@@ -635,18 +711,21 @@ pub struct RunManifest {
     pub figures: Vec<FigureRecord>,
     /// End-to-end wall time, milliseconds.
     pub total_wall_ms: f64,
+    /// Fan-out accounting when the run was sharded across a worker
+    /// fleet (`bgpsim fanout`); `None` for single-node runs.
+    pub fanout: Option<FanoutManifest>,
 }
 
 impl RunManifest {
     /// The manifest as a JSON value.
     #[must_use]
     pub fn to_json(&self) -> Json {
-        Json::obj([
-            ("schema_version", Json::from(SCHEMA_VERSION)),
-            ("tool", Json::str("bgpsim")),
-            ("version", Json::str(&self.version)),
+        let mut pairs = vec![
+            ("schema_version".to_string(), Json::from(SCHEMA_VERSION)),
+            ("tool".to_string(), Json::str("bgpsim")),
+            ("version".to_string(), Json::str(&self.version)),
             (
-                "config",
+                "config".to_string(),
                 Json::obj([
                     ("scale", Json::str(&self.scale)),
                     ("seed", Json::from(self.seed)),
@@ -656,12 +735,16 @@ impl RunManifest {
                     ("num_ases", Json::from(self.num_ases)),
                 ]),
             ),
-            ("total_wall_ms", Json::Num(self.total_wall_ms)),
+            ("total_wall_ms".to_string(), Json::Num(self.total_wall_ms)),
             (
-                "figures",
+                "figures".to_string(),
                 Json::Arr(self.figures.iter().map(FigureRecord::to_json).collect()),
             ),
-        ])
+        ];
+        if let Some(fanout) = &self.fanout {
+            pairs.push(("fanout".to_string(), fanout.to_json()));
+        }
+        Json::Obj(pairs)
     }
 
     /// Renders the manifest as pretty-printed JSON.
@@ -751,6 +834,7 @@ mod tests {
                 telemetry: None,
             }],
             total_wall_ms: 20.0,
+            fanout: None,
         };
         let s = manifest.render();
         for needle in [
@@ -875,6 +959,21 @@ mod tests {
                 telemetry: Some(snapshot),
             }],
             total_wall_ms: 20.25,
+            fanout: Some(FanoutManifest {
+                workers: vec![FanoutWorkerRecord {
+                    addr: "127.0.0.1:8091".into(),
+                    alive: true,
+                    shards_dispatched: 4,
+                    shards_completed: 4,
+                    failures: 0,
+                    wall_us_sum: 12_345,
+                }],
+                rejected: vec![("127.0.0.1:9".into(), "unreachable".into())],
+                shards_total: 4,
+                shards_done: 4,
+                shards_retried: 0,
+                shards_hedged: 1,
+            }),
         };
         let v = manifest.to_json();
         assert_eq!(Json::parse(&v.render()).unwrap(), v);

@@ -1,0 +1,898 @@
+//! The fan-out coordinator: shard dispatch, retries, hedging, merging.
+//!
+//! A [`Coordinator`] owns a registered fleet of `bgpsim-server` workers
+//! (each vetted at registration by a [`Handshake`] against its
+//! `/v1/healthz`) and evaluates sweep requests by stride-sharding the
+//! attacker pool ([`ShardPlan`]), dealing shards to workers over the
+//! public HTTP API, and re-interleaving the per-shard rows into a
+//! result byte-identical to a single-node sweep.
+//!
+//! Robustness model, in order of escalation:
+//!
+//! 1. **Keep-alive reconnect** — [`Client`] transparently reopens a
+//!    closed connection and resends once; idempotency keys on
+//!    `/v1/sweeps` make that resend safe against double-scheduling.
+//! 2. **Bounded retries** — a failed shard goes back on the shared
+//!    queue (any surviving worker may pick it up) until
+//!    [`FanoutConfig::max_attempts`] dispatches have been burned, with
+//!    capped exponential backoff on the failing worker's side.
+//! 3. **Worker death** — three consecutive failures mark a worker dead
+//!    for the rest of the coordinator's life; its queued work drains to
+//!    the survivors.
+//! 4. **Hedged re-dispatch** — an idle worker duplicates the slowest
+//!    outstanding shard after [`FanoutConfig::hedge_after`];
+//!    first-result-wins is safe because shard evaluation is pure.
+//!
+//! When every worker is dead or none registered, callers observe
+//! [`FanoutError::NoWorkers`] and are expected to degrade to local
+//! in-process execution.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant, SystemTime};
+
+use bgpsim_core::manifest::Json;
+use bgpsim_hijack::{wall_bucket, WALL_HIST_BUCKETS};
+
+use crate::client::{get, get_str, get_u64, Client};
+use crate::shard::ShardPlan;
+
+/// Shards at or below this size go out as one synchronous
+/// `POST /v1/attacks:batch` envelope; larger shards become async
+/// `/v1/sweeps` jobs polled to completion. Matches the server's own
+/// fair-share chunk size so a "small" shard is one scheduler quantum.
+const BATCH_DISPATCH_MAX: usize = 64;
+
+/// Consecutive failures after which a worker is declared dead.
+const DEAD_AFTER: u32 = 3;
+
+/// Read timeout on shard-dispatch connections. Individual requests are
+/// short (submits, polls, batches); the long wait for a sweep happens
+/// across many polls, each bounded by this.
+const DISPATCH_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Read timeout for registration-time health probes.
+const PROBE_READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// What a worker must be to join the fleet. Checked against
+/// `/v1/healthz` at registration: a worker simulating a different
+/// topology (wrong seed, scale, or AS count) or speaking a different
+/// schema would silently corrupt the merged result, so it is rejected
+/// up front instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Handshake {
+    /// Wire schema version (`bgpsim_core::manifest::SCHEMA_VERSION`).
+    pub schema_version: u64,
+    /// Scale preset name, e.g. `"quick"`.
+    pub scale: String,
+    /// Topology generation seed.
+    pub seed: u64,
+    /// Generated AS count — a belt-and-braces check that seed + scale
+    /// really produced the same graph.
+    pub num_ases: u64,
+}
+
+/// Tuning knobs for a [`Coordinator`]. `new` fills in defaults sized
+/// for real fleets; tests shrink the timeouts.
+#[derive(Debug, Clone)]
+pub struct FanoutConfig {
+    /// Worker base URLs (`host:port`, `http://` prefix tolerated).
+    pub workers: Vec<String>,
+    /// Shards dealt per live worker. More than 1 lets a fast worker
+    /// steal the tail instead of idling while the slowest finishes.
+    pub shards_per_worker: usize,
+    /// Total dispatch attempts (including hedges) a shard may burn
+    /// before the whole sweep fails.
+    pub max_attempts: u32,
+    /// Wall-clock budget for one dispatched shard, submit to results.
+    pub shard_timeout: Duration,
+    /// Idle workers duplicate the slowest outstanding shard after this
+    /// long (first result wins).
+    pub hedge_after: Duration,
+    /// Poll cadence for async sweep jobs.
+    pub poll_interval: Duration,
+}
+
+impl FanoutConfig {
+    /// Default configuration for the given worker URLs.
+    pub fn new(workers: Vec<String>) -> FanoutConfig {
+        FanoutConfig {
+            workers,
+            shards_per_worker: 2,
+            max_attempts: 4,
+            shard_timeout: Duration::from_secs(600),
+            hedge_after: Duration::from_secs(10),
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Why a fan-out sweep did not return a merged result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FanoutError {
+    /// No live workers — the caller should run locally instead.
+    NoWorkers,
+    /// The observer reported cancellation; outstanding shard jobs were
+    /// abandoned (and cancelled server-side where reachable).
+    Cancelled,
+    /// A shard exhausted its attempts or every worker died mid-sweep.
+    Failed(String),
+}
+
+impl std::fmt::Display for FanoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FanoutError::NoWorkers => write!(f, "no live fan-out workers"),
+            FanoutError::Cancelled => write!(f, "fan-out sweep cancelled"),
+            FanoutError::Failed(message) => write!(f, "fan-out sweep failed: {message}"),
+        }
+    }
+}
+
+/// Progress hooks a [`Coordinator::run_sweep`] call reports into.
+/// Implemented by the server's job layer (shard counters on the job)
+/// and the CLI's progress line; [`NoopObserver`] for neither.
+pub trait SweepObserver: Sync {
+    /// The pool was split into `shards` shards.
+    fn on_plan(&self, shards: usize) {
+        let _ = shards;
+    }
+    /// A shard covering `attackers` pool members completed (first
+    /// result only — a hedge loser does not re-report).
+    fn on_shard_done(&self, attackers: usize) {
+        let _ = attackers;
+    }
+    /// A failed shard went back on the queue.
+    fn on_retry(&self) {}
+    /// An idle worker duplicated the slowest outstanding shard.
+    fn on_hedge(&self) {}
+    /// Polled between dispatches and while waiting on shard jobs;
+    /// returning true abandons the sweep.
+    fn cancelled(&self) -> bool {
+        false
+    }
+}
+
+/// A [`SweepObserver`] that ignores everything and never cancels.
+pub struct NoopObserver;
+
+impl SweepObserver for NoopObserver {}
+
+/// One sweep to fan out, already resolved to wire terms (ASNs, not
+/// topology indices) with the target filtered out of the pool — the
+/// same normalization the server applies at submit.
+#[derive(Debug, Clone)]
+pub struct SweepRequest {
+    /// The victim AS.
+    pub target_asn: u32,
+    /// Attacker pool, in the exact order the merged counts answer.
+    pub pool_asns: Vec<u32>,
+    /// ROV validator ASNs for the defense object.
+    pub validator_asns: Vec<u32>,
+    /// Whether the stub-defense heuristic is on.
+    pub stub_defense: bool,
+}
+
+/// Per-worker registration record and cumulative counters.
+struct Worker {
+    addr: String,
+    alive: AtomicBool,
+    consecutive_failures: AtomicU32,
+    shards_dispatched: AtomicU64,
+    shards_completed: AtomicU64,
+    failures: AtomicU64,
+    wall_us_sum: AtomicU64,
+    wall_hist: Vec<AtomicU64>,
+}
+
+impl Worker {
+    fn new(addr: String) -> Worker {
+        Worker {
+            addr,
+            alive: AtomicBool::new(true),
+            consecutive_failures: AtomicU32::new(0),
+            shards_dispatched: AtomicU64::new(0),
+            shards_completed: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            wall_us_sum: AtomicU64::new(0),
+            wall_hist: (0..WALL_HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+/// Point-in-time snapshot of one worker's counters, for `/v1/metrics`
+/// and the manifest `fanout` section.
+#[derive(Debug, Clone)]
+pub struct WorkerStats {
+    /// Worker address (`host:port`).
+    pub addr: String,
+    /// False once the worker hit [`DEAD_AFTER`] consecutive failures.
+    pub alive: bool,
+    /// Shards dealt to this worker (including hedges and retries).
+    pub shards_dispatched: u64,
+    /// Shards this worker answered successfully.
+    pub shards_completed: u64,
+    /// Failed dispatches.
+    pub failures: u64,
+    /// Total microseconds spent in successful shard round-trips.
+    pub wall_us_sum: u64,
+    /// log₂ µs histogram of successful shard round-trips (same
+    /// bucketing as the server's own wall histograms).
+    pub wall_hist: Vec<u64>,
+}
+
+/// Point-in-time snapshot of the whole coordinator.
+#[derive(Debug, Clone)]
+pub struct FanoutStats {
+    /// Registered (accepted) workers.
+    pub workers: Vec<WorkerStats>,
+    /// Workers rejected at registration, with the reason.
+    pub rejected: Vec<(String, String)>,
+    /// Shards planned across all sweeps so far.
+    pub shards_total: u64,
+    /// Shards completed (first result only).
+    pub shards_done: u64,
+    /// Shards re-queued after a failed dispatch.
+    pub shards_retried: u64,
+    /// Hedged duplicate dispatches issued.
+    pub shards_hedged: u64,
+}
+
+/// A registered fleet plus the dispatch machinery. Cheap to share
+/// behind a reference: all mutable state is atomic.
+pub struct Coordinator {
+    config: FanoutConfig,
+    workers: Vec<Worker>,
+    rejected: Vec<(String, String)>,
+    /// Per-boot nonce folded into idempotency keys: worker job ids
+    /// restart from zero on reboot, so a key from a previous
+    /// coordinator life must never alias a new shard onto an old job.
+    nonce: u64,
+    sweep_seq: AtomicU64,
+    shards_total: AtomicU64,
+    shards_done: AtomicU64,
+    shards_retried: AtomicU64,
+    shards_hedged: AtomicU64,
+}
+
+/// `host:port` from a worker URL; tolerates an `http://` prefix and a
+/// trailing slash so copy-pasted base URLs register cleanly.
+fn normalize_addr(url: &str) -> String {
+    url.trim()
+        .strip_prefix("http://")
+        .unwrap_or(url.trim())
+        .trim_end_matches('/')
+        .to_string()
+}
+
+/// Poison-tolerant lock: shard state must survive a panicking peer
+/// thread (the same stance the server's job registry takes).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Coordinator {
+    /// Probes every configured worker's `/v1/healthz`, keeps the ones
+    /// whose identity matches `expect`, and records the rest as
+    /// rejected (with a warning on stderr). A coordinator with zero
+    /// accepted workers is still constructed — [`Coordinator::run_sweep`]
+    /// returns [`FanoutError::NoWorkers`] so callers can degrade to
+    /// local execution.
+    pub fn connect(config: FanoutConfig, expect: &Handshake) -> Coordinator {
+        let mut workers = Vec::new();
+        let mut rejected = Vec::new();
+        for url in &config.workers {
+            let addr = normalize_addr(url);
+            match probe(&addr, expect) {
+                Ok(()) => workers.push(Worker::new(addr)),
+                Err(reason) => {
+                    eprintln!("warning: rejecting fan-out worker {addr}: {reason}");
+                    rejected.push((addr, reason));
+                }
+            }
+        }
+        let nonce = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        Coordinator {
+            config,
+            workers,
+            rejected,
+            nonce,
+            sweep_seq: AtomicU64::new(0),
+            shards_total: AtomicU64::new(0),
+            shards_done: AtomicU64::new(0),
+            shards_retried: AtomicU64::new(0),
+            shards_hedged: AtomicU64::new(0),
+        }
+    }
+
+    /// Workers currently considered alive.
+    pub fn live_workers(&self) -> usize {
+        self.workers
+            .iter()
+            .filter(|w| w.alive.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Addresses of all accepted workers (alive or since-dead).
+    pub fn worker_addrs(&self) -> Vec<String> {
+        self.workers.iter().map(|w| w.addr.clone()).collect()
+    }
+
+    /// Workers rejected at registration, with reasons.
+    pub fn rejected(&self) -> &[(String, String)] {
+        &self.rejected
+    }
+
+    /// Snapshot every counter for metrics and the run manifest.
+    pub fn stats(&self) -> FanoutStats {
+        FanoutStats {
+            workers: self
+                .workers
+                .iter()
+                .map(|w| WorkerStats {
+                    addr: w.addr.clone(),
+                    alive: w.alive.load(Ordering::Relaxed),
+                    shards_dispatched: w.shards_dispatched.load(Ordering::Relaxed),
+                    shards_completed: w.shards_completed.load(Ordering::Relaxed),
+                    failures: w.failures.load(Ordering::Relaxed),
+                    wall_us_sum: w.wall_us_sum.load(Ordering::Relaxed),
+                    wall_hist: w
+                        .wall_hist
+                        .iter()
+                        .map(|c| c.load(Ordering::Relaxed))
+                        .collect(),
+                })
+                .collect(),
+            rejected: self.rejected.clone(),
+            shards_total: self.shards_total.load(Ordering::Relaxed),
+            shards_done: self.shards_done.load(Ordering::Relaxed),
+            shards_retried: self.shards_retried.load(Ordering::Relaxed),
+            shards_hedged: self.shards_hedged.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fans `req` out across the live fleet and merges the per-shard
+    /// rows into one counts vector, byte-identical to a single-node
+    /// `sweep_attackers` over the same pool.
+    pub fn run_sweep(
+        &self,
+        req: &SweepRequest,
+        observer: &dyn SweepObserver,
+    ) -> Result<Vec<u32>, FanoutError> {
+        let live: Vec<&Worker> = self
+            .workers
+            .iter()
+            .filter(|w| w.alive.load(Ordering::Relaxed))
+            .collect();
+        if live.is_empty() {
+            return Err(FanoutError::NoWorkers);
+        }
+        if req.pool_asns.is_empty() {
+            return Ok(Vec::new());
+        }
+        let plan = ShardPlan::new(
+            req.pool_asns.len(),
+            live.len() * self.config.shards_per_worker.max(1),
+        );
+        observer.on_plan(plan.num_shards);
+        self.shards_total
+            .fetch_add(plan.num_shards as u64, Ordering::Relaxed);
+        let ctx = RunCtx {
+            req,
+            plan,
+            states: (0..plan.num_shards).map(|_| ShardState::new()).collect(),
+            queue: Mutex::new((0..plan.num_shards).collect()),
+            done_count: AtomicUsize::new(0),
+            abort: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
+            last_error: Mutex::new("fan-out produced no result".to_string()),
+            observer,
+            key_base: format!(
+                "fo{:x}-{}",
+                self.nonce,
+                self.sweep_seq.fetch_add(1, Ordering::Relaxed)
+            ),
+        };
+        std::thread::scope(|scope| {
+            for worker in &live {
+                let ctx = &ctx;
+                scope.spawn(move || self.worker_loop(worker, ctx));
+            }
+        });
+        if ctx.cancelled.load(Ordering::Relaxed) {
+            return Err(FanoutError::Cancelled);
+        }
+        if ctx.done_count.load(Ordering::Relaxed) != ctx.plan.num_shards {
+            return Err(FanoutError::Failed(lock(&ctx.last_error).clone()));
+        }
+        let rows: Vec<Vec<u32>> = ctx
+            .states
+            .iter()
+            .map(|st| lock(&st.result).take().expect("done shard holds its rows"))
+            .collect();
+        ctx.plan.merge(&rows).map_err(FanoutError::Failed)
+    }
+
+    /// One worker's dispatch loop: drain the shared queue, then hedge
+    /// stragglers, until the sweep completes, aborts, or this worker
+    /// dies.
+    fn worker_loop(&self, worker: &Worker, ctx: &RunCtx<'_>) {
+        let mut client: Option<Client> = None;
+        loop {
+            if ctx.abort.load(Ordering::Relaxed) {
+                return;
+            }
+            if ctx.observer.cancelled() {
+                ctx.cancelled.store(true, Ordering::Relaxed);
+                ctx.abort.store(true, Ordering::Relaxed);
+                return;
+            }
+            if ctx.done_count.load(Ordering::Relaxed) == ctx.plan.num_shards {
+                return;
+            }
+            let Some((shard, is_hedge)) = self.next_shard(ctx) else {
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            };
+            if is_hedge {
+                self.shards_hedged.fetch_add(1, Ordering::Relaxed);
+                ctx.observer.on_hedge();
+            }
+            let st = &ctx.states[shard];
+            let attempt = st.attempts.fetch_add(1, Ordering::Relaxed) + 1;
+            if attempt > self.config.max_attempts {
+                *lock(&ctx.last_error) = format!(
+                    "shard {shard} failed after {} attempts: {}",
+                    self.config.max_attempts,
+                    lock(&ctx.last_error)
+                );
+                ctx.abort.store(true, Ordering::Relaxed);
+                return;
+            }
+            if st.inflight.fetch_add(1, Ordering::Relaxed) == 0 {
+                // First dispatch in flight starts the straggler clock;
+                // a hedge rides the original's.
+                *lock(&st.started) = Some(Instant::now());
+            }
+            worker.shards_dispatched.fetch_add(1, Ordering::Relaxed);
+            let begun = Instant::now();
+            let outcome = self.dispatch_shard(&mut client, worker, ctx, shard);
+            st.inflight.fetch_sub(1, Ordering::Relaxed);
+            match outcome {
+                Ok(rows) => {
+                    worker.consecutive_failures.store(0, Ordering::Relaxed);
+                    worker.shards_completed.fetch_add(1, Ordering::Relaxed);
+                    let us = u64::try_from(begun.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    worker.wall_us_sum.fetch_add(us, Ordering::Relaxed);
+                    worker.wall_hist[wall_bucket(us)].fetch_add(1, Ordering::Relaxed);
+                    // First result wins; a slower duplicate is dropped.
+                    if !st.done.swap(true, Ordering::Relaxed) {
+                        *lock(&st.result) = Some(rows);
+                        ctx.done_count.fetch_add(1, Ordering::Relaxed);
+                        self.shards_done.fetch_add(1, Ordering::Relaxed);
+                        ctx.observer.on_shard_done(ctx.plan.shard_len(shard));
+                    }
+                }
+                Err(ShardError::Abandoned) => {}
+                Err(ShardError::Failed(message)) => {
+                    worker.failures.fetch_add(1, Ordering::Relaxed);
+                    let fails = worker.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+                    *lock(&ctx.last_error) = format!("worker {}: {message}", worker.addr);
+                    if !st.done.load(Ordering::Relaxed) {
+                        lock(&ctx.queue).push_back(shard);
+                        self.shards_retried.fetch_add(1, Ordering::Relaxed);
+                        ctx.observer.on_retry();
+                    }
+                    // A failed connection is suspect; reopen next time.
+                    client = None;
+                    if fails >= DEAD_AFTER {
+                        worker.alive.store(false, Ordering::Relaxed);
+                        return;
+                    }
+                    let backoff_ms = (50u64 << u64::from(fails - 1).min(5)).min(2_000);
+                    std::thread::sleep(Duration::from_millis(backoff_ms));
+                }
+            }
+        }
+    }
+
+    /// Next shard for an idle worker: queued work first, then the
+    /// slowest outstanding shard past the hedge threshold.
+    fn next_shard(&self, ctx: &RunCtx<'_>) -> Option<(usize, bool)> {
+        {
+            let mut queue = lock(&ctx.queue);
+            while let Some(shard) = queue.pop_front() {
+                if !ctx.states[shard].done.load(Ordering::Relaxed) {
+                    return Some((shard, false));
+                }
+            }
+        }
+        let now = Instant::now();
+        let mut slowest: Option<(usize, Duration)> = None;
+        for (shard, st) in ctx.states.iter().enumerate() {
+            if st.done.load(Ordering::Relaxed)
+                || st.hedged.load(Ordering::Relaxed)
+                || st.inflight.load(Ordering::Relaxed) == 0
+            {
+                continue;
+            }
+            let Some(started) = *lock(&st.started) else {
+                continue;
+            };
+            let waited = now.saturating_duration_since(started);
+            if waited < self.config.hedge_after {
+                continue;
+            }
+            if slowest.is_none_or(|(_, best)| waited > best) {
+                slowest = Some((shard, waited));
+            }
+        }
+        let (shard, _) = slowest?;
+        // The swap arbitrates between two idle workers eyeing the same
+        // straggler: exactly one hedge per shard.
+        (!ctx.states[shard].hedged.swap(true, Ordering::Relaxed)).then_some((shard, true))
+    }
+
+    fn dispatch_shard(
+        &self,
+        client_slot: &mut Option<Client>,
+        worker: &Worker,
+        ctx: &RunCtx<'_>,
+        shard: usize,
+    ) -> Result<Vec<u32>, ShardError> {
+        let members = ctx.plan.members(&ctx.req.pool_asns, shard);
+        if client_slot.is_none() {
+            *client_slot = Some(
+                Client::connect_with_timeout(&worker.addr, DISPATCH_READ_TIMEOUT)
+                    .map_err(|e| ShardError::Failed(format!("connect: {e}")))?,
+            );
+        }
+        let client = client_slot.as_mut().expect("client just ensured");
+        if members.len() <= BATCH_DISPATCH_MAX {
+            self.dispatch_batch(client, ctx, &members)
+        } else {
+            self.dispatch_sweep(client, ctx, shard, &members)
+        }
+    }
+
+    /// Small shard: one synchronous batch request, counts read straight
+    /// out of `results[i].result.pollution_count`.
+    fn dispatch_batch(
+        &self,
+        client: &mut Client,
+        ctx: &RunCtx<'_>,
+        members: &[u32],
+    ) -> Result<Vec<u32>, ShardError> {
+        let mut attacks = String::new();
+        for (i, &attacker) in members.iter().enumerate() {
+            if i > 0 {
+                attacks.push(',');
+            }
+            attacks.push_str(&format!(
+                "{{\"attacker\":{attacker},\"target\":{}}}",
+                ctx.req.target_asn
+            ));
+        }
+        let body = format!(
+            "{{\"defense\":{},\"attacks\":[{attacks}]}}",
+            defense_body(ctx.req)
+        );
+        let (status, response) = client
+            .request("POST", "/v1/attacks:batch", &body)
+            .map_err(|e| ShardError::Failed(format!("attacks:batch: {e}")))?;
+        if status != 200 {
+            return Err(ShardError::Failed(format!(
+                "attacks:batch returned {status}: {}",
+                excerpt(&response)
+            )));
+        }
+        let json = Json::parse(&response)
+            .map_err(|e| ShardError::Failed(format!("attacks:batch response: {e}")))?;
+        let Some(Json::Arr(entries)) = get(&json, "results") else {
+            return Err(ShardError::Failed(
+                "attacks:batch response lacks \"results\"".to_string(),
+            ));
+        };
+        if entries.len() != members.len() {
+            return Err(ShardError::Failed(format!(
+                "attacks:batch answered {} of {} attacks",
+                entries.len(),
+                members.len()
+            )));
+        }
+        entries
+            .iter()
+            .map(|entry| {
+                if let Some(message) = get_str(entry, "error") {
+                    return Err(ShardError::Failed(format!("batch item failed: {message}")));
+                }
+                get(entry, "result")
+                    .and_then(|result| get_u64(result, "pollution_count"))
+                    .map(|n| n as u32)
+                    .ok_or_else(|| {
+                        ShardError::Failed("batch item lacks result.pollution_count".to_string())
+                    })
+            })
+            .collect()
+    }
+
+    /// Large shard: async sweep job with an idempotency key (stable
+    /// across retries, so a resend after a timed-out submit dedupes
+    /// server-side instead of double-scheduling), polled to completion.
+    fn dispatch_sweep(
+        &self,
+        client: &mut Client,
+        ctx: &RunCtx<'_>,
+        shard: usize,
+        members: &[u32],
+    ) -> Result<Vec<u32>, ShardError> {
+        let attackers: Vec<String> = members.iter().map(u32::to_string).collect();
+        let key = format!("{}-shard{shard}", ctx.key_base);
+        let body = format!(
+            "{{\"target\":{},\"attackers\":[{}],\"defense\":{},\"idempotency_key\":\"{key}\"}}",
+            ctx.req.target_asn,
+            attackers.join(","),
+            defense_body(ctx.req)
+        );
+        let (status, response) = client
+            .request("POST", "/v1/sweeps", &body)
+            .map_err(|e| ShardError::Failed(format!("sweep submit: {e}")))?;
+        // 202 fresh, 200 deduped onto an earlier attempt's job.
+        if status != 202 && status != 200 {
+            return Err(ShardError::Failed(format!(
+                "sweep submit returned {status}: {}",
+                excerpt(&response)
+            )));
+        }
+        let submitted = Json::parse(&response)
+            .map_err(|e| ShardError::Failed(format!("sweep submit response: {e}")))?;
+        let id = get_str(&submitted, "id")
+            .ok_or_else(|| ShardError::Failed("sweep submit response lacks \"id\"".to_string()))?
+            .to_string();
+        let deadline = Instant::now() + self.config.shard_timeout;
+        loop {
+            if ctx.states[shard].done.load(Ordering::Relaxed)
+                || ctx.abort.load(Ordering::Relaxed)
+                || ctx.observer.cancelled()
+            {
+                // The result is no longer wanted (a hedge twin won, or
+                // the sweep is over): stop billing the worker for it.
+                let _ = client.request("DELETE", &format!("/v1/jobs/{id}"), "");
+                return Err(ShardError::Abandoned);
+            }
+            if Instant::now() >= deadline {
+                let _ = client.request("DELETE", &format!("/v1/jobs/{id}"), "");
+                return Err(ShardError::Failed(format!(
+                    "shard job {id} exceeded {:.0?}",
+                    self.config.shard_timeout
+                )));
+            }
+            let (status, response) = client
+                .request("GET", &format!("/v1/jobs/{id}"), "")
+                .map_err(|e| ShardError::Failed(format!("poll {id}: {e}")))?;
+            if status != 200 {
+                return Err(ShardError::Failed(format!(
+                    "poll {id} returned {status}: {}",
+                    excerpt(&response)
+                )));
+            }
+            let job = Json::parse(&response)
+                .map_err(|e| ShardError::Failed(format!("poll {id} response: {e}")))?;
+            match get_str(&job, "state") {
+                Some("done") => break,
+                Some("queued") | Some("running") => std::thread::sleep(self.config.poll_interval),
+                Some(other) => {
+                    return Err(ShardError::Failed(format!("shard job {id} ended {other}")))
+                }
+                None => {
+                    return Err(ShardError::Failed(format!(
+                        "poll {id} response lacks \"state\""
+                    )))
+                }
+            }
+        }
+        let (status, response) = client
+            .request("GET", &format!("/v1/results/{id}"), "")
+            .map_err(|e| ShardError::Failed(format!("results {id}: {e}")))?;
+        if status != 200 {
+            return Err(ShardError::Failed(format!(
+                "results {id} returned {status}: {}",
+                excerpt(&response)
+            )));
+        }
+        let results = Json::parse(&response)
+            .map_err(|e| ShardError::Failed(format!("results {id} response: {e}")))?;
+        let Some(Json::Arr(counts)) = get(&results, "result").and_then(|r| get(r, "counts")) else {
+            return Err(ShardError::Failed(format!(
+                "results {id} lack result.counts"
+            )));
+        };
+        if counts.len() != members.len() {
+            return Err(ShardError::Failed(format!(
+                "results {id} carry {} counts for {} attackers",
+                counts.len(),
+                members.len()
+            )));
+        }
+        counts
+            .iter()
+            .map(|value| match value {
+                Json::Num(n) => Ok(*n as u32),
+                _ => Err(ShardError::Failed(format!(
+                    "results {id} counts are not numeric"
+                ))),
+            })
+            .collect()
+    }
+}
+
+/// Live state of one sweep run, shared across worker threads.
+struct RunCtx<'a> {
+    req: &'a SweepRequest,
+    plan: ShardPlan,
+    states: Vec<ShardState>,
+    queue: Mutex<VecDeque<usize>>,
+    done_count: AtomicUsize,
+    abort: AtomicBool,
+    cancelled: AtomicBool,
+    last_error: Mutex<String>,
+    observer: &'a dyn SweepObserver,
+    key_base: String,
+}
+
+struct ShardState {
+    done: AtomicBool,
+    result: Mutex<Option<Vec<u32>>>,
+    attempts: AtomicU32,
+    inflight: AtomicU32,
+    started: Mutex<Option<Instant>>,
+    hedged: AtomicBool,
+}
+
+impl ShardState {
+    fn new() -> ShardState {
+        ShardState {
+            done: AtomicBool::new(false),
+            result: Mutex::new(None),
+            attempts: AtomicU32::new(0),
+            inflight: AtomicU32::new(0),
+            started: Mutex::new(None),
+            hedged: AtomicBool::new(false),
+        }
+    }
+}
+
+enum ShardError {
+    /// The shard's result became unnecessary mid-dispatch (hedge twin
+    /// won, sweep aborted); not a worker failure.
+    Abandoned,
+    Failed(String),
+}
+
+/// The wire `defense` object for a request.
+fn defense_body(req: &SweepRequest) -> String {
+    let validators: Vec<String> = req.validator_asns.iter().map(u32::to_string).collect();
+    format!(
+        "{{\"validators\":[{}],\"stub_defense\":{}}}",
+        validators.join(","),
+        req.stub_defense
+    )
+}
+
+/// First line-ish of an error body, for diagnostics without dumping a
+/// whole sweep result into a message.
+fn excerpt(body: &str) -> String {
+    let trimmed = body.trim();
+    if trimmed.len() <= 200 {
+        return trimmed.to_string();
+    }
+    let mut end = 200;
+    while !trimmed.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}…", &trimmed[..end])
+}
+
+/// Registration-time compatibility probe against `/v1/healthz`.
+fn probe(addr: &str, expect: &Handshake) -> Result<(), String> {
+    let mut client = Client::connect_with_timeout(addr, PROBE_READ_TIMEOUT)
+        .map_err(|e| format!("unreachable: {e}"))?;
+    let (status, body) = client
+        .request("GET", "/v1/healthz", "")
+        .map_err(|e| format!("healthz failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("healthz returned {status}"));
+    }
+    let json = Json::parse(&body).map_err(|e| format!("healthz unparseable: {e}"))?;
+    if get_str(&json, "status") != Some("ok") {
+        return Err(format!(
+            "worker is {}",
+            get_str(&json, "status").unwrap_or("in an unknown state")
+        ));
+    }
+    let check_num = |key: &str, want: u64| -> Result<(), String> {
+        match get_u64(&json, key) {
+            Some(got) if got == want => Ok(()),
+            Some(got) => Err(format!("{key} mismatch: worker has {got}, expected {want}")),
+            None => Err(format!(
+                "worker does not advertise {key} (upgrade the worker)"
+            )),
+        }
+    };
+    check_num("schema_version", expect.schema_version)?;
+    check_num("seed", expect.seed)?;
+    check_num("num_ases", expect.num_ases)?;
+    match get_str(&json, "scale") {
+        Some(got) if got == expect.scale => Ok(()),
+        Some(got) => Err(format!(
+            "scale mismatch: worker runs {got:?}, expected {:?}",
+            expect.scale
+        )),
+        None => Err("worker does not advertise scale".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_urls_normalize() {
+        assert_eq!(normalize_addr("http://h1:8080"), "h1:8080");
+        assert_eq!(normalize_addr("h1:8080/"), "h1:8080");
+        assert_eq!(normalize_addr(" http://h1:8080/ "), "h1:8080");
+    }
+
+    #[test]
+    fn unreachable_workers_are_rejected_not_fatal() {
+        // Port 9 (discard) on localhost is a safe nothing-listens bet.
+        let config = FanoutConfig::new(vec!["127.0.0.1:9".to_string()]);
+        let expect = Handshake {
+            schema_version: 1,
+            scale: "quick".to_string(),
+            seed: 2014,
+            num_ases: 100,
+        };
+        let coordinator = Coordinator::connect(config, &expect);
+        assert_eq!(coordinator.live_workers(), 0);
+        assert_eq!(coordinator.rejected().len(), 1);
+        let req = SweepRequest {
+            target_asn: 1,
+            pool_asns: vec![2, 3],
+            validator_asns: Vec::new(),
+            stub_defense: false,
+        };
+        assert_eq!(
+            coordinator.run_sweep(&req, &NoopObserver),
+            Err(FanoutError::NoWorkers)
+        );
+    }
+
+    #[test]
+    fn empty_pool_short_circuits() {
+        let coordinator = Coordinator {
+            config: FanoutConfig::new(Vec::new()),
+            workers: vec![Worker::new("unused:0".to_string())],
+            rejected: Vec::new(),
+            nonce: 0,
+            sweep_seq: AtomicU64::new(0),
+            shards_total: AtomicU64::new(0),
+            shards_done: AtomicU64::new(0),
+            shards_retried: AtomicU64::new(0),
+            shards_hedged: AtomicU64::new(0),
+        };
+        let req = SweepRequest {
+            target_asn: 1,
+            pool_asns: Vec::new(),
+            validator_asns: Vec::new(),
+            stub_defense: false,
+        };
+        assert_eq!(coordinator.run_sweep(&req, &NoopObserver), Ok(Vec::new()));
+    }
+}

@@ -37,6 +37,14 @@ use crate::{ServerState, WorkerCtx};
 /// Attacker ASNs advertised in `/v1/healthz` for load generators.
 const SAMPLE_ATTACKERS: usize = 64;
 
+/// Most jobs rendered by `GET /v1/jobs` (newest first); the registry
+/// retains more, but an enumeration response stays bounded.
+const MAX_LISTED_JOBS: usize = 100;
+
+/// Longest accepted idempotency key — keys are retained verbatim, so an
+/// unbounded key would be a memory lever.
+const MAX_IDEMPOTENCY_KEY_LEN: usize = 256;
+
 /// Largest accepted `POST /v1/attacks:batch` batch. Big enough for a
 /// whole transit-pool what-if in one request, small enough that a single
 /// request cannot pin the rayon pool for minutes.
@@ -125,6 +133,10 @@ pub(crate) fn dispatch(
         ["v1", "stream", id, "range"] => (
             Endpoint::Stream,
             expect_method(method, "GET").and_then(|()| handle_stream_range(state, id, request)),
+        ),
+        ["v1", "jobs"] => (
+            Endpoint::Jobs,
+            expect_method(method, "GET").and_then(|()| handle_jobs_list(state)),
         ),
         ["v1", "jobs", id] => (
             Endpoint::Jobs,
@@ -726,19 +738,60 @@ fn handle_sweep_submit(state: &ServerState<'_>, request: &Request) -> Result<Res
         cacheable,
         pool_kind,
     };
-    let job = state.jobs.submit(JobSpec::Sweep(spec)).map_err(|message| {
-        let status = if message.contains("full") { 429 } else { 503 };
-        ApiError::new(status, message)
-    })?;
+    let key = idempotency_key(request, &body)?;
+    let (job, fresh) = state
+        .jobs
+        .submit_keyed(JobSpec::Sweep(spec), key)
+        .map_err(|message| {
+            let status = if message.contains("full") { 429 } else { 503 };
+            ApiError::new(status, message)
+        })?;
     let id = job.wire_id();
     let response = Json::obj([
         ("id", Json::str(id.clone())),
-        ("state", Json::str("queued")),
+        ("state", Json::str(job.with_state(JobState::name))),
         ("total", Json::Num(job.total.load(Ordering::Relaxed) as f64)),
         ("poll", Json::str(format!("/v1/jobs/{id}"))),
         ("results", Json::str(format!("/v1/results/{id}"))),
     ]);
-    Ok(json_response(202, &response))
+    // 202 schedules; a duplicate idempotency key answers 200 with the
+    // original job, scheduling nothing.
+    Ok(json_response(if fresh { 202 } else { 200 }, &response))
+}
+
+/// Client idempotency key for a submission: the `Idempotency-Key`
+/// header wins, then a `"idempotency_key"` body field; absent both, the
+/// submission is unkeyed (every POST schedules).
+fn idempotency_key(request: &Request, body: &Json) -> Result<Option<String>, ApiError> {
+    let raw = match request.header("idempotency-key") {
+        Some(value) => Some(value.to_string()),
+        None => match get(body, "idempotency_key") {
+            None | Some(Json::Null) => None,
+            Some(Json::Str(s)) => Some(s.clone()),
+            Some(_) => {
+                return Err(ApiError::new(
+                    422,
+                    "field \"idempotency_key\" must be a string",
+                ))
+            }
+        },
+    };
+    match raw {
+        None => Ok(None),
+        Some(key) => {
+            let key = key.trim().to_string();
+            if key.is_empty() {
+                return Err(ApiError::new(422, "idempotency key must not be empty"));
+            }
+            if key.len() > MAX_IDEMPOTENCY_KEY_LEN {
+                return Err(ApiError::new(
+                    422,
+                    format!("idempotency key exceeds {MAX_IDEMPOTENCY_KEY_LEN} bytes"),
+                ));
+            }
+            Ok(Some(key))
+        }
+    }
 }
 
 fn parse_job_id(wire: &str) -> Result<u64, ApiError> {
@@ -764,6 +817,7 @@ fn job_json(job: &crate::jobs::Job) -> Json {
     ];
     match &job.spec {
         JobSpec::Sweep(spec) => {
+            pairs.push(("kind".to_string(), Json::str("sweep")));
             pairs.push(("target".to_string(), Json::Num(f64::from(spec.target_asn))));
             pairs.push(("pool".to_string(), Json::str(spec.pool_kind)));
         }
@@ -799,12 +853,52 @@ fn job_json(job: &crate::jobs::Job) -> Json {
             },
         ),
     ]);
+    // Shard progress appears only on jobs the sweep executor dealt to a
+    // fan-out fleet; a purely local job never grows the object.
+    let shards_total = job.shards_total.load(Ordering::Relaxed);
+    if shards_total > 0 {
+        pairs.push((
+            "shards".to_string(),
+            Json::obj([
+                ("total", json_u64(shards_total)),
+                ("done", json_u64(job.shards_done.load(Ordering::Relaxed))),
+                (
+                    "retried",
+                    json_u64(job.shards_retried.load(Ordering::Relaxed)),
+                ),
+                (
+                    "hedged",
+                    json_u64(job.shards_hedged.load(Ordering::Relaxed)),
+                ),
+            ]),
+        ));
+    }
     job.with_state(|state| {
         if let JobState::Failed(message) = state {
             pairs.push(("error".to_string(), Json::str(message.clone())));
         }
     });
     Json::Obj(pairs)
+}
+
+/// `GET /v1/jobs`: every retained job, newest first, capped at
+/// [`MAX_LISTED_JOBS`] — operators and coordinators enumerate without
+/// knowing ids, and the response stays bounded no matter the retention.
+fn handle_jobs_list(state: &ServerState<'_>) -> Result<Response, ApiError> {
+    let jobs = state.jobs.snapshot();
+    let total = jobs.len();
+    let items: Vec<Json> = jobs
+        .iter()
+        .rev()
+        .take(MAX_LISTED_JOBS)
+        .map(|job| job_json(job))
+        .collect();
+    let response = Json::obj([
+        ("jobs", Json::Arr(items)),
+        ("total", Json::Num(total as f64)),
+        ("truncated", Json::Bool(total > MAX_LISTED_JOBS)),
+    ]);
+    Ok(json_response(200, &response))
 }
 
 fn handle_job_get(state: &ServerState<'_>, wire_id: &str) -> Result<Response, ApiError> {
@@ -1040,27 +1134,46 @@ fn handle_stream_submit(state: &ServerState<'_>, request: &Request) -> Result<Re
         injected,
         store: Arc::new(Mutex::new(StreamStore::sized_for(events))),
     };
-    let job = state
+    let key = idempotency_key(request, &body)?;
+    let (job, fresh) = state
         .jobs
-        .submit(JobSpec::Stream(spec))
+        .submit_keyed(JobSpec::Stream(spec), key)
         .map_err(|message| {
             let status = if message.contains("full") { 429 } else { 503 };
             ApiError::new(status, message)
         })?;
-    let spec = job.spec.as_stream().expect("just submitted a stream job");
     let id = job.wire_id();
-    let response = Json::obj([
-        ("id", Json::str(id.clone())),
-        ("state", Json::str("queued")),
-        ("kind", Json::str("stream")),
-        ("total", Json::Num(job.total.load(Ordering::Relaxed) as f64)),
-        ("injected", Json::Num(spec.injected as f64)),
-        ("targets", asn_values(&spec.target_asns)),
-        ("poll", Json::str(format!("/v1/jobs/{id}"))),
-        ("results", Json::str(format!("/v1/results/{id}"))),
-        ("range", Json::str(format!("/v1/stream/{id}/range"))),
-    ]);
-    Ok(json_response(202, &response))
+    let mut pairs = vec![
+        ("id".to_string(), Json::str(id.clone())),
+        (
+            "state".to_string(),
+            Json::str(job.with_state(JobState::name)),
+        ),
+        ("kind".to_string(), Json::str("stream")),
+        (
+            "total".to_string(),
+            Json::Num(job.total.load(Ordering::Relaxed) as f64),
+        ),
+    ];
+    // A duplicate idempotency key can answer with a job submitted under
+    // a different kind; only a real stream spec carries stream fields.
+    if let Some(spec) = job.spec.as_stream() {
+        pairs.push(("injected".to_string(), Json::Num(spec.injected as f64)));
+        pairs.push(("targets".to_string(), asn_values(&spec.target_asns)));
+        pairs.push((
+            "range".to_string(),
+            Json::str(format!("/v1/stream/{id}/range")),
+        ));
+    }
+    pairs.push(("poll".to_string(), Json::str(format!("/v1/jobs/{id}"))));
+    pairs.push((
+        "results".to_string(),
+        Json::str(format!("/v1/results/{id}")),
+    ));
+    Ok(json_response(
+        if fresh { 202 } else { 200 },
+        &Json::Obj(pairs),
+    ))
 }
 
 /// Reads a slice of one stream metric series, live — the executor appends
@@ -1192,6 +1305,10 @@ fn handle_healthz(state: &ServerState<'_>) -> Result<Response, ApiError> {
         ("version", Json::str(env!("CARGO_PKG_VERSION"))),
         ("schema_version", Json::Num(SCHEMA_VERSION as f64)),
         ("scale", Json::str(state.config.scale_name.clone())),
+        // Fleet handshake identity: a fan-out coordinator refuses any
+        // worker whose (schema_version, scale, seed, num_ases) differ
+        // from its own — same seed + scale must mean same topology.
+        ("seed", json_u64(state.lab.config().seed)),
         ("engine", Json::str(state.sim.engine().name())),
         ("num_ases", Json::Num(topo.num_ases() as f64)),
         (
@@ -1212,6 +1329,18 @@ fn handle_healthz(state: &ServerState<'_>) -> Result<Response, ApiError> {
             "cache_entries",
             Json::Num(state.cache.stats().entries as f64),
         ),
+        // Capacity introspection for fleet tooling: executor width, the
+        // cache's byte budget (null = entry-count bound only), and
+        // whether terminal jobs survive a restart.
+        (
+            "sweep_workers",
+            Json::Num(state.config.sweep_workers as f64),
+        ),
+        (
+            "cache_bytes",
+            state.config.cache_byte_budget.map_or(Json::Null, json_u64),
+        ),
+        ("state_dir", Json::Bool(state.config.state_dir.is_some())),
         (
             "cast",
             Json::obj([
@@ -1239,13 +1368,16 @@ fn handle_healthz(state: &ServerState<'_>) -> Result<Response, ApiError> {
 }
 
 fn handle_metrics(state: &ServerState<'_>) -> Response {
-    let text = render_prometheus(
+    let mut text = render_prometheus(
         &state.metrics,
         &state.cache.stats(),
         &state.jobs.counts(),
         &state.jobs.scheduler_stats(),
         &state.telemetry.snapshot(),
     );
+    if let Some(coordinator) = &state.fanout {
+        text.push_str(&crate::metrics::render_fanout(&coordinator.stats()));
+    }
     Response::text(200, text)
 }
 

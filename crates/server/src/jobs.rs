@@ -240,7 +240,11 @@ fn cache_rank(name: &str) -> u8 {
     match name {
         "miss" => 3,
         "coalesced" => 2,
-        "hit" => 1,
+        // "fanout" marks a sweep dealt to remote workers: no local cache
+        // story at all, but still worth surfacing over the "bypass"
+        // default (a fanout job runs as one whole-pool chunk, so it
+        // never competes with real cache outcomes).
+        "hit" | "fanout" => 1,
         _ => 0, // bypass
     }
 }
@@ -278,6 +282,17 @@ pub struct Job {
     partial: Mutex<Partial>,
     /// Guards the one-shot terminal-state write to the state directory.
     persisted: AtomicBool,
+    /// Fan-out shard progress, all zero unless the sweep executor dealt
+    /// this job to remote workers: shards planned, completed, re-queued
+    /// after a failure, and hedged. Surfaced as the `shards` object on
+    /// `GET /v1/jobs/:id`.
+    pub shards_total: AtomicU64,
+    /// Shards completed (see [`Job::shards_total`]).
+    pub shards_done: AtomicU64,
+    /// Shards re-queued after a failed dispatch.
+    pub shards_retried: AtomicU64,
+    /// Hedged duplicate dispatches issued.
+    pub shards_hedged: AtomicU64,
 }
 
 impl Job {
@@ -307,6 +322,10 @@ impl Job {
             chunks_in_flight: AtomicUsize::new(0),
             started: Mutex::new(None),
             persisted: AtomicBool::new(false),
+            shards_total: AtomicU64::new(0),
+            shards_done: AtomicU64::new(0),
+            shards_retried: AtomicU64::new(0),
+            shards_hedged: AtomicU64::new(0),
         }
     }
 
@@ -366,6 +385,11 @@ struct RegistryInner {
     /// most once; it is pushed to the back after each chunk is dealt and
     /// drops out once fully dealt (or terminal).
     ring: VecDeque<Arc<Job>>,
+    /// Client idempotency keys → job id, oldest first, bounded by
+    /// [`JobRegistry::MAX_IDEMPOTENCY_KEYS`]. A resubmission under a
+    /// retained key returns the original job instead of scheduling a
+    /// duplicate.
+    idempotency: VecDeque<(String, u64)>,
     next_id: u64,
     closed: bool,
 }
@@ -433,6 +457,9 @@ impl JobRegistry {
     /// Finished jobs retained before the oldest are forgotten.
     pub const MAX_RETAINED: usize = 256;
 
+    /// Idempotency keys retained (FIFO) before the oldest are forgotten.
+    pub const MAX_IDEMPOTENCY_KEYS: usize = 1024;
+
     /// Attackers per scheduling chunk: small enough that a short job
     /// never waits behind more than one chunk of a long one, large enough
     /// that per-chunk overhead (cache lookup, dispatch) stays negligible
@@ -468,6 +495,7 @@ impl JobRegistry {
             inner: Mutex::new(RegistryInner {
                 jobs,
                 ring: VecDeque::new(),
+                idempotency: VecDeque::new(),
                 next_id,
                 closed: false,
             }),
@@ -512,9 +540,38 @@ impl JobRegistry {
     /// "running". Restored jobs are terminal by construction and never
     /// count.
     pub fn submit(&self, spec: JobSpec) -> Result<Arc<Job>, &'static str> {
+        self.submit_keyed(spec, None).map(|(job, _)| job)
+    }
+
+    /// [`JobRegistry::submit`] with an optional client idempotency key.
+    /// Returns `(job, fresh)`: a resubmission under a retained key
+    /// returns the original job with `fresh == false` and schedules
+    /// nothing — a coordinator retrying a timed-out submit cannot
+    /// double-schedule its shard. Keys are retained FIFO up to
+    /// [`JobRegistry::MAX_IDEMPOTENCY_KEYS`]; a key whose job has since
+    /// been forgotten is treated as fresh.
+    pub fn submit_keyed(
+        &self,
+        spec: JobSpec,
+        key: Option<String>,
+    ) -> Result<(Arc<Job>, bool), &'static str> {
         let mut inner = lock_recover(&self.inner);
         if inner.closed {
             return Err("server is shutting down");
+        }
+        if let Some(key) = &key {
+            if let Some(id) = inner
+                .idempotency
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|&(_, id)| id)
+            {
+                if let Some(job) = inner.jobs.iter().find(|j| j.id == id).cloned() {
+                    return Ok((job, false));
+                }
+                // The job aged out of retention; the key is stale.
+                inner.idempotency.retain(|(k, _)| k != key);
+            }
         }
         let active = inner
             .jobs
@@ -529,6 +586,12 @@ impl JobRegistry {
         let job = Arc::new(Job::new(id, spec));
         inner.jobs.push_back(Arc::clone(&job));
         inner.ring.push_back(Arc::clone(&job));
+        if let Some(key) = key {
+            inner.idempotency.push_back((key, id));
+            while inner.idempotency.len() > JobRegistry::MAX_IDEMPOTENCY_KEYS {
+                inner.idempotency.pop_front();
+            }
+        }
         // Forget the oldest finished jobs beyond the retention bound.
         while inner.jobs.len() > JobRegistry::MAX_RETAINED {
             let Some(pos) = inner
@@ -542,7 +605,12 @@ impl JobRegistry {
         }
         drop(inner);
         self.pending.notify_one();
-        Ok(job)
+        Ok((job, true))
+    }
+
+    /// Every retained job, oldest first (callers cap what they render).
+    pub fn snapshot(&self) -> Vec<Arc<Job>> {
+        lock_recover(&self.inner).jobs.iter().cloned().collect()
     }
 
     /// Looks up a retained job by numeric id.
@@ -1078,6 +1146,10 @@ fn job_from_doc(doc: &Json) -> Option<Arc<Job>> {
         }),
         // Already on disk: never rewrite.
         persisted: AtomicBool::new(true),
+        shards_total: AtomicU64::new(0),
+        shards_done: AtomicU64::new(0),
+        shards_retried: AtomicU64::new(0),
+        shards_hedged: AtomicU64::new(0),
     }))
 }
 

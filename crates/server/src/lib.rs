@@ -63,8 +63,12 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use bgpsim_core::detection::ProbeSet;
+use bgpsim_core::manifest::SCHEMA_VERSION;
 use bgpsim_core::stream::{DetectorMode, StreamDetector};
 use bgpsim_core::{ExperimentConfig, Lab};
+use bgpsim_fanout::{
+    Coordinator, FanoutConfig, FanoutError, Handshake, SweepObserver, SweepRequest,
+};
 use bgpsim_hijack::{Simulator, SweepMonitor, SweepProgress, SweepTelemetry};
 use bgpsim_routing::{Announcement, Baseline, DeltaWorkspace, Workspace};
 
@@ -113,6 +117,12 @@ pub struct ServerConfig {
     /// Directory for terminal job/result records (persisted as manifest
     /// JSON, reloaded on boot). `None` disables persistence.
     pub state_dir: Option<PathBuf>,
+    /// Fan-out worker addresses (`host:port` or `http://host:port`). When
+    /// non-empty, sweep jobs are sharded across these `bgpsim-server`
+    /// instances instead of the local rayon pool; workers whose
+    /// compatibility handshake fails are rejected at boot, and the server
+    /// degrades to local execution if none survive.
+    pub fanout_workers: Vec<String>,
 }
 
 impl ServerConfig {
@@ -131,6 +141,7 @@ impl ServerConfig {
             read_timeout: Duration::from_secs(2),
             sweep_workers: 2,
             state_dir: None,
+            fanout_workers: Vec::new(),
         }
     }
 }
@@ -145,6 +156,7 @@ pub(crate) struct ServerState<'t> {
     pub(crate) metrics: ServerMetrics,
     pub(crate) telemetry: SweepTelemetry,
     pub(crate) shutdown: &'t AtomicBool,
+    pub(crate) fanout: Option<Coordinator>,
 }
 
 /// Per-worker reusable simulation scratch space.
@@ -185,8 +197,18 @@ pub fn serve(
     // first so `on_ready` subscribers see the port, but only report ready
     // once the lab can actually answer.
     let lab = Lab::new(config.experiment.clone());
+    let fanout = connect_fanout(config, &lab);
     let (jobs, _restore) =
         JobRegistry::with_state_dir(config.max_queued_jobs, config.state_dir.clone());
+    // Fan-out mode deals *shards*, not local rayon chunks: hand each sweep
+    // job to the coordinator as one whole-pool chunk so the shard plan
+    // covers the entire pool (usize::MAX >> 1 avoids the chunk-ring's
+    // `start + chunk_size` overflow).
+    let jobs = if fanout.is_some() {
+        jobs.with_chunk_size(usize::MAX >> 1)
+    } else {
+        jobs
+    };
     let state = ServerState {
         sim: lab.simulator(),
         lab: &lab,
@@ -196,6 +218,7 @@ pub fn serve(
         metrics: ServerMetrics::new(),
         telemetry: SweepTelemetry::new(),
         shutdown,
+        fanout,
     };
     on_ready(addr);
     let (tx, rx) = mpsc::sync_channel::<std::net::TcpStream>(config.queue_capacity.max(1));
@@ -215,6 +238,39 @@ pub fn serve(
         drop(tx);
     });
     Ok(())
+}
+
+/// Probes `config.fanout_workers` with the compatibility handshake and
+/// returns a live [`Coordinator`], or `None` (local execution) when the
+/// list is empty or no worker passes — the server boots either way, it
+/// just warns and degrades.
+fn connect_fanout(config: &ServerConfig, lab: &Lab) -> Option<Coordinator> {
+    if config.fanout_workers.is_empty() {
+        return None;
+    }
+    let expect = Handshake {
+        schema_version: SCHEMA_VERSION,
+        scale: config.scale_name.clone(),
+        seed: config.experiment.seed,
+        num_ases: lab.topology().num_ases() as u64,
+    };
+    let coordinator =
+        Coordinator::connect(FanoutConfig::new(config.fanout_workers.clone()), &expect);
+    if coordinator.live_workers() == 0 {
+        eprintln!(
+            "warning: none of the {} fan-out workers are reachable and compatible; \
+             sweeps will run locally in-process",
+            config.fanout_workers.len()
+        );
+        None
+    } else {
+        eprintln!(
+            "fan-out: {} of {} workers registered",
+            coordinator.live_workers(),
+            config.fanout_workers.len()
+        );
+        Some(coordinator)
+    }
 }
 
 fn accept_loop(
@@ -363,6 +419,18 @@ fn run_sweep_chunk(
     spec: &jobs::SweepSpec,
     chunk: &Chunk,
 ) -> (Vec<u32>, &'static str) {
+    if let Some(coordinator) = &state.fanout {
+        match run_fanout_chunk(coordinator, job, spec) {
+            Ok(rows) => return (rows, "fanout"),
+            // The cancel flag is already set, so the registry discards
+            // these rows and finalizes Cancelled; only the length matters.
+            Err(FanoutError::Cancelled) => return (vec![0; spec.pool.len()], "fanout"),
+            Err(e) => {
+                eprintln!("warning: fan-out sweep for job {} failed ({e}); falling back to local execution", job.id);
+                job.completed.store(0, Ordering::Relaxed);
+            }
+        }
+    }
     let started_at = job.started_at();
     let total = job.total.load(Ordering::Relaxed);
     let progress = |_p: SweepProgress| {
@@ -422,6 +490,73 @@ fn run_sweep_chunk(
         );
         (rows, "bypass")
     }
+}
+
+/// Ticks a [`Job`]'s progress and shard atomics from coordinator
+/// callbacks, and routes the job's cancel flag into the fan-out run.
+struct JobShardObserver<'j> {
+    job: &'j Job,
+    started_at: Option<Instant>,
+    total: usize,
+}
+
+impl SweepObserver for JobShardObserver<'_> {
+    fn on_plan(&self, shards: usize) {
+        self.job
+            .shards_total
+            .store(shards as u64, Ordering::Relaxed);
+    }
+
+    fn on_shard_done(&self, attackers: usize) {
+        self.job.shards_done.fetch_add(1, Ordering::Relaxed);
+        // Progress advances a whole shard at a time: coarser ticks than
+        // the local per-attack closure, same completed/ETA contract.
+        let done = self.job.completed.fetch_add(attackers, Ordering::Relaxed) + attackers;
+        if let Some(started) = self.started_at {
+            let elapsed_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+            self.job.elapsed_ms.store(elapsed_ms, Ordering::Relaxed);
+            let eta_ms = if done == 0 || done > self.total {
+                ETA_UNKNOWN
+            } else {
+                elapsed_ms.saturating_mul((self.total - done) as u64) / done as u64
+            };
+            self.job.eta_ms.store(eta_ms, Ordering::Relaxed);
+        }
+    }
+
+    fn on_retry(&self) {
+        self.job.shards_retried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_hedge(&self) {
+        self.job.shards_hedged.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn cancelled(&self) -> bool {
+        self.job.cancel.load(Ordering::Relaxed)
+    }
+}
+
+/// Runs a sweep job's (single, whole-pool) chunk through the fan-out
+/// coordinator. The merged rows are bit-identical to what the local path
+/// would produce — `crates/fanout` pins that equivalence.
+fn run_fanout_chunk(
+    coordinator: &Coordinator,
+    job: &Job,
+    spec: &jobs::SweepSpec,
+) -> Result<Vec<u32>, FanoutError> {
+    let observer = JobShardObserver {
+        job,
+        started_at: job.started_at(),
+        total: job.total.load(Ordering::Relaxed),
+    };
+    let request = SweepRequest {
+        target_asn: spec.target_asn,
+        pool_asns: spec.pool_asns.clone(),
+        validator_asns: spec.validator_asns.clone(),
+        stub_defense: spec.stub_defense,
+    };
+    coordinator.run_sweep(&request, &observer)
 }
 
 /// Runs a stream job's whole event tape through the incremental detector,

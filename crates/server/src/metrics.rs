@@ -17,6 +17,7 @@
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use bgpsim_fanout::FanoutStats;
 use bgpsim_hijack::{wall_bucket, TelemetrySnapshot, WALL_HIST_BUCKETS};
 
 use crate::cache::CacheStats;
@@ -596,6 +597,123 @@ pub fn render_prometheus(
         "",
         cumulative,
     );
+    out
+}
+
+/// Renders the coordinator's fan-out section, appended to the main
+/// exposition when the server was booted with `--fanout-workers`.
+pub fn render_fanout(stats: &FanoutStats) -> String {
+    let mut out = String::with_capacity(2 * 1024);
+    let line = |out: &mut String, name: &str, labels: &str, value: u64| {
+        if labels.is_empty() {
+            out.push_str(&format!("{name} {value}\n"));
+        } else {
+            out.push_str(&format!("{name}{{{labels}}} {value}\n"));
+        }
+    };
+    let header = |out: &mut String, name: &str, kind: &str, help: &str| {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+    };
+
+    header(
+        &mut out,
+        "bgpsim_fanout_workers",
+        "gauge",
+        "Registered fan-out workers by state (rejected = failed the boot handshake).",
+    );
+    let alive = stats.workers.iter().filter(|w| w.alive).count() as u64;
+    for (state, value) in [
+        ("alive", alive),
+        ("dead", stats.workers.len() as u64 - alive),
+        ("rejected", stats.rejected.len() as u64),
+    ] {
+        line(
+            &mut out,
+            "bgpsim_fanout_workers",
+            &format!("state=\"{state}\""),
+            value,
+        );
+    }
+    header(
+        &mut out,
+        "bgpsim_fanout_shards_total",
+        "counter",
+        "Shards by outcome across all fanned-out sweeps (planned, done, retried, hedged).",
+    );
+    for (outcome, value) in [
+        ("planned", stats.shards_total),
+        ("done", stats.shards_done),
+        ("retried", stats.shards_retried),
+        ("hedged", stats.shards_hedged),
+    ] {
+        line(
+            &mut out,
+            "bgpsim_fanout_shards_total",
+            &format!("outcome=\"{outcome}\""),
+            value,
+        );
+    }
+    header(
+        &mut out,
+        "bgpsim_fanout_worker_shards_total",
+        "counter",
+        "Per-worker shard dispatch accounting.",
+    );
+    for worker in &stats.workers {
+        for (outcome, value) in [
+            ("dispatched", worker.shards_dispatched),
+            ("completed", worker.shards_completed),
+            ("failed", worker.failures),
+        ] {
+            line(
+                &mut out,
+                "bgpsim_fanout_worker_shards_total",
+                &format!("worker=\"{}\",outcome=\"{outcome}\"", worker.addr),
+                value,
+            );
+        }
+    }
+    header(
+        &mut out,
+        "bgpsim_fanout_shard_duration_us",
+        "histogram",
+        "Per-worker successful shard round-trip wall time, log2 buckets (microseconds).",
+    );
+    for worker in &stats.workers {
+        if worker.shards_completed == 0 {
+            continue;
+        }
+        let mut cumulative = 0u64;
+        for (i, &bucket) in worker.wall_hist.iter().enumerate() {
+            cumulative += bucket;
+            if i + 1 < WALL_HIST_BUCKETS {
+                line(
+                    &mut out,
+                    "bgpsim_fanout_shard_duration_us_bucket",
+                    &format!("worker=\"{}\",le=\"{}\"", worker.addr, 1u64 << i),
+                    cumulative,
+                );
+            }
+        }
+        line(
+            &mut out,
+            "bgpsim_fanout_shard_duration_us_bucket",
+            &format!("worker=\"{}\",le=\"+Inf\"", worker.addr),
+            cumulative,
+        );
+        line(
+            &mut out,
+            "bgpsim_fanout_shard_duration_us_sum",
+            &format!("worker=\"{}\"", worker.addr),
+            worker.wall_us_sum,
+        );
+        line(
+            &mut out,
+            "bgpsim_fanout_shard_duration_us_count",
+            &format!("worker=\"{}\"", worker.addr),
+            cumulative,
+        );
+    }
     out
 }
 

@@ -76,6 +76,38 @@ fn json(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u1
     (status, parsed)
 }
 
+/// Like [`json`] but with one extra request header (`"Name: value"`).
+fn json_with_header(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    header: &str,
+    body: &str,
+) -> (u16, Json) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n{header}\r\n\
+         Content-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let raw = String::from_utf8(raw).expect("utf-8 response");
+    let (head, response_body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let parsed = Json::parse(response_body).unwrap_or_else(|e| panic!("bad JSON from {path}: {e}"));
+    (status, parsed)
+}
+
 fn get<'a>(json: &'a Json, key: &str) -> &'a Json {
     match json {
         Json::Obj(pairs) => pairs
@@ -819,4 +851,152 @@ fn http_shutdown_drains_the_server() {
             matches!(s.read(&mut buf), Ok(0) | Err(_))
         }
     );
+}
+
+#[test]
+fn idempotent_submissions_replay_the_original_job() {
+    let server = tiny_server();
+    let addr = server.addr();
+    let (_, healthz) = json(addr, "GET", "/v1/healthz", "");
+    let target = num(get(get(&healthz, "cast"), "vulnerable_stub")) as u32;
+
+    // Body-field variant on /v1/sweeps: the duplicate answers 200 with
+    // the original job id and schedules nothing new.
+    let body = format!(
+        "{{\"target\":{target},\"attackers\":\"transit\",\"idempotency_key\":\"sweep-a\"}}"
+    );
+    let (status, first) = json(addr, "POST", "/v1/sweeps", &body);
+    assert_eq!(status, 202, "first keyed submit: {first:?}");
+    let (status, dup) = json(addr, "POST", "/v1/sweeps", &body);
+    assert_eq!(status, 200, "duplicate keyed submit: {dup:?}");
+    assert_eq!(str_of(get(&first, "id")), str_of(get(&dup, "id")));
+
+    // A different key is a different job.
+    let other = body.replace("sweep-a", "sweep-b");
+    let (status, second) = json(addr, "POST", "/v1/sweeps", &other);
+    assert_eq!(status, 202, "distinct key must schedule: {second:?}");
+    assert_ne!(str_of(get(&first, "id")), str_of(get(&second, "id")));
+
+    // Header variant wins over an unkeyed body.
+    let plain = format!("{{\"target\":{target},\"attackers\":\"transit\"}}");
+    let (status, h1) = json_with_header(
+        addr,
+        "POST",
+        "/v1/sweeps",
+        "Idempotency-Key: sweep-hdr",
+        &plain,
+    );
+    assert_eq!(status, 202, "header-keyed submit: {h1:?}");
+    let (status, h2) = json_with_header(
+        addr,
+        "POST",
+        "/v1/sweeps",
+        "Idempotency-Key: sweep-hdr",
+        &plain,
+    );
+    assert_eq!(status, 200, "header-keyed duplicate: {h2:?}");
+    assert_eq!(str_of(get(&h1, "id")), str_of(get(&h2, "id")));
+
+    // /v1/stream honours the same contract.
+    let stream_body = "{\"events\":50,\"targets\":1,\"idempotency_key\":\"tape-a\"}";
+    let (status, s1) = json(addr, "POST", "/v1/stream", stream_body);
+    assert_eq!(status, 202, "keyed stream submit: {s1:?}");
+    let (status, s2) = json(addr, "POST", "/v1/stream", stream_body);
+    assert_eq!(status, 200, "duplicate stream submit: {s2:?}");
+    assert_eq!(str_of(get(&s1, "id")), str_of(get(&s2, "id")));
+
+    // Malformed keys are rejected up front, not silently unkeyed.
+    let (status, err) = json(
+        addr,
+        "POST",
+        "/v1/sweeps",
+        &format!("{{\"target\":{target},\"attackers\":\"transit\",\"idempotency_key\":\"  \"}}"),
+    );
+    assert_eq!(status, 422, "blank key must be rejected: {err:?}");
+    let (status, err) = json(
+        addr,
+        "POST",
+        "/v1/sweeps",
+        &format!("{{\"target\":{target},\"attackers\":\"transit\",\"idempotency_key\":7}}"),
+    );
+    assert_eq!(status, 422, "non-string key must be rejected: {err:?}");
+
+    for id in [
+        str_of(get(&first, "id")).to_string(),
+        str_of(get(&second, "id")).to_string(),
+        str_of(get(&h1, "id")).to_string(),
+        str_of(get(&s1, "id")).to_string(),
+    ] {
+        wait_done(addr, &id);
+    }
+    server.stop().expect("clean shutdown");
+}
+
+#[test]
+fn jobs_list_enumerates_newest_first() {
+    let server = tiny_server();
+    let addr = server.addr();
+    let (_, healthz) = json(addr, "GET", "/v1/healthz", "");
+    let target = num(get(get(&healthz, "cast"), "vulnerable_stub")) as u32;
+
+    // Empty registry lists cleanly.
+    let (status, empty) = json(addr, "GET", "/v1/jobs", "");
+    assert_eq!(status, 200);
+    assert_eq!(num(get(&empty, "total")), 0.0);
+    assert!(matches!(get(&empty, "truncated"), Json::Bool(false)));
+
+    let mut ids = Vec::new();
+    for key in ["list-a", "list-b", "list-c"] {
+        let body = format!(
+            "{{\"target\":{target},\"attackers\":\"transit\",\"idempotency_key\":\"{key}\"}}"
+        );
+        let (status, submitted) = json(addr, "POST", "/v1/sweeps", &body);
+        assert_eq!(status, 202, "{submitted:?}");
+        ids.push(str_of(get(&submitted, "id")).to_string());
+    }
+    for id in &ids {
+        wait_done(addr, id);
+    }
+
+    let (status, listing) = json(addr, "GET", "/v1/jobs", "");
+    assert_eq!(status, 200);
+    assert_eq!(num(get(&listing, "total")), 3.0);
+    assert!(matches!(get(&listing, "truncated"), Json::Bool(false)));
+    let jobs = match get(&listing, "jobs") {
+        Json::Arr(items) => items,
+        other => panic!("expected jobs array, got {other:?}"),
+    };
+    assert_eq!(jobs.len(), 3);
+    // Newest first: the listing reverses submission order, and each
+    // entry carries the same shape as GET /v1/jobs/{id}.
+    let listed: Vec<&str> = jobs.iter().map(|j| str_of(get(j, "id"))).collect();
+    let newest_first: Vec<&str> = ids.iter().rev().map(String::as_str).collect();
+    assert_eq!(listed, newest_first);
+    for job in jobs {
+        assert_eq!(str_of(get(job, "kind")), "sweep");
+        assert_eq!(str_of(get(job, "state")), "done");
+    }
+    server.stop().expect("clean shutdown");
+}
+
+#[test]
+fn healthz_reports_fleet_identity_and_capacity() {
+    let server = tiny_server();
+    let addr = server.addr();
+    let (status, healthz) = json(addr, "GET", "/v1/healthz", "");
+    assert_eq!(status, 200);
+
+    // Fleet handshake identity: a fan-out coordinator matches on
+    // (schema_version, scale, seed, num_ases), all of which must be
+    // advertised here.
+    assert_eq!(num(get(&healthz, "seed")), tiny_experiment().seed as f64);
+    assert_eq!(str_of(get(&healthz, "scale")), "custom");
+    assert!(num(get(&healthz, "num_ases")) > 0.0);
+
+    // Capacity introspection: executor width, cache byte budget (null
+    // when unbounded), and whether terminal jobs survive a restart.
+    assert!(num(get(&healthz, "sweep_workers")) >= 1.0);
+    assert!(matches!(get(&healthz, "cache_bytes"), Json::Null));
+    assert!(matches!(get(&healthz, "state_dir"), Json::Bool(false)));
+    server.stop().expect("clean shutdown");
 }

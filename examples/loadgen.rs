@@ -18,11 +18,10 @@
 //! picture, and the closing `/v1/metrics` excerpt shows the cache's
 //! hit/miss/coalesced ledger for the run.
 
-use std::io::{Read, Write};
-use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use bgpsim::fanout::client::{get, get_str, get_u64, Client};
 use bgpsim::hijack::{wall_bucket, WALL_HIST_BUCKETS};
 use bgpsim::manifest::Json;
 
@@ -96,129 +95,6 @@ fn parse_args() -> Result<Options, String> {
         return Err("--threads and --requests must be at least 1".to_string());
     }
     Ok(opts)
-}
-
-/// Minimal HTTP/1.1 keep-alive client over one `TcpStream`.
-struct Client {
-    addr: String,
-    stream: TcpStream,
-}
-
-impl Client {
-    fn connect(addr: &str) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-        Ok(Client {
-            addr: addr.to_string(),
-            stream,
-        })
-    }
-
-    /// Sends one request and reads one response; reconnects once if the
-    /// server closed the keep-alive connection under us.
-    fn request(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
-        match self.request_once(method, path, body) {
-            Ok(ok) => Ok(ok),
-            Err(_) => {
-                self.stream = TcpStream::connect(&self.addr)?;
-                self.stream.set_nodelay(true)?;
-                self.stream
-                    .set_read_timeout(Some(Duration::from_secs(30)))?;
-                self.request_once(method, path, body)
-            }
-        }
-    }
-
-    fn request_once(
-        &mut self,
-        method: &str,
-        path: &str,
-        body: &str,
-    ) -> std::io::Result<(u16, String)> {
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
-             Content-Length: {}\r\n\r\n",
-            self.addr,
-            body.len()
-        );
-        self.stream.write_all(head.as_bytes())?;
-        self.stream.write_all(body.as_bytes())?;
-        read_response(&mut self.stream)
-    }
-}
-
-/// Reads one HTTP response (status + Content-Length-delimited body).
-fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, String)> {
-    let mut buf = Vec::new();
-    let mut chunk = [0u8; 4096];
-    let head_end = loop {
-        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
-            break pos + 4;
-        }
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "connection closed mid-response",
-            ));
-        }
-        buf.extend_from_slice(&chunk[..n]);
-    };
-    let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
-    let status: u16 = head
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
-    let content_length: usize = head
-        .lines()
-        .find_map(|line| {
-            let (name, value) = line.split_once(':')?;
-            name.eq_ignore_ascii_case("content-length")
-                .then(|| value.trim().parse().ok())?
-        })
-        .unwrap_or(0);
-    let mut body = buf[head_end..].to_vec();
-    while body.len() < content_length {
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "connection closed mid-body",
-            ));
-        }
-        body.extend_from_slice(&chunk[..n]);
-    }
-    body.truncate(content_length);
-    Ok((status, String::from_utf8_lossy(&body).to_string()))
-}
-
-fn get_u64(json: &Json, key: &str) -> Option<u64> {
-    match json {
-        Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).and_then(|(_, v)| {
-            if let Json::Num(n) = v {
-                Some(*n as u64)
-            } else {
-                None
-            }
-        }),
-        _ => None,
-    }
-}
-
-fn get<'a>(json: &'a Json, key: &str) -> Option<&'a Json> {
-    match json {
-        Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-        _ => None,
-    }
-}
-
-fn get_str<'a>(json: &'a Json, key: &str) -> Option<&'a str> {
-    match get(json, key) {
-        Some(Json::Str(s)) => Some(s.as_str()),
-        _ => None,
-    }
 }
 
 /// Pulls `meta.ok` out of a batch response without parsing the whole

@@ -19,8 +19,14 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use bgpsim::detection::ProbeSet;
 use bgpsim::experiments;
+use bgpsim::fanout::{
+    Coordinator, FanoutConfig, FanoutStats, Handshake, NoopObserver, SweepRequest,
+};
 use bgpsim::hijack::{EngineChoice, SweepMonitor, SweepProgress, SweepTelemetry};
-use bgpsim::manifest::{append_json_record, FigureRecord, Json, RunManifest, SCHEMA_VERSION};
+use bgpsim::manifest::{
+    append_json_record, FanoutManifest, FanoutWorkerRecord, FigureRecord, Json, RunManifest,
+    SCHEMA_VERSION,
+};
 use bgpsim::stream::{run_stream, DetectorMode, StreamConfig, StreamOutcome, StreamPlan};
 use bgpsim::viz::ProgressLine;
 use bgpsim::{ExperimentConfig, Lab};
@@ -46,6 +52,7 @@ USAGE:
     bgpsim run [FIGURE...] [OPTIONS]   run figures and write artifacts
     bgpsim stream [OPTIONS]            live update stream with incremental detection
     bgpsim serve [OPTIONS]             expose the lab as an HTTP service
+    bgpsim fanout [OPTIONS]            shard the fig2 sweep across a worker fleet
     bgpsim list                        list figure ids
     bgpsim --help | --version
 
@@ -69,8 +76,8 @@ RUN OPTIONS:
 Artifacts land in DIR together with run_manifest.json (see DESIGN.md
 for the schema) and an appended BENCH_sweep.json record.
 
-Run `bgpsim stream --help` for the stream options and `bgpsim serve
---help` for the service options.";
+Run `bgpsim stream --help` for the stream options, `bgpsim serve --help`
+for the service options, and `bgpsim fanout --help` for fleet sweeps.";
 
 const STREAM_USAGE: &str = "\
 bgpsim stream — ARTEMIS-style live update stream with incremental detection
@@ -116,13 +123,25 @@ OPTIONS:
                       keeps the sum under N (0 = entry bound only) [0]
     --queue N         unfinished sweep jobs admitted before 429 [16]
     --state-dir DIR   persist finished jobs; results survive a restart [off]
+    --fanout-workers URL[,URL...]
+                      deal sweep jobs to this fleet of bgpsim-server
+                      workers instead of the local rayon pool; workers
+                      must pass the compatibility handshake (schema
+                      version, scale, seed, topology size) and the
+                      server degrades to local execution with a warning
+                      when none do [off]
 
 ENDPOINTS:
     POST   /v1/attacks        run one attack       {\"attacker\":ASN,\"target\":ASN,...}
     POST   /v1/attacks:batch  run many attacks     {\"attacks\":[{...},...]}
     POST   /v1/sweeps     submit an async sweep    {\"target\":ASN,\"defense\":{...}}
+                          honors an Idempotency-Key header (or body
+                          \"idempotency_key\"): duplicates answer 200
+                          with the original job id
     POST   /v1/stream     submit an update stream  {\"events\":N,\"seed\":N,\"targets\":N}
+                          (same idempotency contract as /v1/sweeps)
     GET    /v1/stream/:id/range  live series slice  ?series=&from=&to=&agg=window&window=N
+    GET    /v1/jobs       list retained jobs (newest first, capped at 100)
     GET    /v1/jobs/:id   job progress             DELETE cancels
     GET    /v1/results/:id  finished sweep rows / stream summary
     GET    /v1/healthz    liveness + lab facts (scale, cast ASNs)
@@ -131,6 +150,37 @@ ENDPOINTS:
 
 There is no signal handling (std-only build): stop the server with
 POST /v1/shutdown. See DESIGN.md §13 and the README quickstart.";
+
+const FANOUT_USAGE: &str = "\
+bgpsim fanout — shard the fig2 sweep across a fleet of bgpsim-server workers
+
+Partitions each target's attacker pool into deterministic stride shards,
+deals them to the workers over /v1/attacks:batch and /v1/sweeps, and
+merges the per-shard rows positionally. The merged figure is
+byte-identical to a single-node `bgpsim run fig2` at the same scale and
+seed — CI pins that, including with a worker killed mid-sweep (failed
+shards are retried on survivors; stragglers are hedged).
+
+Workers must be bgpsim-server instances booted at the SAME scale and
+seed (e.g. `bgpsim serve --scale quick --addr 127.0.0.1:8091`); the
+registration handshake rejects mismatches. With zero usable workers the
+sweep falls back to local in-process execution with a warning.
+
+USAGE:
+    bgpsim fanout --workers URL[,URL...] [OPTIONS]
+
+OPTIONS:
+    --workers URL[,URL...]  worker addresses (repeatable, comma-separated)
+    --scale NAME      scale preset: quick | standard | paper [quick]
+    --seed N          override the master seed
+    --shards N        shards per worker (more = finer retry/hedge
+                      granularity) [2]
+    --jobs N          local worker threads for the fallback path [0]
+    --out DIR         output directory [out]
+
+Writes fig2.svg + fig2.csv, a run_manifest.json with a `fanout` section
+(per-worker dispatch counters, retries, hedges), and appends a
+`cli-fanout` record to BENCH_sweep.json. See DESIGN.md §17.";
 
 struct RunOptions {
     figures: Vec<String>,
@@ -190,6 +240,17 @@ fn main() -> ExitCode {
             }
             Err(msg) => {
                 eprintln!("error: {msg}\n\n{SERVE_USAGE}");
+                ExitCode::from(2)
+            }
+        },
+        Some("fanout") => match parse_fanout(&args[1..]) {
+            Ok(Some(opts)) => fanout(&opts),
+            Ok(None) => {
+                println!("{FANOUT_USAGE}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{FANOUT_USAGE}");
                 ExitCode::from(2)
             }
         },
@@ -356,6 +417,7 @@ fn parse_serve(args: &[String]) -> Result<Option<ServerConfig>, String> {
     let mut cache_byte_budget: u64 = 0;
     let mut max_queued_jobs: usize = 16;
     let mut state_dir: Option<PathBuf> = None;
+    let mut fanout_workers: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -388,6 +450,9 @@ fn parse_serve(args: &[String]) -> Result<Option<ServerConfig>, String> {
             }
             "--queue" => max_queued_jobs = parse_num(&value("--queue")?, "--queue")?,
             "--state-dir" => state_dir = Some(PathBuf::from(value("--state-dir")?)),
+            "--fanout-workers" => {
+                fanout_workers.extend(parse_worker_list(&value("--fanout-workers")?)?);
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -415,7 +480,22 @@ fn parse_serve(args: &[String]) -> Result<Option<ServerConfig>, String> {
     config.cache_byte_budget = (cache_byte_budget > 0).then_some(cache_byte_budget);
     config.max_queued_jobs = max_queued_jobs;
     config.state_dir = state_dir;
+    config.fanout_workers = fanout_workers;
     Ok(Some(config))
+}
+
+/// Splits a comma-separated worker list, rejecting empty entries.
+fn parse_worker_list(raw: &str) -> Result<Vec<String>, String> {
+    let workers: Vec<String> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if workers.is_empty() {
+        return Err("worker list must name at least one URL".to_string());
+    }
+    Ok(workers)
 }
 
 fn serve(config: ServerConfig) -> ExitCode {
@@ -446,6 +526,236 @@ fn serve(config: ServerConfig) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+struct FanoutOptions {
+    workers: Vec<String>,
+    scale: String,
+    seed: Option<u64>,
+    shards_per_worker: usize,
+    jobs: usize,
+    out: PathBuf,
+}
+
+/// Parses `fanout` options; `Ok(None)` means `--help` was asked for.
+fn parse_fanout(args: &[String]) -> Result<Option<FanoutOptions>, String> {
+    let mut opts = FanoutOptions {
+        workers: Vec::new(),
+        scale: "quick".to_string(),
+        seed: None,
+        shards_per_worker: 2,
+        jobs: 0,
+        out: PathBuf::from("out"),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--workers" => opts
+                .workers
+                .extend(parse_worker_list(&value("--workers")?)?),
+            "--scale" => opts.scale = value("--scale")?,
+            "--seed" => opts.seed = Some(parse_num(&value("--seed")?, "--seed")?),
+            "--shards" => {
+                opts.shards_per_worker = parse_num(&value("--shards")?, "--shards")?;
+                if opts.shards_per_worker == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+            }
+            "--jobs" => opts.jobs = parse_num(&value("--jobs")?, "--jobs")?,
+            "--out" => opts.out = PathBuf::from(value("--out")?),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if opts.workers.is_empty() {
+        return Err("--workers must name at least one bgpsim-server URL".to_string());
+    }
+    ExperimentConfig::preset(&opts.scale)?;
+    Ok(Some(opts))
+}
+
+/// The `fanout` subcommand: fig2 with the attacker pool dealt to a
+/// worker fleet, byte-identical to the single-node figure.
+fn fanout(opts: &FanoutOptions) -> ExitCode {
+    if opts.jobs > 0 {
+        std::env::set_var("RAYON_NUM_THREADS", opts.jobs.to_string());
+    }
+    let effective_jobs = rayon::current_num_threads();
+    let mut config = ExperimentConfig::preset(&opts.scale).expect("validated in parse_fanout");
+    if let Some(seed) = opts.seed {
+        config.seed = seed;
+    }
+    if let Err(e) = std::fs::create_dir_all(&opts.out) {
+        eprintln!("error: cannot create {}: {e}", opts.out.display());
+        return ExitCode::FAILURE;
+    }
+    let started = Instant::now();
+    eprintln!(
+        "generating {}-AS internet (scale {}, seed {})...",
+        config.params.num_ases, opts.scale, config.seed
+    );
+    let lab = Lab::new(config);
+    eprintln!("topology ready in {:.1}s", started.elapsed().as_secs_f64());
+
+    let expect = Handshake {
+        schema_version: SCHEMA_VERSION,
+        scale: opts.scale.clone(),
+        seed: lab.config().seed,
+        num_ases: lab.topology().num_ases() as u64,
+    };
+    let mut fanout_config = FanoutConfig::new(opts.workers.clone());
+    fanout_config.shards_per_worker = opts.shards_per_worker;
+    let coordinator = Coordinator::connect(fanout_config, &expect);
+    for (addr, reason) in coordinator.rejected() {
+        eprintln!("worker {addr} rejected: {reason}");
+    }
+
+    let topo = lab.topology();
+    let sim = lab.simulator();
+    let fig_started = Instant::now();
+    let result = if coordinator.live_workers() == 0 {
+        eprintln!(
+            "warning: none of the {} workers are reachable and compatible; \
+             falling back to local in-process execution",
+            opts.workers.len()
+        );
+        experiments::fig2_monitored(&lab, &SweepMonitor::none())
+    } else {
+        eprintln!(
+            "fan-out: {} of {} workers registered; sweeping fig2...",
+            coordinator.live_workers(),
+            opts.workers.len()
+        );
+        experiments::fig2_with(&lab, |target, pool| {
+            // Same target filter as sweep_result_monitored, so the local
+            // and fanned-out figures are built from identical pools.
+            let pool: Vec<_> = pool.iter().copied().filter(|&a| a != target).collect();
+            let request = SweepRequest {
+                target_asn: topo.id_of(target).value(),
+                pool_asns: pool.iter().map(|&a| topo.id_of(a).value()).collect(),
+                validator_asns: Vec::new(),
+                stub_defense: false,
+            };
+            let counts = match coordinator.run_sweep(&request, &NoopObserver) {
+                Ok(counts) => counts,
+                Err(e) => {
+                    eprintln!(
+                        "warning: fan-out sweep for target AS{} failed ({e}); \
+                         running this target locally",
+                        request.target_asn
+                    );
+                    sim.sweep_attackers(target, &pool, &bgpsim::hijack::Defense::none())
+                }
+            };
+            bgpsim::hijack::SweepResult::new(pool, counts)
+        })
+    };
+    let wall_ms = fig_started.elapsed().as_secs_f64() * 1e3;
+    println!("{}\n", result.summary());
+    let artifacts = match result.write_artifacts(&opts.out) {
+        Ok(artifacts) => artifacts,
+        Err(e) => {
+            eprintln!("error: [fig2] could not write artifacts: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("[fig2] {wall_ms:.0} ms, wrote {}", artifacts.join(", "));
+
+    let total_wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let manifest = RunManifest {
+        version: env!("CARGO_PKG_VERSION").to_string(),
+        scale: opts.scale.clone(),
+        seed: lab.config().seed,
+        attacker_stride: lab.config().attacker_stride,
+        engine: lab.config().engine.name().to_string(),
+        jobs: effective_jobs,
+        num_ases: lab.topology().num_ases(),
+        figures: vec![FigureRecord {
+            id: "fig2".to_string(),
+            wall_ms,
+            artifacts,
+            telemetry: None,
+        }],
+        total_wall_ms,
+        fanout: Some(fanout_manifest(&coordinator.stats())),
+    };
+    let manifest_path = opts.out.join("run_manifest.json");
+    if let Err(e) = std::fs::write(&manifest_path, manifest.render()) {
+        eprintln!("error: cannot write {}: {e}", manifest_path.display());
+        return ExitCode::FAILURE;
+    }
+    let bench_path = opts.out.join("BENCH_sweep.json");
+    if let Err(e) = append_json_record(&bench_path, &fanout_bench_record(opts, &manifest, wall_ms))
+    {
+        eprintln!("error: cannot append to {}: {e}", bench_path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "fanout run complete in {:.1}s: {} + {}",
+        total_wall_ms / 1e3,
+        manifest_path.display(),
+        bench_path.display()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Converts a coordinator snapshot into the manifest `fanout` section.
+fn fanout_manifest(stats: &FanoutStats) -> FanoutManifest {
+    FanoutManifest {
+        workers: stats
+            .workers
+            .iter()
+            .map(|w| FanoutWorkerRecord {
+                addr: w.addr.clone(),
+                alive: w.alive,
+                shards_dispatched: w.shards_dispatched,
+                shards_completed: w.shards_completed,
+                failures: w.failures,
+                wall_us_sum: w.wall_us_sum,
+            })
+            .collect(),
+        rejected: stats.rejected.clone(),
+        shards_total: stats.shards_total,
+        shards_done: stats.shards_done,
+        shards_retried: stats.shards_retried,
+        shards_hedged: stats.shards_hedged,
+    }
+}
+
+/// One fan-out entry for `BENCH_sweep.json`: the sharded fig2 wall time,
+/// scale-qualified so the CI regression guard never compares presets.
+fn fanout_bench_record(opts: &FanoutOptions, manifest: &RunManifest, fig2_wall_ms: f64) -> Json {
+    let unix_time = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let fanout = manifest.fanout.as_ref().expect("fanout manifest present");
+    Json::obj([
+        ("unix_time", Json::from(unix_time)),
+        ("source", Json::str("cli-fanout")),
+        ("version", Json::str(&manifest.version)),
+        ("scale", Json::str(&manifest.scale)),
+        ("seed", Json::from(manifest.seed)),
+        ("num_ases", Json::from(manifest.num_ases)),
+        ("workers", Json::from(fanout.workers.len())),
+        ("shards_total", Json::from(fanout.shards_total)),
+        ("shards_retried", Json::from(fanout.shards_retried)),
+        ("shards_hedged", Json::from(fanout.shards_hedged)),
+        ("wall_ms", Json::Num(fig2_wall_ms)),
+        ("total_wall_ms", Json::Num(manifest.total_wall_ms)),
+        (
+            "bench_ms",
+            Json::obj([(
+                format!("fanout/{}_fig2_wall_ms", opts.scale),
+                Json::Num(fig2_wall_ms),
+            )]),
+        ),
+    ])
 }
 
 fn stream(opts: &StreamOptions) -> ExitCode {
@@ -758,6 +1068,7 @@ fn run(opts: &RunOptions) -> ExitCode {
         num_ases: lab.topology().num_ases(),
         figures: records,
         total_wall_ms,
+        fanout: None,
     };
     let manifest_path = opts.out.join("run_manifest.json");
     if let Err(e) = std::fs::write(&manifest_path, manifest.render()) {

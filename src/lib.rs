@@ -22,3 +22,7 @@
 #![warn(missing_docs)]
 
 pub use bgpsim_core::*;
+
+/// Sharded sweep fan-out across `bgpsim-server` fleets (see
+/// [`bgpsim_fanout`]).
+pub use bgpsim_fanout as fanout;
